@@ -1,0 +1,90 @@
+// Micro-benchmarks for the twin/diff machinery: creation and application
+// cost across dirty-byte densities, twin copies, and whole-page capture.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/core/diff.hpp"
+
+namespace {
+
+using sdsm::core::Diff;
+
+constexpr std::size_t kPage = 4096;
+
+std::vector<std::byte> dirty_page(std::vector<std::byte> twin, double density,
+                                  std::uint64_t seed) {
+  sdsm::Rng rng(seed);
+  auto page = std::move(twin);
+  for (auto& b : page) {
+    if (rng.next_bool(density)) b = std::byte{0x5a};
+  }
+  return page;
+}
+
+void BM_DiffCreate(benchmark::State& state) {
+  const double density = static_cast<double>(state.range(0)) / 100.0;
+  std::vector<std::byte> twin(kPage, std::byte{0});
+  const auto page = dirty_page(twin, density, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Diff::create(page, twin));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kPage);
+}
+BENCHMARK(BM_DiffCreate)->Arg(0)->Arg(1)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_DiffApply(benchmark::State& state) {
+  const double density = static_cast<double>(state.range(0)) / 100.0;
+  std::vector<std::byte> twin(kPage, std::byte{0});
+  const auto page = dirty_page(twin, density, 9);
+  const Diff d = Diff::create(page, twin);
+  std::vector<std::byte> target(kPage, std::byte{0});
+  for (auto _ : state) {
+    d.apply(target);
+    benchmark::DoNotOptimize(target.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(d.encoded_size()));
+}
+BENCHMARK(BM_DiffApply)->Arg(1)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_TwinCopy(benchmark::State& state) {
+  std::vector<std::byte> page(kPage, std::byte{1});
+  std::vector<std::byte> twin(kPage);
+  for (auto _ : state) {
+    std::memcpy(twin.data(), page.data(), kPage);
+    benchmark::DoNotOptimize(twin.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kPage);
+}
+BENCHMARK(BM_TwinCopy);
+
+void BM_WholePageCapture(benchmark::State& state) {
+  std::vector<std::byte> page(kPage, std::byte{3});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Diff::whole(page));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kPage);
+}
+BENCHMARK(BM_WholePageCapture);
+
+void BM_DiffEncodedSize(benchmark::State& state) {
+  // Not a timing benchmark: reports the wire size of a diff at the given
+  // density as the counter, documenting the diff-vs-page crossover.
+  const double density = static_cast<double>(state.range(0)) / 100.0;
+  std::vector<std::byte> twin(kPage, std::byte{0});
+  const auto page = dirty_page(twin, density, 11);
+  const Diff d = Diff::create(page, twin);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.encoded_size());
+  }
+  state.counters["encoded_bytes"] =
+      static_cast<double>(d.encoded_size());
+}
+BENCHMARK(BM_DiffEncodedSize)->Arg(1)->Arg(5)->Arg(25)->Arg(75);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Micro-benchmarks for regular-section operations: the section shapes are
+// the ones moldyn and nbf actually produce (interaction_list[1:2,1:n],
+// partners[1:K, lo:hi], dense force chunks).
+#include <benchmark/benchmark.h>
+
+#include "src/rsd/regular_section.hpp"
+
+namespace {
+
+using sdsm::rsd::ArrayLayout;
+using sdsm::rsd::Dim;
+using sdsm::rsd::RegularSection;
+
+void BM_SectionCount(benchmark::State& state) {
+  RegularSection s({Dim{0, 1, 1}, Dim{0, state.range(0) - 1, 1}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.count());
+  }
+}
+BENCHMARK(BM_SectionCount)->Arg(1000)->Arg(100000);
+
+void BM_InteractionListPages(benchmark::State& state) {
+  // interaction_list[1:2, 1:n] over an int32 array.
+  const std::int64_t n = state.range(0);
+  RegularSection s({Dim{0, 1, 1}, Dim{0, n - 1, 1}});
+  ArrayLayout layout{{2, n}, true};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.pages(0, 4, layout, 4096));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 * n);
+}
+BENCHMARK(BM_InteractionListPages)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_DenseChunkPages(benchmark::State& state) {
+  // A force chunk: dense doubles.
+  const std::int64_t n = state.range(0);
+  RegularSection s = RegularSection::dense1d(0, n - 1);
+  ArrayLayout layout{{n}, true};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.pages(0, 8, layout, 4096));
+  }
+}
+BENCHMARK(BM_DenseChunkPages)->Arg(2048)->Arg(65536);
+
+void BM_StridedSectionPages(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  RegularSection s({Dim{0, n - 1, 8}});
+  ArrayLayout layout{{n}, true};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.pages(0, 8, layout, 4096));
+  }
+}
+BENCHMARK(BM_StridedSectionPages)->Arg(65536);
+
+void BM_SectionIntersect(benchmark::State& state) {
+  RegularSection a({Dim{0, 100000, 2}});
+  RegularSection b({Dim{50000, 150000, 2}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.intersect(b));
+  }
+}
+BENCHMARK(BM_SectionIntersect);
+
+}  // namespace
+
+BENCHMARK_MAIN();

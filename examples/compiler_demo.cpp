@@ -1,0 +1,98 @@
+// Compiler demo: reproduces the paper's Figure 1 -> Figure 2 source-to-
+// source transformation on the moldyn and nbf kernels.
+//
+// Build & run:   ./build/examples/compiler_demo
+#include <cstdio>
+
+#include "src/compiler/parser.hpp"
+#include "src/compiler/pretty.hpp"
+#include "src/compiler/section_analysis.hpp"
+#include "src/compiler/transform.hpp"
+
+using namespace sdsm::compiler;
+
+namespace {
+
+void demo(const char* title, const char* source) {
+  std::printf("=============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("=============================================================\n");
+  std::printf("--- original (Figure 1) ---\n%s\n", source);
+
+  const SourceFile file = parse(source);
+  const SymbolTable syms(file.units[0]);
+  for (const auto& stmt : file.units[0].body) {
+    if (stmt->kind != StmtKind::kDo) continue;
+    const LoopSummary summary = analyze_loop(*stmt, syms);
+    std::printf("--- access analysis ---\n");
+    for (const AccessInfo& a : summary.accesses) {
+      std::printf("  %-18s %s%s", a.array.c_str(),
+                  a.indirect ? "INDIRECT via " : "DIRECT",
+                  a.indirect ? a.ind_array.c_str() : "");
+      std::printf("  section=[");
+      for (std::size_t d = 0; d < a.section.size(); ++d) {
+        if (d > 0) std::printf(", ");
+        std::printf("%s:%s", print_expr(*a.section[d].lower).c_str(),
+                    print_expr(*a.section[d].upper).c_str());
+        if (a.section[d].stride != 1) {
+          std::printf(":%lld", static_cast<long long>(a.section[d].stride));
+        }
+      }
+      std::printf("]  access=%s\n", a.access_string().c_str());
+    }
+  }
+
+  const TransformResult result = transform(file);
+  std::printf("--- transformed (Figure 2) ---\n%s\n",
+              print_file(result.transformed).c_str());
+  for (const auto& red : result.reductions) {
+    std::printf("  [reduction privatized: %s -> %s in %s]\n",
+                red.shared_array.c_str(), red.private_array.c_str(),
+                red.unit.c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  demo("moldyn force computation",
+       "SUBROUTINE COMPUTEFORCES\n"
+       "  SHARED REAL X(16384), FORCES(16384)\n"
+       "  SHARED INTEGER INTERACTION_LIST(2, 100000)\n"
+       "  INTEGER I, N1, N2\n"
+       "  REAL FORCE\n"
+       "DO I = 1, NUM_INTERACTIONS\n"
+       "  N1 = INTERACTION_LIST(1, I)\n"
+       "  N2 = INTERACTION_LIST(2, I)\n"
+       "  FORCE = X(N1) - X(N2)\n"
+       "  FORCES(N1) = FORCES(N1) + FORCE\n"
+       "  FORCES(N2) = FORCES(N2) - FORCE\n"
+       "ENDDO\n"
+       "END\n");
+
+  demo("nbf partner-list kernel",
+       "SUBROUTINE NBFORCES\n"
+       "  SHARED REAL X(65536), FORCES(65536)\n"
+       "  SHARED INTEGER PARTNERS(100, 65536)\n"
+       "  INTEGER I, J, Q\n"
+       "  REAL D\n"
+       "DO I = MY_START, MY_END\n"
+       "  DO J = 1, 100\n"
+       "    Q = PARTNERS(J, I)\n"
+       "    D = X(I) - X(Q)\n"
+       "    FORCES(I) = FORCES(I) + D\n"
+       "    FORCES(Q) = FORCES(Q) - D\n"
+       "  ENDDO\n"
+       "ENDDO\n"
+       "END\n");
+
+  demo("dense initialization (WRITE_ALL upgrade)",
+       "SUBROUTINE CLEAR\n"
+       "  SHARED REAL A(8192)\n"
+       "DO I = 1, N\n"
+       "  A(I) = 0\n"
+       "ENDDO\n"
+       "END\n");
+  return 0;
+}

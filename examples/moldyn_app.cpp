@@ -1,0 +1,71 @@
+// Moldyn end to end: sequential reference, base TreadMarks, compiler-
+// optimized TreadMarks, and CHAOS, on one scaled workload — the domain
+// scenario the paper's introduction motivates (CHARMM-style non-bonded
+// force computation with a periodically rebuilt interaction list).
+//
+// Build & run:   ./build/examples/moldyn_app
+#include <cstdio>
+#include <iostream>
+
+#include "src/apps/moldyn/moldyn_chaos.hpp"
+#include "src/apps/moldyn/moldyn_common.hpp"
+#include "src/apps/moldyn/moldyn_tmk.hpp"
+#include "src/harness/experiment.hpp"
+
+using namespace sdsm;
+using namespace sdsm::apps;
+
+int main() {
+  moldyn::Params p;
+  p.num_molecules = 2048;
+  p.num_steps = 12;
+  p.update_interval = 6;
+  p.nprocs = 4;
+
+  std::printf("moldyn: %lld molecules, %d steps, list rebuilt every %d, "
+              "%u nodes\n\n",
+              static_cast<long long>(p.num_molecules), p.num_steps,
+              p.update_interval, p.nprocs);
+
+  const moldyn::System sys = moldyn::make_system(p);
+  const auto seq = moldyn::run_seq(p, sys);
+  std::printf("sequential: %.3f s, checksum %.6f\n", seq.seconds,
+              seq.checksum);
+
+  harness::Table table("moldyn variants");
+
+  core::DsmConfig cfg;
+  cfg.num_nodes = p.nprocs;
+  cfg.region_bytes = 16u << 20;
+  {
+    core::DsmRuntime rt(cfg);
+    const auto r = moldyn::run_tmk(rt, p, sys, /*optimized=*/false);
+    std::printf("Tmk base     : checksum %s\n",
+                checksum_close(r.checksum, seq.checksum) ? "OK" : "MISMATCH");
+    table.add(harness::Row{"2048 molecules", "Tmk base", r.seconds,
+                           harness::speedup(seq.seconds, r.seconds),
+                           r.messages, r.megabytes, r.overhead_seconds, ""});
+  }
+  {
+    core::DsmRuntime rt(cfg);
+    const auto r = moldyn::run_tmk(rt, p, sys, /*optimized=*/true);
+    std::printf("Tmk optimized: checksum %s\n",
+                checksum_close(r.checksum, seq.checksum) ? "OK" : "MISMATCH");
+    table.add(harness::Row{"2048 molecules", "Tmk optimized", r.seconds,
+                           harness::speedup(seq.seconds, r.seconds),
+                           r.messages, r.megabytes, r.overhead_seconds, ""});
+  }
+  {
+    chaos::ChaosRuntime rt(p.nprocs);
+    const auto r = moldyn::run_chaos(rt, p, sys);
+    std::printf("CHAOS        : checksum %s\n",
+                checksum_close(r.checksum, seq.checksum) ? "OK" : "MISMATCH");
+    table.add(harness::Row{"2048 molecules", "CHAOS", r.seconds,
+                           harness::speedup(seq.seconds, r.seconds),
+                           r.messages, r.megabytes, r.overhead_seconds, ""});
+  }
+
+  std::printf("\n");
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// NBF end to end: the GROMOS non-bonded-force kernel with static partner
+// lists, across all variants, including the false-sharing configuration.
+//
+// Build & run:   ./build/examples/nbf_app
+#include <cstdio>
+#include <iostream>
+
+#include "src/apps/nbf/nbf_chaos.hpp"
+#include "src/apps/nbf/nbf_common.hpp"
+#include "src/apps/nbf/nbf_tmk.hpp"
+#include "src/harness/experiment.hpp"
+
+using namespace sdsm;
+using namespace sdsm::apps;
+
+int main() {
+  for (const std::int64_t molecules : {8192, 8000}) {
+    nbf::Params p;
+    p.molecules = molecules;
+    p.partners = 16;
+    p.timed_steps = 6;
+    p.nprocs = 4;
+
+    std::printf("nbf: %lld molecules (%s blocks), %d partners, %u nodes\n",
+                static_cast<long long>(molecules),
+                molecules % (512 * p.nprocs) == 0 ? "page-aligned"
+                                                  : "misaligned",
+                p.partners, p.nprocs);
+
+    const auto seq = nbf::run_seq(p);
+    harness::Table table("nbf variants");
+
+    core::DsmConfig cfg;
+    cfg.num_nodes = p.nprocs;
+    cfg.region_bytes = 16u << 20;
+    for (const bool optimized : {false, true}) {
+      core::DsmRuntime rt(cfg);
+      const auto r = nbf::run_tmk(rt, p, optimized);
+      table.add(harness::Row{
+          "timed steps", optimized ? "Tmk optimized" : "Tmk base", r.seconds,
+          harness::speedup(seq.seconds, r.seconds), r.messages, r.megabytes,
+          r.overhead_seconds,
+          checksum_close(r.checksum, seq.checksum) ? "checksum OK"
+                                                   : "CHECKSUM MISMATCH"});
+    }
+    {
+      chaos::ChaosRuntime rt(p.nprocs);
+      const auto r = nbf::run_chaos(rt, p);
+      table.add(harness::Row{
+          "timed steps", "CHAOS", r.seconds,
+          harness::speedup(seq.seconds, r.seconds), r.messages, r.megabytes,
+          r.overhead_seconds,
+          checksum_close(r.checksum, seq.checksum) ? "checksum OK"
+                                                   : "CHECKSUM MISMATCH"});
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

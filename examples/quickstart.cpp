@@ -1,0 +1,75 @@
+// Quickstart: the smallest useful sdsm program.
+//
+// Four simulated processors share an array through the TreadMarks-style
+// DSM.  Node 0 initializes it; everyone computes a partial sum of the
+// whole array (demand paging fetches remote modifications); a lock guards
+// a shared accumulator; barriers order the phases.  Finally the optimized
+// path is shown: Validate prefetches the whole array in one aggregated
+// message exchange instead of one page at a time.
+//
+// Build & run:   ./build/examples/quickstart
+#include <cstdio>
+
+#include "src/core/dsm.hpp"
+
+using namespace sdsm;
+using namespace sdsm::core;
+
+int main() {
+  DsmConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.region_bytes = 8u << 20;
+  DsmRuntime rt(cfg);
+
+  constexpr std::size_t kN = 16 * 1024;  // 32 pages of doubles
+  auto data = rt.alloc_global<double>(kN);
+  auto total = rt.alloc_global<double>(1);
+
+  rt.run([&](DsmNode& self) {
+    double* d = self.ptr(data);
+
+    // Phase 1: node 0 initializes the shared array.
+    if (self.id() == 0) {
+      for (std::size_t i = 0; i < kN; ++i) d[i] = 1.0;
+    }
+    self.barrier();
+
+    // Phase 2: everyone sums a quarter; a lock guards the accumulator.
+    const std::size_t chunk = kN / self.num_nodes();
+    const std::size_t lo = self.id() * chunk;
+    double partial = 0;
+    for (std::size_t i = lo; i < lo + chunk; ++i) partial += d[i];
+
+    self.lock_acquire(0);
+    *self.ptr(total) += partial;
+    self.lock_release(0);
+    self.barrier();
+
+    if (self.id() == 0) {
+      std::printf("sum = %.0f (expected %zu)\n", *self.ptr(total), kN);
+    }
+    self.barrier();
+
+    // Phase 3: the compiler-optimized idiom — prefetch the array with one
+    // aggregated request per producer before scanning it.
+    self.validate({direct_desc(
+        data.addr, sizeof(double),
+        rsd::ArrayLayout{{static_cast<std::int64_t>(kN)}, true},
+        rsd::RegularSection::dense1d(0, kN - 1), Access::kRead, 0)});
+    double check = 0;
+    for (std::size_t i = 0; i < kN; ++i) check += d[i];
+    self.barrier();
+    if (self.id() == 1) {
+      std::printf("validated scan on node 1: sum = %.0f\n", check);
+    }
+  });
+
+  std::printf("messages=%llu data=%.3f MB read_faults=%llu "
+              "pages_prefetched=%llu\n",
+              static_cast<unsigned long long>(rt.total_messages()),
+              rt.total_megabytes(),
+              static_cast<unsigned long long>(rt.stats().read_faults.get()),
+              static_cast<unsigned long long>(
+                  rt.stats().pages_prefetched.get()));
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Shared types for the evaluation applications (moldyn, nbf).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace sdsm::apps {
+
+/// 3-D vector stored inline in shared arrays (24 bytes, trivially
+/// copyable).  Moldyn's coordinate and force arrays are arrays of these.
+struct double3 {
+  double x = 0, y = 0, z = 0;
+
+  double3 operator-(const double3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  double3 operator+(const double3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  double3& operator+=(const double3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  double3& operator-=(const double3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  double3 operator*(double k) const { return {x * k, y * k, z * k}; }
+
+  double norm2() const { return x * x + y * y + z * z; }
+};
+
+static_assert(sizeof(double3) == 24);
+
+/// Result of one application run; the fields mirror the columns the paper
+/// reports plus the checksum used for cross-variant validation.
+struct AppRunResult {
+  double checksum = 0;        ///< order-insensitive force/position digest
+  double seconds = 0;         ///< timed section (excludes init/partitioning)
+  std::uint64_t messages = 0;
+  double megabytes = 0;
+  /// Tmk: time spent in Validate checking/recomputing the indirection
+  /// array; CHAOS: time spent in the inspector (per-node average).
+  double overhead_seconds = 0;
+};
+
+/// True when two checksums agree to a relative tolerance that absorbs
+/// floating-point reassociation across variants.
+inline bool checksum_close(double a, double b, double rel = 1e-9) {
+  const double scale = std::fmax(1.0, std::fmax(std::fabs(a), std::fabs(b)));
+  return std::fabs(a - b) <= rel * scale;
+}
+
+}  // namespace sdsm::apps

@@ -1,0 +1,154 @@
+#include "src/apps/moldyn/moldyn_chaos.hpp"
+
+#include <algorithm>
+
+#include "src/chaos/executor.hpp"
+#include "src/chaos/inspector.hpp"
+#include "src/common/timer.hpp"
+
+namespace sdsm::apps::moldyn {
+
+ChaosResult run_chaos(chaos::ChaosRuntime& rt, const Params& p,
+                      const System& sys, chaos::TableKind table_kind) {
+  SDSM_REQUIRE(rt.num_nodes() == p.nprocs);
+  const std::uint32_t nprocs = p.nprocs;
+
+  // Owner map and translation table (remapping: owner-contiguous offsets).
+  std::vector<NodeId> owner(static_cast<std::size_t>(p.num_molecules));
+  for (std::int64_t i = 0; i < p.num_molecules; ++i) {
+    owner[static_cast<std::size_t>(i)] = owner_of(sys, i);
+  }
+  const auto table = chaos::TranslationTable::build(owner, nprocs, table_kind);
+
+  std::vector<double> inspector_seconds(nprocs, 0.0);
+  std::vector<std::int64_t> inspector_runs(nprocs, 0);
+  std::vector<double> partial_sum(nprocs, 0.0);
+
+  rt.reset_stats();
+  const Timer wall;
+
+  rt.run([&](chaos::ChaosNode& node) {
+    const NodeId me = node.id();
+    const part::Range mine = sys.owner_range[me];
+    const auto local_n = static_cast<std::size_t>(mine.size());
+
+    std::vector<double3> x_local(local_n);
+    for (std::size_t i = 0; i < local_n; ++i) {
+      x_local[i] = sys.pos0[static_cast<std::size_t>(mine.begin) + i];
+    }
+    std::vector<double3> f_local(local_n);
+
+    chaos::Schedule sched;
+    std::vector<std::int32_t> la, lb;  // localized pair references
+    std::vector<double3> x_ghost, f_ghost;
+    std::vector<double3> all_pos(static_cast<std::size_t>(p.num_molecules));
+
+    auto value_at = [&](std::int32_t k) -> const double3& {
+      return static_cast<std::size_t>(k) < local_n
+                 ? x_local[static_cast<std::size_t>(k)]
+                 : x_ghost[static_cast<std::size_t>(k) - local_n];
+    };
+
+    for (int step = 0; step < p.num_steps; ++step) {
+      if (step % p.update_interval == 0) {
+        // Rebuild the interaction list: allgather current positions (the
+        // list builder needs neighbours), build my pairs, run the
+        // inspector to derive a fresh communication schedule.
+        std::vector<std::vector<std::uint8_t>> out(nprocs);
+        {
+          Writer w;
+          w.put_span<double3>(std::span<const double3>(x_local));
+          for (NodeId q = 0; q < nprocs; ++q) {
+            if (q != me) out[q] = w.bytes();
+          }
+        }
+        auto in = node.all_to_all(std::move(out));
+        for (NodeId q = 0; q < nprocs; ++q) {
+          std::vector<double3> block;
+          if (q == me) {
+            block = x_local;
+          } else {
+            Reader r(in[q]);
+            block = r.get_vector<double3>();
+          }
+          std::copy(block.begin(), block.end(),
+                    all_pos.begin() + sys.owner_range[q].begin);
+        }
+        auto groups = build_pairs(p, sys, all_pos);
+        const auto& pairs = groups[me];
+
+        // Inspector: schedule from the referenced global molecule ids.
+        std::vector<std::int64_t> refs;
+        refs.reserve(2 * pairs.size());
+        for (const Pair& pr : pairs) {
+          refs.push_back(pr.a);
+          refs.push_back(pr.b);
+        }
+        chaos::InspectorStats istats;
+        sched = chaos::build_schedule(node, refs, table, &istats);
+        inspector_seconds[me] += istats.seconds;
+        ++inspector_runs[me];
+
+        const auto localized =
+            chaos::localize_references(me, refs, table, sched);
+        la.resize(pairs.size());
+        lb.resize(pairs.size());
+        for (std::size_t k = 0; k < pairs.size(); ++k) {
+          la[k] = localized[2 * k];
+          lb[k] = localized[2 * k + 1];
+        }
+        x_ghost.assign(static_cast<std::size_t>(sched.num_ghosts), double3{});
+        f_ghost.assign(static_cast<std::size_t>(sched.num_ghosts), double3{});
+      }
+
+      // Gather current remote coordinates per schedule.
+      chaos::gather<double3>(node, sched, x_local, x_ghost);
+
+      // Force computation over localized pairs.
+      std::fill(f_local.begin(), f_local.end(), double3{});
+      std::fill(f_ghost.begin(), f_ghost.end(), double3{});
+      for (std::size_t k = 0; k < la.size(); ++k) {
+        const double3 f = pair_force(value_at(la[k]), value_at(lb[k]));
+        auto bump = [&](std::int32_t idx, const double3& v, bool add) {
+          double3& target = static_cast<std::size_t>(idx) < local_n
+                                ? f_local[static_cast<std::size_t>(idx)]
+                                : f_ghost[static_cast<std::size_t>(idx) - local_n];
+          if (add) {
+            target += v;
+          } else {
+            target -= v;
+          }
+        };
+        bump(la[k], f, true);
+        bump(lb[k], f, false);
+      }
+
+      // Scatter ghost contributions back to owners (reduction scatter).
+      chaos::scatter<double3>(node, sched, std::span<double3>(f_local),
+                              f_ghost,
+                              [](double3 a, double3 b) { return a + b; });
+
+      // Position update for owned molecules.
+      for (std::size_t i = 0; i < local_n; ++i) {
+        x_local[i] += f_local[i] * p.dt;
+      }
+      node.barrier();
+    }
+
+    partial_sum[me] = position_checksum(x_local);
+  });
+
+  ChaosResult r;
+  r.seconds = wall.elapsed_s();
+  r.messages = rt.total_messages();
+  r.megabytes = rt.total_megabytes();
+  for (const double s : partial_sum) r.checksum += s;
+  double insp = 0;
+  for (const double s : inspector_seconds) insp += s;
+  r.inspector_seconds = insp / nprocs;
+  r.overhead_seconds = r.inspector_seconds;
+  r.inspector_runs = inspector_runs[0];
+  return r;
+}
+
+}  // namespace sdsm::apps::moldyn

@@ -1,0 +1,26 @@
+// Moldyn on the CHAOS inspector/executor runtime (the paper's baseline).
+//
+// RCB-partitioned molecules, remapped to dense local arrays via the
+// translation table (kDistributed, matching the paper: a replicated table
+// did not fit on their SP2 nodes).  Every rebuild of the interaction list
+// re-runs the inspector; every step gathers x and forces and scatters the
+// force contributions per schedule, exactly the structure Section 5.1
+// describes.
+#pragma once
+
+#include "src/apps/moldyn/moldyn_common.hpp"
+#include "src/chaos/chaos_runtime.hpp"
+#include "src/chaos/translation_table.hpp"
+
+namespace sdsm::apps::moldyn {
+
+struct ChaosResult : AppRunResult {
+  double inspector_seconds = 0;  ///< per-node average across the run
+  std::int64_t inspector_runs = 0;
+};
+
+ChaosResult run_chaos(chaos::ChaosRuntime& rt, const Params& p,
+                      const System& sys,
+                      chaos::TableKind table_kind = chaos::TableKind::kDistributed);
+
+}  // namespace sdsm::apps::moldyn

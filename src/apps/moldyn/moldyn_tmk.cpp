@@ -1,0 +1,234 @@
+#include "src/apps/moldyn/moldyn_tmk.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "src/common/timer.hpp"
+#include "src/compiler/lowering.hpp"
+#include "src/compiler/parser.hpp"
+#include "src/compiler/transform.hpp"
+
+namespace sdsm::apps::moldyn {
+
+const char* const kComputeForcesSource =
+    "SUBROUTINE COMPUTEFORCES\n"
+    "  SHARED REAL X(N), FORCES(N)\n"
+    "  SHARED INTEGER INTERACTION_LIST(2, M)\n"
+    "  INTEGER I, N1, N2\n"
+    "  REAL FORCE\n"
+    "DO I = MY_START, MY_END\n"
+    "  N1 = INTERACTION_LIST(1, I)\n"
+    "  N2 = INTERACTION_LIST(2, I)\n"
+    "  FORCE = X(N1) - X(N2)\n"
+    "  FORCES(N1) = FORCES(N1) + FORCE\n"
+    "  FORCES(N2) = FORCES(N2) - FORCE\n"
+    "ENDDO\n"
+    "END\n";
+
+namespace {
+
+/// Pairs computed by one node: i restricted to the node's molecule range,
+/// cell-list over all current positions (reading remote position pages
+/// through the DSM is exactly the rebuild communication being measured).
+std::vector<Pair> build_my_pairs(const Params& p, const System& sys,
+                                 const double3* pos, NodeId me) {
+  const auto all = std::span<const double3>(
+      pos, static_cast<std::size_t>(p.num_molecules));
+  auto grouped = build_pairs(p, sys, all);
+  return std::move(grouped[me]);
+}
+
+}  // namespace
+
+TmkResult run_tmk(core::DsmRuntime& rt, const Params& p, const System& sys,
+                  bool optimized) {
+  SDSM_REQUIRE(rt.num_nodes() == p.nprocs);
+  const auto n = static_cast<std::size_t>(p.num_molecules);
+  const std::uint32_t nprocs = p.nprocs;
+
+  // Shared allocations (page aligned).
+  auto x = rt.alloc_global<double3>(n);
+  auto forces = rt.alloc_global<double3>(n);
+
+  // Per-node interaction-list capacity, page aligned so one node's section
+  // never shares a page with a neighbour's: sized from the initial list
+  // with headroom for drift.
+  auto initial_groups = build_pairs(p, sys, sys.pos0);
+  std::size_t max_pairs = 16;
+  for (const auto& g : initial_groups) max_pairs = std::max(max_pairs, g.size());
+  const std::size_t cap =                // pairs per node; 25% drift headroom,
+      (max_pairs + max_pairs / 4 + 511)  // rounded so each node's slice is
+      / 512 * 512;                       // page aligned (512 = ints/page/2)
+  auto list = rt.alloc_global<std::int32_t>(2 * cap * nprocs);
+  const double interacting =
+      interacting_fraction(initial_groups, p.num_molecules);
+  initial_groups.clear();
+  initial_groups.shrink_to_fit();
+
+  // Compile the force kernel: parse, analyze, transform (Figure 1 -> 2).
+  const auto compiled = compiler::transform(compiler::parse(kComputeForcesSource));
+  SDSM_ASSERT(compiled.validates_inserted == 1);
+  const compiler::Stmt& validate_stmt =
+      *compiled.transformed.units[0].body[0];
+  compiler::Bindings bindings;
+  bindings["X"] = compiler::ArrayBinding{
+      x.addr, sizeof(double3),
+      rsd::ArrayLayout{{static_cast<std::int64_t>(n)}, true}};
+  bindings["FORCES"] = compiler::ArrayBinding{
+      forces.addr, sizeof(double3),
+      rsd::ArrayLayout{{static_cast<std::int64_t>(n)}, true}};
+  bindings["INTERACTION_LIST"] = compiler::ArrayBinding{
+      list.addr, sizeof(std::int32_t),
+      rsd::ArrayLayout{{2, static_cast<std::int64_t>(cap * nprocs)}, true}};
+
+  // Node 0 seeds the shared position array before the timed section.
+  rt.run([&](core::DsmNode& self) {
+    if (self.id() == 0) {
+      double3* xp = self.ptr(x);
+      for (std::size_t i = 0; i < n; ++i) xp[i] = sys.pos0[i];
+    }
+    self.barrier();
+  });
+
+  rt.reset_stats();
+  std::vector<double> partial_sum(nprocs, 0.0);
+  const Timer wall;
+
+  rt.run([&](core::DsmNode& self) {
+    const NodeId me = self.id();
+    const part::Range mine = sys.owner_range[me];
+    const std::size_t my_off = static_cast<std::size_t>(me) * cap;
+    double3* xp = self.ptr(x);
+    double3* fp = self.ptr(forces);
+    std::int32_t* lp = self.ptr(list);
+
+    // Private accumulation array, full problem size (the paper notes this
+    // memory cost of the TreadMarks version explicitly).
+    std::vector<double3> local_forces(n);
+    std::size_t list_n = 0;
+    const rsd::ArrayLayout layout1{{static_cast<std::int64_t>(n)}, true};
+    // Chunks of the force array this node contributes to.  With RCB
+    // locality a node's pairs touch only neighbouring regions, so it skips
+    // the pipeline rounds for distant chunks (otherwise every node would
+    // rewrite every page of forces every step, which the paper's message
+    // counts rule out).  Rebuilt with the interaction list.
+    std::vector<bool> touches_chunk(nprocs, false);
+
+    for (int step = 0; step < p.num_steps; ++step) {
+      if (step % p.update_interval == 0) {
+        // Rebuild the interaction list from current positions.
+        if (optimized) {
+          self.validate({core::direct_desc(
+              x.addr, sizeof(double3), layout1,
+              rsd::RegularSection::dense1d(0, p.num_molecules - 1),
+              core::Access::kRead, 100)});
+        }
+        auto pairs = build_my_pairs(p, sys, xp, me);
+        SDSM_ASSERT(pairs.size() <= cap);
+        if (optimized) {
+          self.validate({core::direct_desc(
+              list.addr, sizeof(std::int32_t),
+              rsd::ArrayLayout{{static_cast<std::int64_t>(2 * cap * nprocs)},
+                               true},
+              rsd::RegularSection::dense1d(
+                  static_cast<std::int64_t>(2 * my_off),
+                  static_cast<std::int64_t>(2 * (my_off + cap)) - 1),
+              core::Access::kWriteAll, 101)});
+        }
+        std::fill(touches_chunk.begin(), touches_chunk.end(), false);
+        for (std::size_t k = 0; k < pairs.size(); ++k) {
+          lp[2 * (my_off + k)] = pairs[k].a;
+          lp[2 * (my_off + k) + 1] = pairs[k].b;
+          touches_chunk[owner_of(sys, pairs[k].a)] = true;
+          touches_chunk[owner_of(sys, pairs[k].b)] = true;
+        }
+        list_n = pairs.size();
+        self.barrier();
+      }
+
+      // Force computation (the compiled kernel's loop).
+      std::fill(local_forces.begin(), local_forces.end(), double3{});
+      if (optimized) {
+        compiler::Env env{
+            {"MY_START", static_cast<long long>(my_off) + 1},
+            {"MY_END", static_cast<long long>(my_off + list_n)}};
+        self.validate(
+            compiler::lower_validate(validate_stmt, bindings, env));
+      }
+      for (std::size_t k = 0; k < list_n; ++k) {
+        const auto a = static_cast<std::size_t>(lp[2 * (my_off + k)]);
+        const auto b = static_cast<std::size_t>(lp[2 * (my_off + k) + 1]);
+        const double3 f = pair_force(xp[a], xp[b]);
+        local_forces[a] += f;
+        local_forces[b] -= f;
+      }
+
+      // Pipelined update of the shared forces in nprocs rounds: in round r
+      // this node updates chunk (me + r) % nprocs.  Round 0 is the owner
+      // initializing its own chunk (WRITE_ALL); later rounds accumulate
+      // (READ&WRITE_ALL) and are skipped for chunks this node's pairs never
+      // touch — with RCB locality most distant chunks are.
+      for (std::uint32_t r = 0; r < nprocs; ++r) {
+        const NodeId c = (me + r) % nprocs;
+        const part::Range chunk = sys.owner_range[c];
+        const bool participate =
+            chunk.size() > 0 && (r == 0 || touches_chunk[c]);
+        if (participate) {
+          if (optimized) {
+            self.validate({core::direct_desc(
+                forces.addr, sizeof(double3), layout1,
+                rsd::RegularSection::dense1d(chunk.begin, chunk.end - 1),
+                r == 0 ? core::Access::kWriteAll : core::Access::kReadWriteAll,
+                200 + c)});
+          }
+          if (r == 0) {
+            for (std::int64_t i = chunk.begin; i < chunk.end; ++i) {
+              fp[i] = local_forces[static_cast<std::size_t>(i)];
+            }
+          } else {
+            for (std::int64_t i = chunk.begin; i < chunk.end; ++i) {
+              fp[i] += local_forces[static_cast<std::size_t>(i)];
+            }
+          }
+        }
+        self.barrier();
+      }
+
+      // Position update for owned molecules.
+      if (optimized && mine.size() > 0) {
+        self.validate(
+            {core::direct_desc(forces.addr, sizeof(double3), layout1,
+                               rsd::RegularSection::dense1d(mine.begin,
+                                                            mine.end - 1),
+                               core::Access::kRead, 300),
+             core::direct_desc(x.addr, sizeof(double3), layout1,
+                               rsd::RegularSection::dense1d(mine.begin,
+                                                            mine.end - 1),
+                               core::Access::kReadWriteAll, 301)});
+      }
+      for (std::int64_t i = mine.begin; i < mine.end; ++i) {
+        xp[i] += fp[i] * p.dt;
+      }
+      self.barrier();
+    }
+
+    // Order-insensitive digest over owned molecules (local pages only).
+    partial_sum[me] = position_checksum(std::span<const double3>(
+        xp + mine.begin, static_cast<std::size_t>(mine.size())));
+  });
+
+  TmkResult r;
+  r.seconds = wall.elapsed_s();
+  r.messages = rt.total_messages();
+  r.megabytes = rt.total_megabytes();
+  // The paper's "time spent scanning the indirection list": Read_indices
+  // wall time, averaged per node.
+  r.list_scan_seconds =
+      static_cast<double>(rt.stats().scan_ns.get()) / 1e9 / nprocs;
+  r.overhead_seconds = r.list_scan_seconds;
+  r.interacting = interacting;
+  for (const double s : partial_sum) r.checksum += s;
+  return r;
+}
+
+}  // namespace sdsm::apps::moldyn

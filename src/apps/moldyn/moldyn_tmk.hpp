@@ -1,0 +1,37 @@
+// Moldyn on the TreadMarks-style DSM, in the paper's two configurations:
+//
+//   base      — plain shared-memory program: demand paging does all the
+//               communication, one page per fault (Section 5.1's
+//               "Tmk base" rows);
+//   optimized — compiler-transformed program: Validate aggregates the
+//               fetches for the irregular accesses, prefetches the regular
+//               ones, and runs the pipelined force reduction with
+//               READ&WRITE_ALL whole-page shipping ("Tmk optimized").
+//
+// The Validate descriptors for the force loop are not hand-written: the
+// mini-Fortran ComputeForces kernel is run through the compiler front-end
+// (section analysis + transform) and the resulting Validate statement is
+// lowered to runtime descriptors with per-node loop bounds — the same
+// tool path the paper uses (Parascope -> TreadMarks).
+#pragma once
+
+#include "src/apps/moldyn/moldyn_common.hpp"
+#include "src/core/dsm.hpp"
+
+namespace sdsm::apps::moldyn {
+
+struct TmkResult : AppRunResult {
+  double list_scan_seconds = 0;  ///< Validate time spent in Read_indices
+  double interacting = 0;        ///< fraction of molecules interacting
+};
+
+/// Runs moldyn on `rt` (which must have p.nprocs nodes).  The runtime's
+/// statistics are reset at the start of the timed section.
+TmkResult run_tmk(core::DsmRuntime& rt, const Params& p, const System& sys,
+                  bool optimized);
+
+/// The mini-Fortran source of the force-computation subroutine fed to the
+/// compiler front-end (the repository's Figure 1).
+extern const char* const kComputeForcesSource;
+
+}  // namespace sdsm::apps::moldyn

@@ -1,0 +1,136 @@
+#include "src/apps/nbf/nbf_chaos.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "src/chaos/executor.hpp"
+#include "src/chaos/inspector.hpp"
+#include "src/common/timer.hpp"
+
+namespace sdsm::apps::nbf {
+
+ChaosResult run_chaos(chaos::ChaosRuntime& rt, const Params& p,
+                      chaos::TableKind table_kind) {
+  SDSM_REQUIRE(rt.num_nodes() == p.nprocs);
+  const std::uint32_t nprocs = p.nprocs;
+  const auto blocks = part::block_partition(p.molecules, nprocs);
+
+  std::vector<NodeId> owner(static_cast<std::size_t>(p.molecules));
+  for (std::int64_t i = 0; i < p.molecules; ++i) {
+    owner[static_cast<std::size_t>(i)] =
+        part::block_owner(i, p.molecules, nprocs);
+  }
+  const auto table = chaos::TranslationTable::build(owner, nprocs, table_kind);
+
+  std::vector<double> inspector_seconds(nprocs, 0.0);
+  std::vector<double> partial_sum(nprocs, 0.0);
+  std::vector<double> timed_seconds(nprocs, 0.0);
+  std::atomic<std::uint64_t> msgs_at_timed_start{0};
+  std::atomic<std::uint64_t> bytes_at_timed_start{0};
+  std::atomic<std::uint64_t> msgs_at_timed_end{0};
+  std::atomic<std::uint64_t> bytes_at_timed_end{0};
+
+  rt.reset_stats();
+
+  rt.run([&](chaos::ChaosNode& node) {
+    const NodeId me = node.id();
+    const part::Range mine = blocks[me];
+    const auto local_n = static_cast<std::size_t>(mine.size());
+
+    const auto x0 = initial_coordinates(p);
+    std::vector<double> x_local(
+        x0.begin() + mine.begin, x0.begin() + mine.end);
+    std::vector<double> f_local(local_n);
+
+    // The inspector runs once, at the beginning of the program (the
+    // partner list is static).
+    std::vector<std::int64_t> refs;
+    refs.reserve(local_n * static_cast<std::size_t>(p.partners + 1));
+    for (std::int64_t i = mine.begin; i < mine.end; ++i) {
+      refs.push_back(i);
+      for (int j = 0; j < p.partners; ++j) {
+        refs.push_back(partner_of(p, i, j));
+      }
+    }
+    chaos::InspectorStats istats;
+    chaos::Schedule sched = chaos::build_schedule(node, refs, table, &istats);
+    inspector_seconds[me] = istats.seconds;
+    const auto localized = chaos::localize_references(me, refs, table, sched);
+
+    std::vector<double> x_ghost(static_cast<std::size_t>(sched.num_ghosts));
+    std::vector<double> f_ghost(static_cast<std::size_t>(sched.num_ghosts));
+
+    auto value_at = [&](std::int32_t k) {
+      return static_cast<std::size_t>(k) < local_n
+                 ? x_local[static_cast<std::size_t>(k)]
+                 : x_ghost[static_cast<std::size_t>(k) - local_n];
+    };
+
+    auto step_fn = [&] {
+      chaos::gather<double>(node, sched, x_local, x_ghost);
+      std::fill(f_local.begin(), f_local.end(), 0.0);
+      std::fill(f_ghost.begin(), f_ghost.end(), 0.0);
+      const std::size_t stride = static_cast<std::size_t>(p.partners) + 1;
+      for (std::size_t i = 0; i < local_n; ++i) {
+        const std::int32_t li = localized[i * stride];
+        const double xi = value_at(li);
+        for (int j = 0; j < p.partners; ++j) {
+          const std::int32_t lq = localized[i * stride + 1 +
+                                            static_cast<std::size_t>(j)];
+          const double d = pair_force(xi, value_at(lq));
+          f_local[i] += d;
+          double& target = static_cast<std::size_t>(lq) < local_n
+                               ? f_local[static_cast<std::size_t>(lq)]
+                               : f_ghost[static_cast<std::size_t>(lq) - local_n];
+          target -= d;
+        }
+      }
+      chaos::scatter<double>(node, sched, std::span<double>(f_local), f_ghost,
+                             [](double a, double b) { return a + b; });
+      for (std::size_t i = 0; i < local_n; ++i) {
+        x_local[i] += f_local[i] * p.dt;
+      }
+      node.barrier();
+    };
+
+    for (int s = 0; s < p.warmup_steps; ++s) step_fn();
+    // Quiescent snapshot: taken by node 0 while every other node is blocked
+    // inside the barrier, so the count is deterministic.
+    node.barrier([&] {
+      msgs_at_timed_start = rt.total_messages();
+      bytes_at_timed_start =
+          static_cast<std::uint64_t>(rt.total_megabytes() * 1e6);
+    });
+
+    const Timer timer;
+    for (int s = 0; s < p.timed_steps; ++s) step_fn();
+    timed_seconds[me] = timer.elapsed_s();
+    node.barrier([&] {
+      msgs_at_timed_end = rt.total_messages();
+      bytes_at_timed_end =
+          static_cast<std::uint64_t>(rt.total_megabytes() * 1e6);
+    });
+
+    partial_sum[me] = coordinate_checksum(x_local);
+  });
+
+  ChaosResult r;
+  double tmax = 0;
+  for (const double t : timed_seconds) tmax = std::max(tmax, t);
+  r.seconds = tmax;
+  // Between the two quiescent snapshots lie the timed steps plus exactly
+  // one barrier release (N-1 messages) and one barrier arrival (N-1).
+  r.messages =
+      msgs_at_timed_end.load() - msgs_at_timed_start.load() - 2 * (nprocs - 1);
+  r.megabytes = static_cast<double>(bytes_at_timed_end.load() -
+                                    bytes_at_timed_start.load()) /
+                1e6;
+  for (const double s : partial_sum) r.checksum += s;
+  double insp = 0;
+  for (const double s : inspector_seconds) insp += s;
+  r.inspector_seconds = insp / nprocs;
+  r.overhead_seconds = r.inspector_seconds;
+  return r;
+}
+
+}  // namespace sdsm::apps::nbf

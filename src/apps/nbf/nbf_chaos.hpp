@@ -1,0 +1,21 @@
+// NBF on the CHAOS runtime.  BLOCK partition, replicated translation table
+// (it fits: the paper used the non-replicated variant only for moldyn's
+// larger footprint), inspector run once before the timed loop — the paper
+// excludes it from Table 2 and reports it separately, as does this
+// implementation.
+#pragma once
+
+#include "src/apps/nbf/nbf_common.hpp"
+#include "src/chaos/chaos_runtime.hpp"
+#include "src/chaos/translation_table.hpp"
+
+namespace sdsm::apps::nbf {
+
+struct ChaosResult : AppRunResult {
+  double inspector_seconds = 0;  ///< one-time schedule build (untimed)
+};
+
+ChaosResult run_chaos(chaos::ChaosRuntime& rt, const Params& p,
+                      chaos::TableKind table_kind = chaos::TableKind::kReplicated);
+
+}  // namespace sdsm::apps::nbf

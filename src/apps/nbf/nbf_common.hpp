@@ -1,0 +1,60 @@
+// NBF: the non-bonded-force kernel from the GROMOS benchmark (Section 5.2
+// of the paper).
+//
+// Unlike moldyn, each molecule keeps a *static* list of partners,
+// concatenated per molecule (partners(j, i) = j-th partner of molecule i).
+// Each molecule is a single double; each has the same number of partners,
+// spread evenly over about 2/3 of the index space with ~4% spacing — the
+// structural parameters the paper states.  A BLOCK partition balances the
+// load.  The paper's 64x1000 configuration misaligns the partition
+// boundaries with page boundaries to induce false sharing; the `molecules`
+// parameter controls that here the same way.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/apps/app_types.hpp"
+#include "src/common/types.hpp"
+#include "src/partition/partition.hpp"
+
+namespace sdsm::apps::nbf {
+
+struct Params {
+  std::int64_t molecules = 16384;
+  int partners = 32;          ///< partners per molecule (paper: 100)
+  double spread = 2.0 / 3.0;  ///< fraction of index space partners span
+  int timed_steps = 10;       ///< paper: last 10 of 11 iterations timed
+  int warmup_steps = 1;
+  double dt = 1e-6;
+  std::uint32_t nprocs = 8;
+};
+
+/// Partner force kernel shared by every variant (GROMOS-weight; see the
+/// moldyn note — the paper's nbf sequential time of 78 s for 65536x100x10
+/// updates implies ~1 us per pair on 1997 hardware).
+inline double pair_force(double xi, double xq) {
+  const double d = xi - xq;
+  const double r2 = d * d + 1.0;
+  const double inv = 1.0 / r2;
+  const double inv3 = inv * inv * inv;
+  return d * (inv3 - 0.3 * inv);
+}
+
+/// j-th partner of molecule i (0-based): deterministic, evenly spread.
+std::int32_t partner_of(const Params& p, std::int64_t i, int j);
+
+/// The full concatenated partner list, column-major [partners, molecules].
+std::vector<std::int32_t> build_partner_list(const Params& p);
+
+/// Deterministic initial coordinates.
+std::vector<double> initial_coordinates(const Params& p);
+
+/// Order-insensitive digest of the coordinate array.
+double coordinate_checksum(std::span<const double> x);
+
+/// Sequential reference.
+AppRunResult run_seq(const Params& p);
+
+}  // namespace sdsm::apps::nbf

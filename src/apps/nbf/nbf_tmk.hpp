@@ -1,0 +1,24 @@
+// NBF on the TreadMarks-style DSM (base and compiler-optimized variants).
+// Structure per time step, as in Section 5.2 of the paper: Validate at the
+// start of the step fetches the updated coordinates (direct for x(i),
+// indirect through the partner list for x(q)); forces accumulate in private
+// memory; the shared force array is updated in a pipelined fashion in
+// nprocs steps; owners then update their coordinates.
+#pragma once
+
+#include "src/apps/nbf/nbf_common.hpp"
+#include "src/core/dsm.hpp"
+
+namespace sdsm::apps::nbf {
+
+struct TmkResult : AppRunResult {
+  double list_scan_seconds = 0;  ///< Read_indices time (first step only —
+                                 ///< the partner list is static)
+};
+
+TmkResult run_tmk(core::DsmRuntime& rt, const Params& p, bool optimized);
+
+/// Mini-Fortran source of the kernel fed to the compiler front-end.
+extern const char* const kNbfKernelSource;
+
+}  // namespace sdsm::apps::nbf

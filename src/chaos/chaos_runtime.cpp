@@ -1,0 +1,111 @@
+#include "src/chaos/chaos_runtime.hpp"
+
+namespace sdsm::chaos {
+
+namespace {
+
+// Message types local to the chaos fabric.
+constexpr std::uint32_t kData = 1;
+constexpr std::uint32_t kBarrierArrive = 2;
+constexpr std::uint32_t kBarrierGo = 3;
+
+}  // namespace
+
+ChaosNode::ChaosNode(ChaosRuntime& rt, NodeId id)
+    : rt_(rt), id_(id), stash_(rt.num_nodes()) {}
+
+std::uint32_t ChaosNode::num_nodes() const { return rt_.num_nodes(); }
+
+std::vector<std::uint8_t> ChaosNode::recv_data_from(NodeId p) {
+  for (;;) {
+    if (!stash_[p].empty()) {
+      auto payload = std::move(stash_[p].front());
+      stash_[p].pop_front();
+      return payload;
+    }
+    net::Message m = rt_.net_.recv(net::Port::kService, id_);
+    SDSM_ASSERT(m.type == kData);
+    if (m.src == p) return std::move(m.payload);
+    stash_[m.src].push_back(std::move(m.payload));
+  }
+}
+
+std::vector<std::vector<std::uint8_t>> ChaosNode::all_to_all(
+    std::vector<std::vector<std::uint8_t>> to_peers) {
+  std::vector<bool> recv_from(num_nodes(), true);
+  recv_from[id_] = false;
+  return exchange(std::move(to_peers), recv_from, /*send_empty=*/true);
+}
+
+std::vector<std::vector<std::uint8_t>> ChaosNode::sparse_exchange(
+    std::vector<std::vector<std::uint8_t>> to_peers,
+    const std::vector<bool>& recv_from) {
+  return exchange(std::move(to_peers), recv_from, /*send_empty=*/false);
+}
+
+std::vector<std::vector<std::uint8_t>> ChaosNode::exchange(
+    std::vector<std::vector<std::uint8_t>> to_peers,
+    const std::vector<bool>& recv_from, bool send_empty) {
+  SDSM_REQUIRE(to_peers.size() == num_nodes());
+  SDSM_REQUIRE(recv_from.size() == num_nodes());
+  for (NodeId p = 0; p < num_nodes(); ++p) {
+    if (p == id_) continue;
+    // Whether to send is decided by *my* payload (the peer's receive mask
+    // mirrors it by schedule symmetry); all_to_all sends even empty
+    // payloads because receivers cannot know who has nothing for them.
+    if (to_peers[p].empty() && !send_empty) continue;
+    net::Message m;
+    m.type = kData;
+    m.src = id_;
+    m.dst = p;
+    m.payload = std::move(to_peers[p]);
+    rt_.net_.send(net::Port::kService, std::move(m));
+  }
+
+  std::vector<std::vector<std::uint8_t>> from_peers(num_nodes());
+  for (NodeId p = 0; p < num_nodes(); ++p) {
+    if (p != id_ && recv_from[p]) from_peers[p] = recv_data_from(p);
+  }
+  return from_peers;
+}
+
+void ChaosNode::barrier(const std::function<void()>& at_master) {
+  // Central counting barrier on node 0, using the reply port so that data
+  // exchanges in flight on the service port are undisturbed.
+  if (id_ == 0) {
+    for (std::uint32_t i = 1; i < num_nodes(); ++i) {
+      net::Message m = rt_.net_.recv(net::Port::kReply, 0);
+      SDSM_ASSERT(m.type == kBarrierArrive);
+    }
+    if (at_master) at_master();
+    for (NodeId p = 1; p < num_nodes(); ++p) {
+      net::Message go;
+      go.type = kBarrierGo;
+      go.src = 0;
+      go.dst = p;
+      rt_.net_.send(net::Port::kReply, std::move(go));
+    }
+  } else {
+    net::Message m;
+    m.type = kBarrierArrive;
+    m.src = id_;
+    m.dst = 0;
+    rt_.net_.send(net::Port::kReply, std::move(m));
+    net::Message go = rt_.net_.recv(net::Port::kReply, id_);
+    SDSM_ASSERT(go.type == kBarrierGo);
+  }
+}
+
+void ChaosRuntime::run(const std::function<void(ChaosNode&)>& body) {
+  std::vector<std::thread> workers;
+  workers.reserve(num_nodes());
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    workers.emplace_back([this, n, &body] {
+      ChaosNode node(*this, n);
+      body(node);
+    });
+  }
+  for (auto& t : workers) t.join();
+}
+
+}  // namespace sdsm::chaos

@@ -1,0 +1,90 @@
+// CHAOS-style message-passing runtime (Section 4 of the paper).
+//
+// Unlike the DSM runtime, there is no shared memory here: each node owns
+// plain local arrays (its partition of the data, after remapping, plus a
+// ghost region).  Nodes communicate through the same net::Network fabric the
+// DSM uses, so message and byte counts are directly comparable — which is
+// exactly the comparison Tables 1 and 2 make.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/common/assert.hpp"
+#include "src/common/buffer.hpp"
+#include "src/common/types.hpp"
+#include "src/net/network.hpp"
+
+namespace sdsm::chaos {
+
+class ChaosRuntime;
+
+/// Handle given to each node's compute function.
+class ChaosNode {
+ public:
+  ChaosNode(ChaosRuntime& rt, NodeId id);
+
+  NodeId id() const { return id_; }
+  std::uint32_t num_nodes() const;
+
+  /// All-to-all personalized exchange: sends to_peers[p] to node p (own slot
+  /// ignored) and returns the payload received from every peer (own slot
+  /// empty).  Every pair exchanges a message even when empty — the
+  /// request-discovery phase of the inspector cannot know in advance who
+  /// needs nothing.
+  std::vector<std::vector<std::uint8_t>> all_to_all(
+      std::vector<std::vector<std::uint8_t>> to_peers);
+
+  /// Sparse exchange used by the executor: sends only the non-empty
+  /// payloads; `recv_from[p]` says whether a message from p is expected
+  /// (both sides know this from the communication schedule).
+  std::vector<std::vector<std::uint8_t>> sparse_exchange(
+      std::vector<std::vector<std::uint8_t>> to_peers,
+      const std::vector<bool>& recv_from);
+
+  /// Barrier over all chaos nodes (central counter at node 0).  When
+  /// at_master is non-null, node 0 runs it after every arrival and before
+  /// any release: a quiescent point where no other node can be sending —
+  /// used for deterministic statistics snapshots.
+  void barrier(const std::function<void()>& at_master = {});
+
+ private:
+  std::vector<std::vector<std::uint8_t>> exchange(
+      std::vector<std::vector<std::uint8_t>> to_peers,
+      const std::vector<bool>& recv_from, bool send_empty);
+
+  /// Next data payload from peer p, preserving per-peer FIFO order even when
+  /// a fast peer's next-phase message arrives before a slow peer's
+  /// current-phase one (payloads from other peers are stashed meanwhile).
+  std::vector<std::uint8_t> recv_data_from(NodeId p);
+
+  ChaosRuntime& rt_;
+  const NodeId id_;
+  std::vector<std::deque<std::vector<std::uint8_t>>> stash_;
+};
+
+class ChaosRuntime {
+ public:
+  explicit ChaosRuntime(std::uint32_t num_nodes, net::WireModel wire = {})
+      : net_(num_nodes, wire) {}
+
+  std::uint32_t num_nodes() const { return net_.num_nodes(); }
+  net::Network& network() { return net_; }
+
+  std::uint64_t total_messages() { return net_.stats().messages.get(); }
+  double total_megabytes() { return net_.stats().megabytes(); }
+  void reset_stats() { net_.stats().reset(); }
+
+  /// Runs `body` on one thread per node and joins.
+  void run(const std::function<void(ChaosNode&)>& body);
+
+ private:
+  friend class ChaosNode;
+  net::Network net_;
+};
+
+}  // namespace sdsm::chaos

@@ -1,0 +1,3 @@
+// executor.hpp is a header-only template library; this TU anchors it and
+// checks self-containment.
+#include "src/chaos/executor.hpp"

@@ -1,0 +1,75 @@
+// The executor (Section 4): schedule-driven gather and scatter.
+//
+// gather() pulls current values of off-processor elements into the ghost
+// region before a computational loop; scatter() pushes accumulated
+// contributions to ghost copies back to the owners, which combine them with
+// a reduction operator.  Each participating pair exchanges exactly one
+// message per direction — the communication aggregation that the paper's
+// TreadMarks extension matches with Validate.
+#pragma once
+
+#include <span>
+
+#include "src/chaos/chaos_runtime.hpp"
+#include "src/chaos/schedule.hpp"
+
+namespace sdsm::chaos {
+
+/// Element type requirements: trivially copyable, and addable for scatter.
+template <typename T>
+concept GatherElement = std::is_trivially_copyable_v<T>;
+
+/// Fills `ghosts` (ghost region of this node) with the current values of
+/// remote elements, per schedule.  `local` is the node's owned partition.
+template <GatherElement T>
+void gather(ChaosNode& node, const Schedule& sched, std::span<const T> local,
+            std::span<T> ghosts) {
+  const std::uint32_t nprocs = node.num_nodes();
+  std::vector<std::vector<std::uint8_t>> out(nprocs);
+  for (NodeId p = 0; p < nprocs; ++p) {
+    if (p == node.id() || sched.send_elems[p].empty()) continue;
+    Writer w;
+    for (const std::int32_t off : sched.send_elems[p]) {
+      w.put<T>(local[static_cast<std::size_t>(off)]);
+    }
+    out[p] = w.take();
+  }
+  auto in = node.sparse_exchange(std::move(out), sched.gather_recv_mask());
+  for (NodeId p = 0; p < nprocs; ++p) {
+    if (sched.recv_ghost[p].empty()) continue;
+    Reader r(in[p]);
+    for (const std::int32_t slot : sched.recv_ghost[p]) {
+      ghosts[static_cast<std::size_t>(slot)] = r.get<T>();
+    }
+  }
+}
+
+/// Sends each ghost-slot contribution back to the owner, which merges it
+/// into its local element with `combine` (e.g. addition for force
+/// accumulation).  The mirror image of gather().
+template <GatherElement T, typename Combine>
+void scatter(ChaosNode& node, const Schedule& sched, std::span<T> local,
+             std::span<const T> ghosts, Combine combine) {
+  const std::uint32_t nprocs = node.num_nodes();
+  std::vector<std::vector<std::uint8_t>> out(nprocs);
+  for (NodeId p = 0; p < nprocs; ++p) {
+    if (p == node.id() || sched.recv_ghost[p].empty()) continue;
+    Writer w;
+    for (const std::int32_t slot : sched.recv_ghost[p]) {
+      w.put<T>(ghosts[static_cast<std::size_t>(slot)]);
+    }
+    out[p] = w.take();
+  }
+  auto in = node.sparse_exchange(std::move(out), sched.scatter_recv_mask());
+  for (NodeId p = 0; p < nprocs; ++p) {
+    if (sched.send_elems[p].empty()) continue;
+    Reader r(in[p]);
+    for (const std::int32_t off : sched.send_elems[p]) {
+      T contribution = r.get<T>();
+      T& target = local[static_cast<std::size_t>(off)];
+      target = combine(target, contribution);
+    }
+  }
+}
+
+}  // namespace sdsm::chaos

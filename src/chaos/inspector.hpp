@@ -1,0 +1,47 @@
+// The inspector (Section 4): turns the indirection array into a
+// communication schedule.
+//
+// Steps, as in CHAOS:
+//   1. Duplicate elimination over the referenced global indices, using a
+//      hash table sized proportionally to the data array.
+//   2. Translation-table lookup for every distinct off-processor index.
+//      With a non-replicated table this requires batched messages to the
+//      processors storing the entries; that traffic is performed (and hence
+//      counted) for real.
+//   3. Request exchange: every node tells every producer which elements it
+//      needs; the producer records the send list, the consumer assigns
+//      ghost slots.
+//
+// The returned schedule is used by Executor::gather / Executor::scatter.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "src/chaos/chaos_runtime.hpp"
+#include "src/chaos/schedule.hpp"
+#include "src/chaos/translation_table.hpp"
+
+namespace sdsm::chaos {
+
+struct InspectorStats {
+  std::int64_t references = 0;        ///< raw indirection entries scanned
+  std::int64_t distinct_remote = 0;   ///< after duplicate elimination
+  std::int64_t table_lookups_sent = 0;  ///< remote translation lookups
+  double seconds = 0;                 ///< wall time of this node's inspector
+};
+
+/// Builds the communication schedule for `node` given the global indices it
+/// references (the values of its indirection-array section).
+Schedule build_schedule(ChaosNode& node, std::span<const std::int64_t> refs,
+                        const TranslationTable& table,
+                        InspectorStats* stats = nullptr);
+
+/// Translates global references to local/ghost offsets so the executor loop
+/// can run entirely on local indices: result[i] is the local offset when
+/// the element is owned by `me`, or local_count + ghost slot otherwise.
+std::vector<std::int32_t> localize_references(
+    NodeId me, std::span<const std::int64_t> refs,
+    const TranslationTable& table, const Schedule& schedule);
+
+}  // namespace sdsm::chaos

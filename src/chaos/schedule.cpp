@@ -1,0 +1,3 @@
+// schedule.hpp is header-only; this TU anchors it and checks
+// self-containment.
+#include "src/chaos/schedule.hpp"

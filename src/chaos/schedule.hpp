@@ -1,0 +1,54 @@
+// Communication schedules: the inspector's output, consumed by the
+// executor's gather and scatter.
+//
+// A schedule is symmetric knowledge: after the inspector's request
+// exchange, each node knows (a) which of its own local elements every peer
+// needs (send side) and (b) into which ghost slot each incoming element
+// lands (receive side).  Ghost slots extend the node's local array, exactly
+// as CHAOS remaps off-processor data to the end of the local partition.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.hpp"
+
+namespace sdsm::chaos {
+
+struct Schedule {
+  /// send_elems[p]: local offsets of my elements that peer p gathers.
+  std::vector<std::vector<std::int32_t>> send_elems;
+  /// recv_ghost[p]: ghost slots (indices into the ghost region) receiving
+  /// peer p's elements, in the order p sends them.
+  std::vector<std::vector<std::int32_t>> recv_ghost;
+  /// Ghost slot of each global element on this node, -1 when the element
+  /// is local or unreferenced.  Sized like the data array, as CHAOS sizes
+  /// its inspector tables — O(1) localization at executor speed.
+  std::vector<std::int32_t> ghost_slot;
+  std::int32_t num_ghosts = 0;
+
+  std::int32_t ghost_of_global(std::int64_t g) const {
+    return ghost_slot[static_cast<std::size_t>(g)];
+  }
+
+  /// True when peer p sends me anything during a gather.
+  std::vector<bool> gather_recv_mask() const {
+    std::vector<bool> mask(recv_ghost.size());
+    for (std::size_t p = 0; p < recv_ghost.size(); ++p) {
+      mask[p] = !recv_ghost[p].empty();
+    }
+    return mask;
+  }
+
+  /// True when peer p sends me anything during a scatter (the reverse
+  /// direction: contributions to elements I own).
+  std::vector<bool> scatter_recv_mask() const {
+    std::vector<bool> mask(send_elems.size());
+    for (std::size_t p = 0; p < send_elems.size(); ++p) {
+      mask[p] = !send_elems[p].empty();
+    }
+    return mask;
+  }
+};
+
+}  // namespace sdsm::chaos

@@ -1,0 +1,62 @@
+#include "src/chaos/translation_table.hpp"
+
+#include "src/partition/partition.hpp"
+
+namespace sdsm::chaos {
+
+TranslationTable TranslationTable::build(std::span<const NodeId> owner,
+                                         std::uint32_t nprocs, TableKind kind,
+                                         std::int64_t page_elems) {
+  SDSM_REQUIRE(nprocs >= 1);
+  SDSM_REQUIRE(page_elems >= 1);
+  TranslationTable t;
+  t.kind_ = kind;
+  t.nprocs_ = nprocs;
+  t.page_elems_ = page_elems;
+  t.entries_.resize(owner.size());
+  t.local_count_.assign(nprocs, 0);
+  for (std::size_t i = 0; i < owner.size(); ++i) {
+    const NodeId home = owner[i];
+    SDSM_REQUIRE(home < nprocs);
+    t.entries_[i].home = home;
+    t.entries_[i].offset = static_cast<std::int32_t>(t.local_count_[home]++);
+  }
+  return t;
+}
+
+NodeId TranslationTable::entry_home(std::int64_t global) const {
+  SDSM_REQUIRE(global >= 0 && global < size());
+  switch (kind_) {
+    case TableKind::kReplicated:
+      return 0;  // unused: every node has the entry locally
+    case TableKind::kDistributed:
+      return part::block_owner(global, size(), nprocs_);
+    case TableKind::kPaged:
+      return static_cast<NodeId>((global / page_elems_) % nprocs_);
+  }
+  SDSM_UNREACHABLE("bad TableKind");
+}
+
+std::size_t TranslationTable::bytes_per_node(NodeId p) const {
+  SDSM_REQUIRE(p < nprocs_);
+  const std::size_t entry = sizeof(TableEntry);
+  switch (kind_) {
+    case TableKind::kReplicated:
+      return static_cast<std::size_t>(size()) * entry;
+    case TableKind::kDistributed: {
+      const auto ranges = part::block_partition(size(), nprocs_);
+      return static_cast<std::size_t>(ranges[p].size()) * entry;
+    }
+    case TableKind::kPaged: {
+      const std::int64_t pages = (size() + page_elems_ - 1) / page_elems_;
+      std::int64_t mine = 0;
+      for (std::int64_t pg = 0; pg < pages; ++pg) {
+        if (static_cast<NodeId>(pg % nprocs_) == p) ++mine;
+      }
+      return static_cast<std::size_t>(mine * page_elems_) * entry;
+    }
+  }
+  SDSM_UNREACHABLE("bad TableKind");
+}
+
+}  // namespace sdsm::chaos

@@ -1,0 +1,39 @@
+// Assertion macros used throughout the sdsm libraries.
+//
+// SDSM_ASSERT / SDSM_REQUIRE / SDSM_ENSURE follow the C++ Core Guidelines
+// Expects/Ensures discipline: REQUIRE checks preconditions at public API
+// boundaries, ENSURE checks postconditions, ASSERT checks internal
+// invariants.  All three are active in every build type: this library's
+// correctness depends on protocol invariants (vector-clock ordering, page
+// state machines) whose violation must never be silently ignored.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sdsm {
+
+[[noreturn]] inline void assert_fail(const char* kind, const char* expr,
+                                     const char* file, int line) {
+  // fprintf is used instead of iostreams so the message survives even when
+  // the failure happens inside a signal handler.
+  std::fprintf(stderr, "sdsm: %s failed: %s at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace sdsm
+
+#define SDSM_ASSERT(expr)                                              \
+  ((expr) ? static_cast<void>(0)                                       \
+          : ::sdsm::assert_fail("assertion", #expr, __FILE__, __LINE__))
+
+#define SDSM_REQUIRE(expr)                                                \
+  ((expr) ? static_cast<void>(0)                                          \
+          : ::sdsm::assert_fail("precondition", #expr, __FILE__, __LINE__))
+
+#define SDSM_ENSURE(expr)                                                  \
+  ((expr) ? static_cast<void>(0)                                           \
+          : ::sdsm::assert_fail("postcondition", #expr, __FILE__, __LINE__))
+
+#define SDSM_UNREACHABLE(msg) \
+  ::sdsm::assert_fail("unreachable", msg, __FILE__, __LINE__)

@@ -1,0 +1,3 @@
+// buffer.hpp is header-only; this translation unit anchors the library and
+// verifies the header is self-contained.
+#include "src/common/buffer.hpp"

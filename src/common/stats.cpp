@@ -1,0 +1,40 @@
+#include "src/common/stats.hpp"
+
+#include <cstdio>
+
+namespace sdsm {
+
+std::string DsmStats::summary() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "msgs=%llu bytes=%llu (%.2f MB) rd_faults=%llu wr_faults=%llu "
+                "diffs=%llu/%llu twins=%llu inval=%llu validate=%llu/%llu "
+                "prefetched=%llu locks=%llu barriers=%llu",
+                static_cast<unsigned long long>(messages.get()),
+                static_cast<unsigned long long>(bytes.get()), megabytes(),
+                static_cast<unsigned long long>(read_faults.get()),
+                static_cast<unsigned long long>(write_faults.get()),
+                static_cast<unsigned long long>(diffs_created.get()),
+                static_cast<unsigned long long>(diffs_applied.get()),
+                static_cast<unsigned long long>(twins_created.get()),
+                static_cast<unsigned long long>(pages_invalidated.get()),
+                static_cast<unsigned long long>(validate_calls.get()),
+                static_cast<unsigned long long>(validate_recomputes.get()),
+                static_cast<unsigned long long>(pages_prefetched.get()),
+                static_cast<unsigned long long>(lock_acquires.get()),
+                static_cast<unsigned long long>(barriers.get()));
+  char buf2[256];
+  std::snprintf(buf2, sizeof(buf2),
+                " | mprotects=%llu t(ms): barrier=%.1f fetch=%.1f close=%.1f"
+                " metas=%.1f wait=%.1f scan=%.1f",
+                static_cast<unsigned long long>(mprotect_calls.get()),
+                static_cast<double>(t_barrier_ns.get()) / 1e6,
+                static_cast<double>(t_fetch_ns.get()) / 1e6,
+                static_cast<double>(t_close_ns.get()) / 1e6,
+                static_cast<double>(t_metas_ns.get()) / 1e6,
+                static_cast<double>(t_wait_ns.get()) / 1e6,
+                static_cast<double>(scan_ns.get()) / 1e6);
+  return std::string(buf) + buf2;
+}
+
+}  // namespace sdsm

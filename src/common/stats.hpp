@@ -1,0 +1,87 @@
+// Run statistics gathered by the DSM runtime and the network fabric.
+//
+// Counters are plain atomics: they are bumped from compute threads, service
+// threads, and SIGSEGV handlers, so they must be lock-free and
+// async-signal-safe (std::atomic<uint64_t> on x86-64 is both).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace sdsm {
+
+/// A named monotonically increasing counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t get() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Communication + protocol statistics for one run.  Mirrors the metrics the
+/// paper reports in Tables 1 and 2 (messages, data volume) plus protocol
+/// internals used by the ablation benches.
+struct DsmStats {
+  Counter messages;        ///< every request and every reply, as in the paper
+  Counter bytes;           ///< payload bytes carried by those messages
+  Counter read_faults;     ///< SIGSEGV-driven page fetches
+  Counter write_faults;    ///< SIGSEGV-driven twin creations
+  Counter diffs_created;
+  Counter diffs_applied;
+  Counter diff_bytes;      ///< bytes of encoded diffs shipped
+  Counter whole_pages;     ///< WRITE_ALL pages shipped whole
+  Counter twins_created;
+  Counter pages_invalidated;
+  Counter validate_calls;
+  Counter validate_recomputes;  ///< Read_indices executions (indirection changed)
+  Counter pages_prefetched;     ///< pages fetched through Validate aggregation
+  Counter scan_ns;              ///< wall time spent inside Read_indices
+  Counter mprotect_calls;       ///< actual mprotect syscalls after batching
+  Counter lock_acquires;
+  Counter barriers;
+  Counter gc_runs;           ///< diff-store garbage collections completed
+  Counter gc_pages_flushed;  ///< pages force-fetched by GC flush rounds
+
+  // Phase timers (wall ns summed over nodes): protocol cost breakdown.
+  Counter t_barrier_ns;    ///< inside barrier(): close + round trip + apply
+  Counter t_fetch_ns;      ///< inside fetch_pages(): plan + wait + apply
+  Counter t_close_ns;      ///< inside close_interval()
+  Counter t_metas_ns;      ///< inside process_metas()
+  Counter t_wait_ns;       ///< inside fetch_pages(): blocked on replies
+
+  void reset() {
+    messages.reset();
+    bytes.reset();
+    read_faults.reset();
+    write_faults.reset();
+    diffs_created.reset();
+    diffs_applied.reset();
+    diff_bytes.reset();
+    whole_pages.reset();
+    twins_created.reset();
+    pages_invalidated.reset();
+    validate_calls.reset();
+    validate_recomputes.reset();
+    pages_prefetched.reset();
+    scan_ns.reset();
+    mprotect_calls.reset();
+    t_barrier_ns.reset();
+    t_fetch_ns.reset();
+    t_close_ns.reset();
+    t_metas_ns.reset();
+    t_wait_ns.reset();
+    lock_acquires.reset();
+    barriers.reset();
+    gc_runs.reset();
+    gc_pages_flushed.reset();
+  }
+
+  std::string summary() const;
+  double megabytes() const { return static_cast<double>(bytes.get()) / 1e6; }
+};
+
+}  // namespace sdsm

@@ -1,0 +1,27 @@
+// Monotonic wall-clock timer used by the experiment harness.
+#pragma once
+
+#include <chrono>
+
+namespace sdsm {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double elapsed_s() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const { return elapsed_s() * 1e3; }
+  double elapsed_us() const { return elapsed_s() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sdsm

@@ -1,0 +1,25 @@
+// Fundamental identifier types shared by every sdsm library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sdsm {
+
+/// Identifier of a simulated processor (one compute thread + one service
+/// thread).  Nodes are numbered 0 .. num_nodes-1.
+using NodeId = std::uint32_t;
+
+/// Index of a virtual-memory page within the shared region.
+using PageId = std::uint32_t;
+
+/// Identifier of a distributed lock.
+using LockId = std::uint32_t;
+
+/// Offset into the global shared address space (byte granularity).  Every
+/// node maps the same offsets at a node-private base address.
+using GlobalAddr = std::uint64_t;
+
+inline constexpr PageId kInvalidPage = ~PageId{0};
+
+}  // namespace sdsm

@@ -1,0 +1,204 @@
+#include "src/compiler/ast.hpp"
+
+namespace sdsm::compiler {
+
+ExprPtr Expr::int_lit(long long v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kIntLit;
+  e->int_val = v;
+  return e;
+}
+
+ExprPtr Expr::real_lit(double v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kRealLit;
+  e->real_val = v;
+  return e;
+}
+
+ExprPtr Expr::var(std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kVar;
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::array_ref(std::string name, std::vector<ExprPtr> subs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kArrayRef;
+  e->name = std::move(name);
+  e->args = std::move(subs);
+  return e;
+}
+
+ExprPtr Expr::bin(BinOp op, ExprPtr l, ExprPtr r) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBin;
+  e->op = op;
+  e->lhs = std::move(l);
+  e->rhs = std::move(r);
+  return e;
+}
+
+ExprPtr Expr::intrinsic(std::string name, std::vector<ExprPtr> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kIntrinsic;
+  e->name = std::move(name);
+  e->args = std::move(args);
+  return e;
+}
+
+ExprPtr Expr::clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->int_val = int_val;
+  e->real_val = real_val;
+  e->name = name;
+  e->op = op;
+  if (lhs) e->lhs = lhs->clone();
+  if (rhs) e->rhs = rhs->clone();
+  e->args.reserve(args.size());
+  for (const auto& a : args) e->args.push_back(a->clone());
+  return e;
+}
+
+long long eval_int(const Expr& e, const Env& env) {
+  switch (e.kind) {
+    case ExprKind::kIntLit:
+      return e.int_val;
+    case ExprKind::kVar: {
+      const auto it = env.find(e.name);
+      if (it == env.end()) {
+        SDSM_UNREACHABLE(("unbound symbol in eval_int: " + e.name).c_str());
+      }
+      return it->second;
+    }
+    case ExprKind::kBin: {
+      const long long l = eval_int(*e.lhs, env);
+      const long long r = eval_int(*e.rhs, env);
+      switch (e.op) {
+        case BinOp::kAdd: return l + r;
+        case BinOp::kSub: return l - r;
+        case BinOp::kMul: return l * r;
+        case BinOp::kDiv:
+          SDSM_REQUIRE(r != 0);
+          return l / r;
+        case BinOp::kEq: return l == r;
+        case BinOp::kNe: return l != r;
+        case BinOp::kLt: return l < r;
+        case BinOp::kLe: return l <= r;
+        case BinOp::kGt: return l > r;
+        case BinOp::kGe: return l >= r;
+      }
+      SDSM_UNREACHABLE("bad binop");
+    }
+    case ExprKind::kIntrinsic: {
+      if (e.name == "MOD") {
+        SDSM_REQUIRE(e.args.size() == 2);
+        const long long a = eval_int(*e.args[0], env);
+        const long long b = eval_int(*e.args[1], env);
+        SDSM_REQUIRE(b != 0);
+        return a % b;
+      }
+      SDSM_UNREACHABLE(("unknown intrinsic: " + e.name).c_str());
+    }
+    case ExprKind::kRealLit:
+    case ExprKind::kArrayRef:
+      SDSM_UNREACHABLE("non-integer expression in eval_int");
+  }
+  SDSM_UNREACHABLE("bad expr kind");
+}
+
+ExprPtr fold(const Expr& e) {
+  if (e.kind == ExprKind::kBin) {
+    ExprPtr l = fold(*e.lhs);
+    ExprPtr r = fold(*e.rhs);
+    if (l->kind == ExprKind::kIntLit && r->kind == ExprKind::kIntLit) {
+      const Env empty;
+      Expr tmp;
+      tmp.kind = ExprKind::kBin;
+      tmp.op = e.op;
+      tmp.lhs = std::move(l);
+      tmp.rhs = std::move(r);
+      return Expr::int_lit(eval_int(tmp, empty));
+    }
+    // Identity simplifications keep the generated Validate sections tidy.
+    if (e.op == BinOp::kAdd && l->is_int(0)) return r;
+    if (e.op == BinOp::kAdd && r->is_int(0)) return l;
+    if (e.op == BinOp::kSub && r->is_int(0)) return l;
+    if (e.op == BinOp::kMul && l->is_int(1)) return r;
+    if (e.op == BinOp::kMul && r->is_int(1)) return l;
+    if (e.op == BinOp::kMul && (l->is_int(0) || r->is_int(0))) {
+      return Expr::int_lit(0);
+    }
+    return Expr::bin(e.op, std::move(l), std::move(r));
+  }
+  return e.clone();
+}
+
+StmtPtr Stmt::assign(ExprPtr lhs, ExprPtr rhs) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::kAssign;
+  s->lhs = std::move(lhs);
+  s->rhs = std::move(rhs);
+  return s;
+}
+
+StmtPtr Stmt::do_loop(std::string var, ExprPtr lo, ExprPtr hi, ExprPtr step,
+                      std::vector<StmtPtr> body) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::kDo;
+  s->do_var = std::move(var);
+  s->do_lo = std::move(lo);
+  s->do_hi = std::move(hi);
+  s->do_step = std::move(step);
+  s->body = std::move(body);
+  return s;
+}
+
+StmtPtr Stmt::if_stmt(ExprPtr cond, std::vector<StmtPtr> then_body,
+                      std::vector<StmtPtr> else_body) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::kIf;
+  s->cond = std::move(cond);
+  s->body = std::move(then_body);
+  s->else_body = std::move(else_body);
+  return s;
+}
+
+StmtPtr Stmt::call(std::string callee, std::vector<ExprPtr> args) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::kCall;
+  s->callee = std::move(callee);
+  s->call_args = std::move(args);
+  return s;
+}
+
+StmtPtr Stmt::barrier() {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::kBarrier;
+  return s;
+}
+
+StmtPtr Stmt::validate(std::vector<ValidateDescAst> descs) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::kValidate;
+  s->descs = std::move(descs);
+  return s;
+}
+
+const ArrayDecl* Unit::find_decl(const std::string& name) const {
+  for (const auto& d : decls) {
+    if (d.name == name) return &d;
+  }
+  return nullptr;
+}
+
+const Unit* SourceFile::find_unit(const std::string& name) const {
+  for (const auto& u : units) {
+    if (u.name == name) return &u;
+  }
+  return nullptr;
+}
+
+}  // namespace sdsm::compiler

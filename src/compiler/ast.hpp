@@ -1,0 +1,163 @@
+// Abstract syntax tree for the mini-Fortran subset, plus the Validate
+// statement node that the transformation phase inserts (the analogue of the
+// compiler-inserted calls in Figure 2 of the paper).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/assert.hpp"
+
+namespace sdsm::compiler {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind : std::uint8_t {
+  kIntLit,
+  kRealLit,
+  kVar,
+  kArrayRef,
+  kBin,
+  kIntrinsic,  ///< MOD(a, b) and friends
+};
+
+enum class BinOp : std::uint8_t {
+  kAdd, kSub, kMul, kDiv,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprKind kind;
+  long long int_val = 0;
+  double real_val = 0;
+  std::string name;            ///< kVar, kArrayRef, kIntrinsic
+  BinOp op = BinOp::kAdd;      ///< kBin
+  ExprPtr lhs, rhs;            ///< kBin
+  std::vector<ExprPtr> args;   ///< kArrayRef subscripts / kIntrinsic args
+
+  static ExprPtr int_lit(long long v);
+  static ExprPtr real_lit(double v);
+  static ExprPtr var(std::string name);
+  static ExprPtr array_ref(std::string name, std::vector<ExprPtr> subs);
+  static ExprPtr bin(BinOp op, ExprPtr l, ExprPtr r);
+  static ExprPtr intrinsic(std::string name, std::vector<ExprPtr> args);
+
+  ExprPtr clone() const;
+
+  bool is_int(long long v) const {
+    return kind == ExprKind::kIntLit && int_val == v;
+  }
+};
+
+/// Environment for evaluating integer expressions (loop bounds, sizes).
+using Env = std::unordered_map<std::string, long long>;
+
+/// Evaluates an integer expression; asserts on unbound names or non-integer
+/// operations.
+long long eval_int(const Expr& e, const Env& env);
+
+/// Constant folding; returns a simplified clone.
+ExprPtr fold(const Expr& e);
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StmtKind : std::uint8_t {
+  kAssign,
+  kDo,
+  kIf,
+  kCall,
+  kBarrier,
+  kValidate,  ///< inserted by the transformation phase
+};
+
+/// AST-level access descriptor carried by a Validate statement; mirrors the
+/// runtime AccessDescriptor but with symbolic section bounds.
+struct SectionDimAst {
+  ExprPtr lower;
+  ExprPtr upper;
+  long long stride = 1;
+};
+
+struct ValidateDescAst {
+  bool indirect = false;
+  std::string data_array;            ///< shared data being accessed
+  std::string section_array;         ///< indirection array (indirect) or
+                                     ///< data array itself (direct)
+  std::vector<SectionDimAst> section;
+  std::string access;                ///< "READ", "WRITE", "READ&WRITE",
+                                     ///< "WRITE_ALL", "READ&WRITE_ALL"
+  int schedule = 0;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  StmtKind kind;
+  // kAssign
+  ExprPtr lhs;  ///< kVar or kArrayRef
+  ExprPtr rhs;
+  // kDo
+  std::string do_var;
+  ExprPtr do_lo, do_hi, do_step;  ///< do_step null means 1
+  std::vector<StmtPtr> body;
+  // kIf
+  ExprPtr cond;
+  std::vector<StmtPtr> else_body;
+  // kCall
+  std::string callee;
+  std::vector<ExprPtr> call_args;
+  // kValidate
+  std::vector<ValidateDescAst> descs;
+
+  static StmtPtr assign(ExprPtr lhs, ExprPtr rhs);
+  static StmtPtr do_loop(std::string var, ExprPtr lo, ExprPtr hi, ExprPtr step,
+                         std::vector<StmtPtr> body);
+  static StmtPtr if_stmt(ExprPtr cond, std::vector<StmtPtr> then_body,
+                         std::vector<StmtPtr> else_body);
+  static StmtPtr call(std::string callee, std::vector<ExprPtr> args);
+  static StmtPtr barrier();
+  static StmtPtr validate(std::vector<ValidateDescAst> descs);
+};
+
+// ---------------------------------------------------------------------------
+// Declarations and units
+// ---------------------------------------------------------------------------
+
+enum class ElemType : std::uint8_t { kInteger, kReal };
+
+struct ArrayDecl {
+  std::string name;
+  ElemType elem = ElemType::kReal;
+  bool shared = false;
+  std::vector<ExprPtr> dims;  ///< empty for scalars
+  bool is_scalar() const { return dims.empty(); }
+};
+
+enum class UnitKind : std::uint8_t { kProgram, kSubroutine };
+
+struct Unit {
+  UnitKind kind = UnitKind::kProgram;
+  std::string name;
+  std::vector<ArrayDecl> decls;
+  std::vector<StmtPtr> body;
+
+  const ArrayDecl* find_decl(const std::string& name) const;
+};
+
+struct SourceFile {
+  std::vector<Unit> units;
+
+  const Unit* find_unit(const std::string& name) const;
+};
+
+}  // namespace sdsm::compiler

@@ -1,0 +1,34 @@
+#include "src/compiler/fetch_points.hpp"
+
+namespace sdsm::compiler {
+
+std::vector<FetchPoint> fetch_points(const Unit& unit) {
+  std::vector<FetchPoint> out;
+  out.push_back(FetchPoint{FetchPointKind::kUnitEntry, -1});
+  for (std::size_t i = 0; i < unit.body.size(); ++i) {
+    const Stmt& s = *unit.body[i];
+    switch (s.kind) {
+      case StmtKind::kDo:
+        out.push_back(FetchPoint{FetchPointKind::kLoopBoundary,
+                                 static_cast<int>(i)});
+        break;
+      case StmtKind::kIf:
+        out.push_back(FetchPoint{FetchPointKind::kConditional,
+                                 static_cast<int>(i)});
+        break;
+      case StmtKind::kCall:
+        out.push_back(FetchPoint{FetchPointKind::kCallSite,
+                                 static_cast<int>(i)});
+        break;
+      case StmtKind::kBarrier:
+        out.push_back(FetchPoint{FetchPointKind::kSyncPoint,
+                                 static_cast<int>(i)});
+        break;
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace sdsm::compiler

@@ -1,0 +1,37 @@
+// Fetch-point identification (Section 3.3).
+//
+// F, the set of "possible fetch points", is where a Validate may legally be
+// inserted.  Under lazy release consistency only synchronization points can
+// invalidate data, so a perfect analysis would use exactly those; in
+// practice F also includes conditional statements, loop boundaries, and —
+// without interprocedural analysis — procedure entries.  The transform
+// phase picks, for each analyzed loop, the closest enclosing fetch point:
+// the unit entry when the loop is the unit's first shared work (the
+// moldyn/nbf case in the paper), otherwise the loop boundary itself.
+#pragma once
+
+#include <vector>
+
+#include "src/compiler/ast.hpp"
+
+namespace sdsm::compiler {
+
+enum class FetchPointKind : std::uint8_t {
+  kUnitEntry,
+  kLoopBoundary,
+  kConditional,
+  kCallSite,
+  kSyncPoint,  ///< BARRIER statements
+};
+
+struct FetchPoint {
+  FetchPointKind kind;
+  /// Index into the unit's top-level body before which a Validate can be
+  /// inserted; -1 for unit entry.
+  int stmt_index = -1;
+};
+
+/// All fetch points of a unit, in program order (unit entry first).
+std::vector<FetchPoint> fetch_points(const Unit& unit);
+
+}  // namespace sdsm::compiler

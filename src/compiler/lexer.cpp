@@ -1,0 +1,204 @@
+#include "src/compiler/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace sdsm::compiler {
+
+const char* tok_name(Tok t) {
+  switch (t) {
+    case Tok::kEof: return "<eof>";
+    case Tok::kNewline: return "<newline>";
+    case Tok::kIdent: return "identifier";
+    case Tok::kIntLit: return "integer literal";
+    case Tok::kRealLit: return "real literal";
+    case Tok::kProgram: return "PROGRAM";
+    case Tok::kSubroutine: return "SUBROUTINE";
+    case Tok::kEnd: return "END";
+    case Tok::kDo: return "DO";
+    case Tok::kEndDo: return "ENDDO";
+    case Tok::kIf: return "IF";
+    case Tok::kThen: return "THEN";
+    case Tok::kElse: return "ELSE";
+    case Tok::kEndIf: return "ENDIF";
+    case Tok::kCall: return "CALL";
+    case Tok::kShared: return "SHARED";
+    case Tok::kPrivate: return "PRIVATE";
+    case Tok::kInteger: return "INTEGER";
+    case Tok::kReal: return "REAL";
+    case Tok::kBarrier: return "BARRIER";
+    case Tok::kLParen: return "(";
+    case Tok::kRParen: return ")";
+    case Tok::kComma: return ",";
+    case Tok::kColon: return ":";
+    case Tok::kAssign: return "=";
+    case Tok::kPlus: return "+";
+    case Tok::kMinus: return "-";
+    case Tok::kStar: return "*";
+    case Tok::kSlash: return "/";
+    case Tok::kEq: return ".EQ.";
+    case Tok::kNe: return ".NE.";
+    case Tok::kLt: return ".LT.";
+    case Tok::kLe: return ".LE.";
+    case Tok::kGt: return ".GT.";
+    case Tok::kGe: return ".GE.";
+  }
+  return "<bad token>";
+}
+
+namespace {
+
+const std::unordered_map<std::string, Tok>& keywords() {
+  static const auto* map = new std::unordered_map<std::string, Tok>{
+      {"PROGRAM", Tok::kProgram},   {"SUBROUTINE", Tok::kSubroutine},
+      {"END", Tok::kEnd},           {"DO", Tok::kDo},
+      {"ENDDO", Tok::kEndDo},       {"IF", Tok::kIf},
+      {"THEN", Tok::kThen},         {"ELSE", Tok::kElse},
+      {"ENDIF", Tok::kEndIf},       {"CALL", Tok::kCall},
+      {"SHARED", Tok::kShared},     {"PRIVATE", Tok::kPrivate},
+      {"INTEGER", Tok::kInteger},   {"REAL", Tok::kReal},
+      {"BARRIER", Tok::kBarrier},
+  };
+  return *map;
+}
+
+const std::unordered_map<std::string, Tok>& dot_operators() {
+  static const auto* map = new std::unordered_map<std::string, Tok>{
+      {"EQ", Tok::kEq}, {"NE", Tok::kNe}, {"LT", Tok::kLt},
+      {"LE", Tok::kLe}, {"GT", Tok::kGt}, {"GE", Tok::kGe},
+  };
+  return *map;
+}
+
+std::string upper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return s;
+}
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& source) {
+  std::vector<Token> out;
+  int line = 1, col = 1;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+  bool line_start = true;
+
+  auto push = [&](Tok kind, std::string text = {}) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line;
+    t.col = col;
+    out.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    // 'C' or '!' comments.
+    if (c == '!' || (line_start && (c == 'C' || c == 'c') &&
+                     (i + 1 >= n || source[i + 1] == ' ' || source[i + 1] == '\n'))) {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '\n') {
+      if (!out.empty() && out.back().kind != Tok::kNewline) push(Tok::kNewline);
+      ++i;
+      ++line;
+      col = 1;
+      line_start = true;
+      continue;
+    }
+    line_start = false;
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      ++col;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      bool is_real = false;
+      while (j < n && std::isdigit(static_cast<unsigned char>(source[j]))) ++j;
+      // A '.' starts a fraction only if not a dot-operator like 1.EQ.x.
+      if (j < n && source[j] == '.' && j + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(source[j + 1]))) {
+        is_real = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(source[j]))) ++j;
+      }
+      const std::string text = source.substr(i, j - i);
+      Token t;
+      t.kind = is_real ? Tok::kRealLit : Tok::kIntLit;
+      t.text = text;
+      t.line = line;
+      t.col = col;
+      if (is_real) {
+        t.real_val = std::strtod(text.c_str(), nullptr);
+      } else {
+        t.int_val = std::strtoll(text.c_str(), nullptr, 10);
+      }
+      out.push_back(std::move(t));
+      col += static_cast<int>(j - i);
+      i = j;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(source[j])) ||
+                       source[j] == '_')) {
+        ++j;
+      }
+      const std::string word = upper(source.substr(i, j - i));
+      const auto it = keywords().find(word);
+      if (it != keywords().end()) {
+        push(it->second, word);
+      } else {
+        push(Tok::kIdent, word);
+      }
+      col += static_cast<int>(j - i);
+      i = j;
+      continue;
+    }
+    if (c == '.') {
+      // .EQ. and friends.
+      std::size_t j = i + 1;
+      while (j < n && std::isalpha(static_cast<unsigned char>(source[j]))) ++j;
+      if (j < n && source[j] == '.') {
+        const std::string op = upper(source.substr(i + 1, j - i - 1));
+        const auto it = dot_operators().find(op);
+        if (it == dot_operators().end()) {
+          throw CompileError{"unknown operator ." + op + ".", line, col};
+        }
+        push(it->second, "." + op + ".");
+        col += static_cast<int>(j + 1 - i);
+        i = j + 1;
+        continue;
+      }
+      throw CompileError{"stray '.'", line, col};
+    }
+    Tok kind;
+    switch (c) {
+      case '(': kind = Tok::kLParen; break;
+      case ')': kind = Tok::kRParen; break;
+      case ',': kind = Tok::kComma; break;
+      case ':': kind = Tok::kColon; break;
+      case '=': kind = Tok::kAssign; break;
+      case '+': kind = Tok::kPlus; break;
+      case '-': kind = Tok::kMinus; break;
+      case '*': kind = Tok::kStar; break;
+      case '/': kind = Tok::kSlash; break;
+      default:
+        throw CompileError{std::string("unexpected character '") + c + "'",
+                           line, col};
+    }
+    push(kind, std::string(1, c));
+    ++i;
+    ++col;
+  }
+  if (!out.empty() && out.back().kind != Tok::kNewline) push(Tok::kNewline);
+  push(Tok::kEof);
+  return out;
+}
+
+}  // namespace sdsm::compiler

@@ -1,0 +1,22 @@
+// Lexer for the mini-Fortran subset.  Produces the full token stream up
+// front (the sources involved are small); comments start with '!' or a 'C'
+// in column 1 and run to end of line.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/compiler/token.hpp"
+
+namespace sdsm::compiler {
+
+/// Thrown (via CompileError) on malformed input; carries line/column.
+struct CompileError {
+  std::string message;
+  int line = 0;
+  int col = 0;
+};
+
+std::vector<Token> lex(const std::string& source);
+
+}  // namespace sdsm::compiler

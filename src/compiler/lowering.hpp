@@ -1,0 +1,39 @@
+// Lowering: turns an AST-level Validate statement into the runtime
+// AccessDescriptor list that sdsm::core::DsmNode::validate() consumes.
+//
+// Sections carry symbolic bounds (loop limits such as NUM_INTERACTIONS);
+// lowering evaluates them against a scalar environment and converts from
+// Fortran's 1-based inclusive index space to the runtime's 0-based one.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/compiler/ast.hpp"
+#include "src/core/dsm.hpp"
+
+namespace sdsm::compiler {
+
+struct ArrayBinding {
+  GlobalAddr base = 0;
+  std::size_t elem_size = 0;
+  rsd::ArrayLayout layout;
+};
+
+using Bindings = std::unordered_map<std::string, ArrayBinding>;
+
+/// Converts the symbolic section of one descriptor into a concrete RSD
+/// (0-based).
+rsd::RegularSection lower_section(const std::vector<SectionDimAst>& section,
+                                  const Env& scalars);
+
+/// Lowers a kValidate statement.  Every array named by the statement must
+/// be bound; every scalar appearing in section bounds must be in `scalars`.
+std::vector<core::AccessDescriptor> lower_validate(const Stmt& validate,
+                                                   const Bindings& arrays,
+                                                   const Env& scalars);
+
+core::Access parse_access(const std::string& s);
+
+}  // namespace sdsm::compiler

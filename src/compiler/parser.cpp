@@ -1,0 +1,293 @@
+#include "src/compiler/parser.hpp"
+
+#include <unordered_set>
+
+namespace sdsm::compiler {
+
+namespace {
+
+const std::unordered_set<std::string>& intrinsics() {
+  static const auto* set =
+      new std::unordered_set<std::string>{"MOD", "MIN", "MAX", "ABS"};
+  return *set;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  SourceFile parse_file() {
+    SourceFile file;
+    skip_newlines();
+    while (!at(Tok::kEof)) {
+      file.units.push_back(parse_unit());
+      skip_newlines();
+    }
+    return file;
+  }
+
+ private:
+  const Token& cur() const { return toks_[pos_]; }
+  bool at(Tok k) const { return cur().kind == k; }
+
+  const Token& advance() { return toks_[pos_++]; }
+
+  const Token& expect(Tok k) {
+    if (!at(k)) {
+      throw CompileError{std::string("expected ") + tok_name(k) + ", found " +
+                             tok_name(cur().kind),
+                         cur().line, cur().col};
+    }
+    return advance();
+  }
+
+  void expect_newline() {
+    expect(Tok::kNewline);
+    skip_newlines();
+  }
+
+  void skip_newlines() {
+    while (at(Tok::kNewline)) advance();
+  }
+
+  Unit parse_unit() {
+    Unit unit;
+    if (at(Tok::kProgram)) {
+      advance();
+      unit.kind = UnitKind::kProgram;
+    } else if (at(Tok::kSubroutine)) {
+      advance();
+      unit.kind = UnitKind::kSubroutine;
+    } else {
+      throw CompileError{"expected PROGRAM or SUBROUTINE", cur().line,
+                         cur().col};
+    }
+    unit.name = expect(Tok::kIdent).text;
+    if (at(Tok::kLParen)) {  // empty parameter list tolerated
+      advance();
+      expect(Tok::kRParen);
+    }
+    expect_newline();
+
+    while (at(Tok::kShared) || at(Tok::kPrivate) || at(Tok::kInteger) ||
+           at(Tok::kReal)) {
+      parse_decl_line(unit);
+    }
+    while (!at(Tok::kEnd)) {
+      unit.body.push_back(parse_stmt());
+    }
+    expect(Tok::kEnd);
+    if (!at(Tok::kEof)) expect_newline();
+    return unit;
+  }
+
+  void parse_decl_line(Unit& unit) {
+    bool shared = false;
+    if (at(Tok::kShared)) {
+      shared = true;
+      advance();
+    } else if (at(Tok::kPrivate)) {
+      advance();
+    }
+    ElemType elem = ElemType::kReal;
+    if (at(Tok::kInteger)) {
+      elem = ElemType::kInteger;
+      advance();
+    } else if (at(Tok::kReal)) {
+      advance();
+    }
+    for (;;) {
+      ArrayDecl d;
+      d.name = expect(Tok::kIdent).text;
+      d.elem = elem;
+      d.shared = shared;
+      if (at(Tok::kLParen)) {
+        advance();
+        d.dims.push_back(parse_expr());
+        while (at(Tok::kComma)) {
+          advance();
+          d.dims.push_back(parse_expr());
+        }
+        expect(Tok::kRParen);
+      }
+      unit.decls.push_back(std::move(d));
+      if (!at(Tok::kComma)) break;
+      advance();
+    }
+    expect_newline();
+  }
+
+  StmtPtr parse_stmt() {
+    if (at(Tok::kDo)) return parse_do();
+    if (at(Tok::kIf)) return parse_if();
+    if (at(Tok::kCall)) return parse_call();
+    if (at(Tok::kBarrier)) {
+      advance();
+      expect_newline();
+      return Stmt::barrier();
+    }
+    // Assignment.
+    ExprPtr lhs = parse_factor();
+    if (lhs->kind != ExprKind::kVar && lhs->kind != ExprKind::kArrayRef) {
+      throw CompileError{"invalid assignment target", cur().line, cur().col};
+    }
+    expect(Tok::kAssign);
+    ExprPtr rhs = parse_expr();
+    expect_newline();
+    return Stmt::assign(std::move(lhs), std::move(rhs));
+  }
+
+  StmtPtr parse_do() {
+    expect(Tok::kDo);
+    std::string var = expect(Tok::kIdent).text;
+    expect(Tok::kAssign);
+    ExprPtr lo = parse_expr();
+    expect(Tok::kComma);
+    ExprPtr hi = parse_expr();
+    ExprPtr step;
+    if (at(Tok::kComma)) {
+      advance();
+      step = parse_expr();
+    }
+    expect_newline();
+    std::vector<StmtPtr> body;
+    while (!at(Tok::kEndDo)) {
+      body.push_back(parse_stmt());
+    }
+    expect(Tok::kEndDo);
+    expect_newline();
+    return Stmt::do_loop(std::move(var), std::move(lo), std::move(hi),
+                         std::move(step), std::move(body));
+  }
+
+  StmtPtr parse_if() {
+    expect(Tok::kIf);
+    expect(Tok::kLParen);
+    ExprPtr cond = parse_expr();
+    expect(Tok::kRParen);
+    expect(Tok::kThen);
+    expect_newline();
+    std::vector<StmtPtr> then_body, else_body;
+    while (!at(Tok::kEndIf) && !at(Tok::kElse)) {
+      then_body.push_back(parse_stmt());
+    }
+    if (at(Tok::kElse)) {
+      advance();
+      expect_newline();
+      while (!at(Tok::kEndIf)) {
+        else_body.push_back(parse_stmt());
+      }
+    }
+    expect(Tok::kEndIf);
+    expect_newline();
+    return Stmt::if_stmt(std::move(cond), std::move(then_body),
+                         std::move(else_body));
+  }
+
+  StmtPtr parse_call() {
+    expect(Tok::kCall);
+    std::string callee = expect(Tok::kIdent).text;
+    std::vector<ExprPtr> args;
+    if (at(Tok::kLParen)) {
+      advance();
+      if (!at(Tok::kRParen)) {
+        args.push_back(parse_expr());
+        while (at(Tok::kComma)) {
+          advance();
+          args.push_back(parse_expr());
+        }
+      }
+      expect(Tok::kRParen);
+    }
+    expect_newline();
+    return Stmt::call(std::move(callee), std::move(args));
+  }
+
+  ExprPtr parse_expr() {
+    ExprPtr lhs = parse_additive();
+    BinOp op;
+    if (at(Tok::kEq)) op = BinOp::kEq;
+    else if (at(Tok::kNe)) op = BinOp::kNe;
+    else if (at(Tok::kLt)) op = BinOp::kLt;
+    else if (at(Tok::kLe)) op = BinOp::kLe;
+    else if (at(Tok::kGt)) op = BinOp::kGt;
+    else if (at(Tok::kGe)) op = BinOp::kGe;
+    else return lhs;
+    advance();
+    ExprPtr rhs = parse_additive();
+    return Expr::bin(op, std::move(lhs), std::move(rhs));
+  }
+
+  ExprPtr parse_additive() {
+    ExprPtr e = parse_term();
+    while (at(Tok::kPlus) || at(Tok::kMinus)) {
+      const BinOp op = at(Tok::kPlus) ? BinOp::kAdd : BinOp::kSub;
+      advance();
+      e = Expr::bin(op, std::move(e), parse_term());
+    }
+    return e;
+  }
+
+  ExprPtr parse_term() {
+    ExprPtr e = parse_factor();
+    while (at(Tok::kStar) || at(Tok::kSlash)) {
+      const BinOp op = at(Tok::kStar) ? BinOp::kMul : BinOp::kDiv;
+      advance();
+      e = Expr::bin(op, std::move(e), parse_factor());
+    }
+    return e;
+  }
+
+  ExprPtr parse_factor() {
+    if (at(Tok::kIntLit)) {
+      const long long v = advance().int_val;
+      return Expr::int_lit(v);
+    }
+    if (at(Tok::kRealLit)) {
+      const double v = advance().real_val;
+      return Expr::real_lit(v);
+    }
+    if (at(Tok::kMinus)) {
+      advance();
+      return Expr::bin(BinOp::kSub, Expr::int_lit(0), parse_factor());
+    }
+    if (at(Tok::kLParen)) {
+      advance();
+      ExprPtr e = parse_expr();
+      expect(Tok::kRParen);
+      return e;
+    }
+    if (at(Tok::kIdent)) {
+      std::string name = advance().text;
+      if (!at(Tok::kLParen)) return Expr::var(std::move(name));
+      advance();
+      std::vector<ExprPtr> args;
+      if (!at(Tok::kRParen)) {
+        args.push_back(parse_expr());
+        while (at(Tok::kComma)) {
+          advance();
+          args.push_back(parse_expr());
+        }
+      }
+      expect(Tok::kRParen);
+      if (intrinsics().count(name) != 0) {
+        return Expr::intrinsic(std::move(name), std::move(args));
+      }
+      return Expr::array_ref(std::move(name), std::move(args));
+    }
+    throw CompileError{std::string("unexpected token ") + tok_name(cur().kind),
+                       cur().line, cur().col};
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+SourceFile parse(const std::string& source) {
+  Parser p(lex(source));
+  return p.parse_file();
+}
+
+}  // namespace sdsm::compiler

@@ -1,0 +1,32 @@
+// Recursive-descent parser for the mini-Fortran subset.
+//
+// Grammar (newline-separated statements):
+//   file      := unit*
+//   unit      := (PROGRAM | SUBROUTINE) IDENT nl decl* stmt* END nl
+//   decl      := [SHARED|PRIVATE] [INTEGER|REAL] name-list nl
+//   name      := IDENT [ '(' expr (',' expr)* ')' ]
+//   stmt      := DO IDENT '=' expr ',' expr [',' expr] nl stmt* ENDDO nl
+//             |  IF '(' expr ')' THEN nl stmt* [ELSE nl stmt*] ENDIF nl
+//             |  CALL IDENT ['(' args ')'] nl
+//             |  BARRIER nl
+//             |  lvalue '=' expr nl
+//   expr      := additive (relop additive)?
+//   additive  := term (('+'|'-') term)*
+//   term      := factor (('*'|'/') factor)*
+//   factor    := INT | REAL | IDENT ['(' args ')'] | '(' expr ')' | '-' factor
+//
+// IDENT '(' args ')' in an expression is an array reference or an intrinsic
+// call (MOD); disambiguated against the declaration table after parsing is
+// not needed — intrinsics are a fixed set.
+#pragma once
+
+#include <string>
+
+#include "src/compiler/ast.hpp"
+#include "src/compiler/lexer.hpp"
+
+namespace sdsm::compiler {
+
+SourceFile parse(const std::string& source);
+
+}  // namespace sdsm::compiler

@@ -1,0 +1,191 @@
+#include "src/compiler/pretty.hpp"
+
+#include <sstream>
+
+namespace sdsm::compiler {
+
+namespace {
+
+const char* op_text(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return " + ";
+    case BinOp::kSub: return " - ";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kEq: return " .EQ. ";
+    case BinOp::kNe: return " .NE. ";
+    case BinOp::kLt: return " .LT. ";
+    case BinOp::kLe: return " .LE. ";
+    case BinOp::kGt: return " .GT. ";
+    case BinOp::kGe: return " .GE. ";
+  }
+  return "?";
+}
+
+int precedence(BinOp op) {
+  switch (op) {
+    case BinOp::kMul:
+    case BinOp::kDiv:
+      return 3;
+    case BinOp::kAdd:
+    case BinOp::kSub:
+      return 2;
+    default:
+      return 1;
+  }
+}
+
+void print_expr_prec(const Expr& e, int parent_prec, std::ostream& os) {
+  switch (e.kind) {
+    case ExprKind::kIntLit:
+      os << e.int_val;
+      return;
+    case ExprKind::kRealLit:
+      os << e.real_val;
+      return;
+    case ExprKind::kVar:
+      os << e.name;
+      return;
+    case ExprKind::kArrayRef:
+    case ExprKind::kIntrinsic: {
+      os << e.name << '(';
+      for (std::size_t i = 0; i < e.args.size(); ++i) {
+        if (i > 0) os << ", ";
+        print_expr_prec(*e.args[i], 0, os);
+      }
+      os << ')';
+      return;
+    }
+    case ExprKind::kBin: {
+      const int prec = precedence(e.op);
+      const bool parens = prec < parent_prec;
+      if (parens) os << '(';
+      print_expr_prec(*e.lhs, prec, os);
+      os << op_text(e.op);
+      print_expr_prec(*e.rhs, prec + 1, os);  // left-assoc
+      if (parens) os << ')';
+      return;
+    }
+  }
+}
+
+std::string section_text(const ValidateDescAst& d) {
+  std::ostringstream os;
+  os << d.section_array << '[';
+  for (std::size_t i = 0; i < d.section.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << print_expr(*d.section[i].lower) << ':'
+       << print_expr(*d.section[i].upper);
+    if (d.section[i].stride != 1) os << ':' << d.section[i].stride;
+  }
+  os << ']';
+  return os.str();
+}
+
+void indent_to(std::ostream& os, int indent) {
+  for (int i = 0; i < indent; ++i) os << "  ";
+}
+
+void print_body(const std::vector<StmtPtr>& body, int indent,
+                std::ostream& os) {
+  for (const auto& s : body) os << print_stmt(*s, indent);
+}
+
+}  // namespace
+
+std::string print_expr(const Expr& e) {
+  std::ostringstream os;
+  print_expr_prec(e, 0, os);
+  return os.str();
+}
+
+std::string print_stmt(const Stmt& s, int indent) {
+  std::ostringstream os;
+  indent_to(os, indent);
+  switch (s.kind) {
+    case StmtKind::kAssign:
+      os << print_expr(*s.lhs) << " = " << print_expr(*s.rhs) << '\n';
+      break;
+    case StmtKind::kDo: {
+      os << "DO " << s.do_var << " = " << print_expr(*s.do_lo) << ", "
+         << print_expr(*s.do_hi);
+      if (s.do_step) os << ", " << print_expr(*s.do_step);
+      os << '\n';
+      print_body(s.body, indent + 1, os);
+      indent_to(os, indent);
+      os << "ENDDO\n";
+      break;
+    }
+    case StmtKind::kIf: {
+      os << "IF (" << print_expr(*s.cond) << ") THEN\n";
+      print_body(s.body, indent + 1, os);
+      if (!s.else_body.empty()) {
+        indent_to(os, indent);
+        os << "ELSE\n";
+        print_body(s.else_body, indent + 1, os);
+      }
+      indent_to(os, indent);
+      os << "ENDIF\n";
+      break;
+    }
+    case StmtKind::kCall: {
+      os << "CALL " << s.callee << '(';
+      for (std::size_t i = 0; i < s.call_args.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << print_expr(*s.call_args[i]);
+      }
+      os << ")\n";
+      break;
+    }
+    case StmtKind::kBarrier:
+      os << "BARRIER\n";
+      break;
+    case StmtKind::kValidate: {
+      // Mirrors Figure 2:
+      //   Validate(1, INDIRECT, x, interaction_list[1:2, 1:n], READ, 1)
+      os << "CALL Validate(" << s.descs.size();
+      for (const auto& d : s.descs) {
+        os << ", " << (d.indirect ? "INDIRECT" : "DIRECT") << ", "
+           << d.data_array << ", " << section_text(d) << ", " << d.access
+           << ", " << d.schedule;
+      }
+      os << ")\n";
+      break;
+    }
+  }
+  return os.str();
+}
+
+std::string print_unit(const Unit& u) {
+  std::ostringstream os;
+  os << (u.kind == UnitKind::kProgram ? "PROGRAM " : "SUBROUTINE ") << u.name
+     << '\n';
+  for (const auto& d : u.decls) {
+    os << "  ";
+    if (d.shared) os << "SHARED ";
+    os << (d.elem == ElemType::kInteger ? "INTEGER " : "REAL ") << d.name;
+    if (!d.dims.empty()) {
+      os << '(';
+      for (std::size_t i = 0; i < d.dims.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << print_expr(*d.dims[i]);
+      }
+      os << ')';
+    }
+    os << '\n';
+  }
+  print_body(u.body, 1, os);
+  os << "END\n";
+  return os.str();
+}
+
+std::string print_file(const SourceFile& f) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < f.units.size(); ++i) {
+    if (i > 0) os << '\n';
+    os << print_unit(f.units[i]);
+  }
+  return os.str();
+}
+
+}  // namespace sdsm::compiler

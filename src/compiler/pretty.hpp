@@ -1,0 +1,17 @@
+// Pretty-printer: turns the AST back into mini-Fortran source.  Parsing the
+// output reproduces the AST (tested as a round-trip property), and printing
+// a transformed unit reproduces the shape of Figure 2 in the paper.
+#pragma once
+
+#include <string>
+
+#include "src/compiler/ast.hpp"
+
+namespace sdsm::compiler {
+
+std::string print_expr(const Expr& e);
+std::string print_stmt(const Stmt& s, int indent = 0);
+std::string print_unit(const Unit& u);
+std::string print_file(const SourceFile& f);
+
+}  // namespace sdsm::compiler

@@ -1,0 +1,401 @@
+#include "src/compiler/section_analysis.hpp"
+
+#include <map>
+#include <optional>
+
+namespace sdsm::compiler {
+
+std::string AccessInfo::access_string() const {
+  if (read && written) return covers_section ? "READ&WRITE_ALL" : "READ&WRITE";
+  if (written) return covers_section ? "WRITE_ALL" : "WRITE";
+  return "READ";
+}
+
+const AccessInfo* LoopSummary::find(const std::string& array) const {
+  for (const auto& a : accesses) {
+    if (a.array == array) return &a;
+  }
+  return nullptr;
+}
+
+namespace {
+
+struct LoopVar {
+  std::string name;
+  const Expr* lo;
+  const Expr* hi;
+  long long step;  ///< only literal steps are analyzed (1 when omitted)
+};
+
+/// Affine form c * var + sym over at most one loop variable.
+struct Affine {
+  bool valid = false;
+  const LoopVar* var = nullptr;  ///< nullptr: loop-invariant
+  long long coeff = 0;
+  ExprPtr sym;  ///< symbolic loop-invariant part
+};
+
+/// Reaching scalar definitions in straight-line loop-body order.
+using Defs = std::map<std::string, const Expr*>;
+
+bool is_loop_invariant(const Expr& e, const std::vector<LoopVar>& loops,
+                       const Defs& defs, const SymbolTable& syms) {
+  switch (e.kind) {
+    case ExprKind::kIntLit:
+    case ExprKind::kRealLit:
+      return true;
+    case ExprKind::kVar: {
+      for (const auto& lv : loops) {
+        if (lv.name == e.name) return false;
+      }
+      // A scalar redefined inside the loop body is not invariant.
+      if (defs.count(e.name) != 0) return false;
+      const ArrayDecl* d = syms.find(e.name);
+      return d == nullptr || d->is_scalar();
+    }
+    case ExprKind::kBin:
+      return is_loop_invariant(*e.lhs, loops, defs, syms) &&
+             is_loop_invariant(*e.rhs, loops, defs, syms);
+    case ExprKind::kIntrinsic: {
+      for (const auto& a : e.args) {
+        if (!is_loop_invariant(*a, loops, defs, syms)) return false;
+      }
+      return true;
+    }
+    case ExprKind::kArrayRef:
+      return false;  // conservatively variant
+  }
+  return false;
+}
+
+Affine affine_of(const Expr& e, const std::vector<LoopVar>& loops,
+                 const Defs& defs, const SymbolTable& syms) {
+  Affine out;
+  switch (e.kind) {
+    case ExprKind::kIntLit:
+      out.valid = true;
+      out.sym = Expr::int_lit(e.int_val);
+      return out;
+    case ExprKind::kVar: {
+      for (const auto& lv : loops) {
+        if (lv.name == e.name) {
+          out.valid = true;
+          out.var = &lv;
+          out.coeff = 1;
+          out.sym = Expr::int_lit(0);
+          return out;
+        }
+      }
+      if (is_loop_invariant(e, loops, defs, syms)) {
+        out.valid = true;
+        out.sym = e.clone();
+        return out;
+      }
+      return out;  // e.g. a scalar holding an indirection value
+    }
+    case ExprKind::kBin: {
+      const Affine l = affine_of(*e.lhs, loops, defs, syms);
+      const Affine r = affine_of(*e.rhs, loops, defs, syms);
+      if (!l.valid || !r.valid) return out;
+      switch (e.op) {
+        case BinOp::kAdd:
+        case BinOp::kSub: {
+          if (l.var != nullptr && r.var != nullptr && l.var != r.var) {
+            return out;  // two loop variables: not a 1-D section
+          }
+          out.var = l.var != nullptr ? l.var : r.var;
+          const long long sign = e.op == BinOp::kAdd ? 1 : -1;
+          out.coeff = l.coeff + sign * r.coeff;
+          out.sym = fold(*Expr::bin(e.op, l.sym->clone(), r.sym->clone()));
+          out.valid = true;
+          if (out.coeff == 0) out.var = nullptr;
+          return out;
+        }
+        case BinOp::kMul: {
+          // One side must be a literal constant.
+          const Affine* cst = nullptr;
+          const Affine* other = nullptr;
+          if (l.var == nullptr && l.sym->kind == ExprKind::kIntLit) {
+            cst = &l;
+            other = &r;
+          } else if (r.var == nullptr && r.sym->kind == ExprKind::kIntLit) {
+            cst = &r;
+            other = &l;
+          } else {
+            return out;
+          }
+          const long long k = cst->sym->int_val;
+          out.var = other->var;
+          out.coeff = other->coeff * k;
+          out.sym = fold(*Expr::bin(BinOp::kMul, Expr::int_lit(k),
+                                    other->sym->clone()));
+          out.valid = true;
+          if (out.coeff == 0) out.var = nullptr;
+          return out;
+        }
+        default:
+          return out;
+      }
+    }
+    default:
+      return out;
+  }
+}
+
+/// Builds the 1-based section dim a subscript's affine form sweeps over the
+/// loop range.
+std::optional<SectionDimAst> dim_of_affine(const Affine& a) {
+  if (!a.valid) return std::nullopt;
+  SectionDimAst dim;
+  if (a.var == nullptr) {
+    dim.lower = a.sym->clone();
+    dim.upper = a.sym->clone();
+    dim.stride = 1;
+    return dim;
+  }
+  if (a.coeff == 0) return std::nullopt;
+  const long long c = a.coeff;
+  const long long step = a.var->step;
+  ExprPtr lo_val = fold(*Expr::bin(
+      BinOp::kAdd, Expr::bin(BinOp::kMul, Expr::int_lit(c), a.var->lo->clone()),
+      a.sym->clone()));
+  ExprPtr hi_val = fold(*Expr::bin(
+      BinOp::kAdd, Expr::bin(BinOp::kMul, Expr::int_lit(c), a.var->hi->clone()),
+      a.sym->clone()));
+  if (c > 0) {
+    dim.lower = std::move(lo_val);
+    dim.upper = std::move(hi_val);
+  } else {
+    dim.lower = std::move(hi_val);
+    dim.upper = std::move(lo_val);
+  }
+  dim.stride = c > 0 ? c * step : -c * step;
+  if (dim.stride <= 0) return std::nullopt;
+  return dim;
+}
+
+bool same_expr(const Expr& a, const Expr& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case ExprKind::kIntLit: return a.int_val == b.int_val;
+    case ExprKind::kRealLit: return a.real_val == b.real_val;
+    case ExprKind::kVar: return a.name == b.name;
+    case ExprKind::kBin:
+      return a.op == b.op && same_expr(*a.lhs, *b.lhs) &&
+             same_expr(*a.rhs, *b.rhs);
+    case ExprKind::kArrayRef:
+    case ExprKind::kIntrinsic: {
+      if (a.name != b.name || a.args.size() != b.args.size()) return false;
+      for (std::size_t i = 0; i < a.args.size(); ++i) {
+        if (!same_expr(*a.args[i], *b.args[i])) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+class LoopAnalyzer {
+ public:
+  explicit LoopAnalyzer(const SymbolTable& syms) : syms_(syms) {}
+
+  LoopSummary run(const Stmt& do_stmt) {
+    SDSM_REQUIRE(do_stmt.kind == StmtKind::kDo);
+    analyze_do(do_stmt);
+    LoopSummary s;
+    s.accesses = std::move(accesses_);
+    return s;
+  }
+
+ private:
+  void analyze_do(const Stmt& s) {
+    long long step = 1;
+    if (s.do_step) {
+      if (s.do_step->kind == ExprKind::kIntLit) {
+        step = s.do_step->int_val;
+      } else {
+        step = 0;  // symbolic step defeats the analysis below
+      }
+    }
+    loops_.push_back(LoopVar{s.do_var, s.do_lo.get(), s.do_hi.get(), step});
+    collect_defs(s.body);
+    for (const auto& st : s.body) analyze_stmt(*st);
+    loops_.pop_back();
+  }
+
+  /// Straight-line pass recording scalar definitions (n1 = il(1, i)).
+  void collect_defs(const std::vector<StmtPtr>& body) {
+    for (const auto& st : body) {
+      if (st->kind != StmtKind::kAssign) continue;
+      if (st->lhs->kind == ExprKind::kVar) {
+        defs_[st->lhs->name] = st->rhs.get();
+      }
+    }
+  }
+
+  void analyze_stmt(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kAssign:
+        if (s.lhs->kind == ExprKind::kArrayRef) {
+          record_ref(*s.lhs, /*is_write=*/true);
+          for (const auto& sub : s.lhs->args) analyze_expr(*sub);
+        }
+        analyze_expr(*s.rhs);
+        break;
+      case StmtKind::kDo:
+        analyze_do(s);
+        break;
+      case StmtKind::kIf:
+        analyze_expr(*s.cond);
+        for (const auto& st : s.body) analyze_stmt(*st);
+        for (const auto& st : s.else_body) analyze_stmt(*st);
+        break;
+      case StmtKind::kCall:
+        for (const auto& a : s.call_args) analyze_expr(*a);
+        break;
+      case StmtKind::kBarrier:
+      case StmtKind::kValidate:
+        break;
+    }
+  }
+
+  void analyze_expr(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kArrayRef:
+        record_ref(e, /*is_write=*/false);
+        for (const auto& sub : e.args) analyze_expr(*sub);
+        break;
+      case ExprKind::kBin:
+        analyze_expr(*e.lhs);
+        analyze_expr(*e.rhs);
+        break;
+      case ExprKind::kIntrinsic:
+        for (const auto& a : e.args) analyze_expr(*a);
+        break;
+      default:
+        break;
+    }
+  }
+
+  void record_ref(const Expr& ref, bool is_write) {
+    if (!syms_.is_shared_array(ref.name)) return;
+
+    // Try the direct (fully affine) interpretation first.
+    std::vector<SectionDimAst> dims;
+    bool direct_ok = true;
+    bool covers = true;
+    for (const auto& sub : ref.args) {
+      const Affine a = affine_of(*sub, loops_, defs_, syms_);
+      auto dim = dim_of_affine(a);
+      if (!dim) {
+        direct_ok = false;
+        break;
+      }
+      // Coverage: the subscript must be exactly the innermost sweep (i with
+      // coefficient 1 and stride 1) or a degenerate constant to claim the
+      // loop writes every element of the section.
+      if (a.var != nullptr && (a.coeff != 1 || a.var->step != 1)) {
+        covers = false;
+      }
+      dims.push_back(std::move(*dim));
+    }
+    if (direct_ok) {
+      merge_access(AccessInfo{ref.name, false, {}, std::move(dims), !is_write,
+                              is_write, is_write && covers});
+      return;
+    }
+
+    // Indirect interpretation: a rank-1 reference whose subscript is a
+    // scalar defined from an INTEGER shared array with affine subscripts.
+    if (ref.args.size() == 1 && ref.args[0]->kind == ExprKind::kVar) {
+      const auto it = defs_.find(ref.args[0]->name);
+      if (it != defs_.end() && it->second->kind == ExprKind::kArrayRef &&
+          syms_.is_integer_array(it->second->name)) {
+        const Expr& load = *it->second;
+        std::vector<SectionDimAst> ind_dims;
+        bool ok = true;
+        for (const auto& sub : load.args) {
+          const Affine a = affine_of(*sub, loops_, defs_, syms_);
+          auto dim = dim_of_affine(a);
+          if (!dim) {
+            ok = false;
+            break;
+          }
+          ind_dims.push_back(std::move(*dim));
+        }
+        if (ok) {
+          merge_access(AccessInfo{ref.name, true, load.name,
+                                  std::move(ind_dims), !is_write, is_write,
+                                  false});
+          return;
+        }
+      }
+    }
+
+    // Analysis defeated: record an unqualified access (empty section).
+    merge_access(AccessInfo{ref.name, false, {}, {}, !is_write, is_write,
+                            false});
+  }
+
+  void merge_access(AccessInfo info) {
+    for (auto& a : accesses_) {
+      if (a.array != info.array || a.indirect != info.indirect ||
+          a.ind_array != info.ind_array) {
+        continue;
+      }
+      if (try_merge_sections(a, info)) {
+        a.read |= info.read;
+        a.written |= info.written;
+        a.covers_section &= !info.written || info.covers_section;
+        if (info.written && !a.covers_section && !info.covers_section) {
+          a.covers_section = false;
+        }
+        return;
+      }
+    }
+    accesses_.push_back(std::move(info));
+  }
+
+  /// Merges info's section into a's when they differ in at most one
+  /// dimension whose bounds are integer literals (the interaction_list(1,i)
+  /// vs interaction_list(2,i) case -> [1:2, ...]).
+  bool try_merge_sections(AccessInfo& a, const AccessInfo& info) {
+    if (a.section.size() != info.section.size()) return false;
+    int diff_dim = -1;
+    for (std::size_t d = 0; d < a.section.size(); ++d) {
+      const bool same = same_expr(*a.section[d].lower, *info.section[d].lower) &&
+                        same_expr(*a.section[d].upper, *info.section[d].upper) &&
+                        a.section[d].stride == info.section[d].stride;
+      if (same) continue;
+      if (diff_dim >= 0) return false;  // more than one differing dim
+      diff_dim = static_cast<int>(d);
+    }
+    if (diff_dim < 0) return true;  // identical sections
+    SectionDimAst& da = a.section[static_cast<std::size_t>(diff_dim)];
+    const SectionDimAst& di = info.section[static_cast<std::size_t>(diff_dim)];
+    if (da.lower->kind != ExprKind::kIntLit ||
+        da.upper->kind != ExprKind::kIntLit ||
+        di.lower->kind != ExprKind::kIntLit ||
+        di.upper->kind != ExprKind::kIntLit) {
+      return false;
+    }
+    da.lower = Expr::int_lit(std::min(da.lower->int_val, di.lower->int_val));
+    da.upper = Expr::int_lit(std::max(da.upper->int_val, di.upper->int_val));
+    da.stride = 1;
+    return true;
+  }
+
+  const SymbolTable& syms_;
+  std::vector<LoopVar> loops_;
+  Defs defs_;
+  std::vector<AccessInfo> accesses_;
+};
+
+}  // namespace
+
+LoopSummary analyze_loop(const Stmt& do_stmt, const SymbolTable& syms) {
+  LoopAnalyzer analyzer(syms);
+  return analyzer.run(do_stmt);
+}
+
+}  // namespace sdsm::compiler

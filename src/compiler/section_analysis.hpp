@@ -1,0 +1,55 @@
+// Regular section analysis (Section 3.3 of the paper).
+//
+// For each loop nest, every reference to a shared array is summarized as a
+// regular section descriptor.  Subscripts that are affine in the loop
+// variables yield DIRECT sections; a subscript that is a scalar whose
+// reaching definition loads an INTEGER shared array (n1 =
+// interaction_list(1, i); ... x(n1) ...) yields an INDIRECT access whose
+// section describes the part of the *indirection array* the loop reads —
+// the paper's key observation that this is "usually a regular section".
+//
+// Section bounds are symbolic expressions (loop bounds are typically
+// variables like num_interactions); they are evaluated when a Validate plan
+// is lowered for a concrete run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/compiler/ast.hpp"
+#include "src/compiler/symbols.hpp"
+
+namespace sdsm::compiler {
+
+/// One summarized shared-array access within a loop nest.
+struct AccessInfo {
+  std::string array;      ///< the shared data array accessed
+  bool indirect = false;
+  std::string ind_array;  ///< indirection array (indirect only)
+  /// Section of the data array (direct) or of the indirection array
+  /// (indirect), in 1-based Fortran index space.
+  std::vector<SectionDimAst> section;
+  bool read = false;
+  bool written = false;
+  /// True when the loop provably writes every element of the section
+  /// (WRITE_ALL candidates: dense unit-stride coverage of the loop range).
+  bool covers_section = false;
+
+  std::string access_string() const;
+};
+
+/// Access summary for one DO statement (including nested loops).
+struct LoopSummary {
+  std::vector<AccessInfo> accesses;
+
+  const AccessInfo* find(const std::string& array) const;
+};
+
+/// Analyzes a top-level DO statement.  References whose subscripts defeat
+/// the analysis (non-affine, multi-variable) are recorded with an empty
+/// section and covers_section=false; the transform phase skips them (the
+/// run-time demand paging still guarantees correctness — exactly the
+/// paper's fallback).
+LoopSummary analyze_loop(const Stmt& do_stmt, const SymbolTable& syms);
+
+}  // namespace sdsm::compiler

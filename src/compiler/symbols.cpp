@@ -1,0 +1,26 @@
+#include "src/compiler/symbols.hpp"
+
+namespace sdsm::compiler {
+
+SymbolTable::SymbolTable(const Unit& unit) {
+  for (const auto& d : unit.decls) {
+    by_name_[d.name] = &d;
+  }
+}
+
+const ArrayDecl* SymbolTable::find(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+bool SymbolTable::is_shared_array(const std::string& name) const {
+  const ArrayDecl* d = find(name);
+  return d != nullptr && d->shared && !d->is_scalar();
+}
+
+bool SymbolTable::is_integer_array(const std::string& name) const {
+  const ArrayDecl* d = find(name);
+  return d != nullptr && d->elem == ElemType::kInteger && !d->is_scalar();
+}
+
+}  // namespace sdsm::compiler

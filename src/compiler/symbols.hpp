@@ -1,0 +1,28 @@
+// Symbol table for one program unit: array/scalar declarations with their
+// SHARED attribute, used by the access analysis to decide which references
+// concern the DSM at all.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "src/compiler/ast.hpp"
+
+namespace sdsm::compiler {
+
+class SymbolTable {
+ public:
+  explicit SymbolTable(const Unit& unit);
+
+  /// Declaration of `name`, or nullptr for undeclared identifiers (implicit
+  /// scalars, following Fortran tradition).
+  const ArrayDecl* find(const std::string& name) const;
+
+  bool is_shared_array(const std::string& name) const;
+  bool is_integer_array(const std::string& name) const;
+
+ private:
+  std::unordered_map<std::string, const ArrayDecl*> by_name_;
+};
+
+}  // namespace sdsm::compiler

@@ -1,0 +1,66 @@
+// Token definitions for the mini-Fortran front-end.
+//
+// The language subset is what the paper's analysis needs: PROGRAM /
+// SUBROUTINE units, DO loops, IF/THEN/ELSE, assignments, CALL statements,
+// SHARED array declarations, and arithmetic/relational expressions with
+// intrinsic calls (MOD).  Fortran keywords are case-insensitive.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sdsm::compiler {
+
+enum class Tok : std::uint8_t {
+  kEof,
+  kNewline,
+  kIdent,
+  kIntLit,
+  kRealLit,
+  // Keywords.
+  kProgram,
+  kSubroutine,
+  kEnd,
+  kDo,
+  kEndDo,
+  kIf,
+  kThen,
+  kElse,
+  kEndIf,
+  kCall,
+  kShared,
+  kPrivate,
+  kInteger,
+  kReal,
+  kBarrier,
+  // Punctuation / operators.
+  kLParen,
+  kRParen,
+  kComma,
+  kColon,
+  kAssign,  // =
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  // Relational operators (.EQ. etc).
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;       ///< identifier name (upper-cased) or literal text
+  long long int_val = 0;  ///< value for kIntLit
+  double real_val = 0;    ///< value for kRealLit
+  int line = 0;
+  int col = 0;
+};
+
+const char* tok_name(Tok t);
+
+}  // namespace sdsm::compiler

@@ -1,0 +1,190 @@
+#include "src/compiler/transform.hpp"
+
+#include <algorithm>
+
+namespace sdsm::compiler {
+
+namespace {
+
+ExprPtr clone_expr(const ExprPtr& e) { return e ? e->clone() : nullptr; }
+
+std::vector<StmtPtr> clone_body(const std::vector<StmtPtr>& body);
+
+StmtPtr clone_stmt(const Stmt& s) {
+  auto out = std::make_unique<Stmt>();
+  out->kind = s.kind;
+  out->lhs = clone_expr(s.lhs);
+  out->rhs = clone_expr(s.rhs);
+  out->do_var = s.do_var;
+  out->do_lo = clone_expr(s.do_lo);
+  out->do_hi = clone_expr(s.do_hi);
+  out->do_step = clone_expr(s.do_step);
+  out->body = clone_body(s.body);
+  out->cond = clone_expr(s.cond);
+  out->else_body = clone_body(s.else_body);
+  out->callee = s.callee;
+  for (const auto& a : s.call_args) out->call_args.push_back(a->clone());
+  for (const auto& d : s.descs) {
+    ValidateDescAst nd;
+    nd.indirect = d.indirect;
+    nd.data_array = d.data_array;
+    nd.section_array = d.section_array;
+    nd.access = d.access;
+    nd.schedule = d.schedule;
+    for (const auto& dim : d.section) {
+      nd.section.push_back(
+          SectionDimAst{dim.lower->clone(), dim.upper->clone(), dim.stride});
+    }
+    out->descs.push_back(std::move(nd));
+  }
+  return out;
+}
+
+std::vector<StmtPtr> clone_body(const std::vector<StmtPtr>& body) {
+  std::vector<StmtPtr> out;
+  out.reserve(body.size());
+  for (const auto& s : body) out.push_back(clone_stmt(*s));
+  return out;
+}
+
+Unit clone_unit(const Unit& u) {
+  Unit out;
+  out.kind = u.kind;
+  out.name = u.name;
+  for (const auto& d : u.decls) {
+    ArrayDecl nd;
+    nd.name = d.name;
+    nd.elem = d.elem;
+    nd.shared = d.shared;
+    for (const auto& dim : d.dims) nd.dims.push_back(dim->clone());
+    out.decls.push_back(std::move(nd));
+  }
+  out.body = clone_body(u.body);
+  return out;
+}
+
+/// Renames every reference to `from` into `to` in an expression tree.
+void rename_array(Expr& e, const std::string& from, const std::string& to) {
+  if ((e.kind == ExprKind::kArrayRef || e.kind == ExprKind::kVar) &&
+      e.name == from) {
+    e.name = to;
+  }
+  if (e.lhs) rename_array(*e.lhs, from, to);
+  if (e.rhs) rename_array(*e.rhs, from, to);
+  for (auto& a : e.args) rename_array(*a, from, to);
+}
+
+void rename_array_in_body(std::vector<StmtPtr>& body, const std::string& from,
+                          const std::string& to) {
+  for (auto& s : body) {
+    if (s->lhs) rename_array(*s->lhs, from, to);
+    if (s->rhs) rename_array(*s->rhs, from, to);
+    if (s->cond) rename_array(*s->cond, from, to);
+    if (s->do_lo) rename_array(*s->do_lo, from, to);
+    if (s->do_hi) rename_array(*s->do_hi, from, to);
+    if (s->do_step) rename_array(*s->do_step, from, to);
+    for (auto& a : s->call_args) rename_array(*a, from, to);
+    rename_array_in_body(s->body, from, to);
+    rename_array_in_body(s->else_body, from, to);
+  }
+}
+
+ValidateDescAst make_desc(const AccessInfo& a, int schedule) {
+  ValidateDescAst d;
+  d.indirect = a.indirect;
+  d.data_array = a.array;
+  d.section_array = a.indirect ? a.ind_array : a.array;
+  d.access = a.access_string();
+  d.schedule = schedule;
+  for (const auto& dim : a.section) {
+    d.section.push_back(
+        SectionDimAst{dim.lower->clone(), dim.upper->clone(), dim.stride});
+  }
+  return d;
+}
+
+}  // namespace
+
+TransformResult transform(const SourceFile& input, TransformOptions opts) {
+  TransformResult result;
+  int schedule = opts.first_schedule;
+
+  for (const auto& unit : input.units) {
+    Unit out = clone_unit(unit);
+    const SymbolTable syms(unit);
+
+    std::vector<ValidateDescAst> descs;
+    for (auto& stmt : out.body) {
+      if (stmt->kind != StmtKind::kDo) continue;
+      const LoopSummary summary = analyze_loop(*stmt, syms);
+
+      // Arrays privatized in this loop: every access to them (direct or
+      // indirect) becomes private and needs no Validate.
+      std::vector<std::string> privatized;
+      if (opts.privatize_reductions) {
+        for (const AccessInfo& a : summary.accesses) {
+          if (a.indirect && a.written && !a.section.empty()) {
+            privatized.push_back(a.array);
+          }
+        }
+      }
+
+      for (const AccessInfo& a : summary.accesses) {
+        if (a.section.empty()) continue;  // analysis was defeated
+
+        // A direct read of an array that only feeds indirect accesses is
+        // the indirection array itself; Figure 2 does not fetch it
+        // explicitly (Read_indices touches it anyway).
+        if (!a.indirect && !a.written && !opts.fetch_indirection_arrays) {
+          const bool is_indirection_array =
+              std::any_of(summary.accesses.begin(), summary.accesses.end(),
+                          [&](const AccessInfo& other) {
+                            return other.indirect && other.ind_array == a.array;
+                          });
+          if (is_indirection_array) continue;
+        }
+
+        const bool is_privatized =
+            std::find(privatized.begin(), privatized.end(), a.array) !=
+            privatized.end();
+        if (is_privatized && !(a.indirect && a.written)) {
+          continue;  // body references renamed to the private array
+        }
+
+        if (a.indirect && a.written && opts.privatize_reductions) {
+          // Indirect reduction: accumulate into a private array instead of
+          // synchronizing on every element (paper Section 3.1).
+          const std::string priv = "LOCAL_" + a.array;
+          rename_array_in_body(stmt->body, a.array, priv);
+          ArrayDecl pd;
+          pd.name = priv;
+          const ArrayDecl* orig = unit.find_decl(a.array);
+          SDSM_ASSERT(orig != nullptr);
+          pd.elem = orig->elem;
+          pd.shared = false;
+          for (const auto& dim : orig->dims) pd.dims.push_back(dim->clone());
+          if (out.find_decl(priv) == nullptr) {
+            out.decls.push_back(std::move(pd));
+          }
+          result.reductions.push_back(
+              PrivatizedReduction{unit.name, a.array, priv});
+          continue;  // the private array needs no Validate
+        }
+
+        descs.push_back(make_desc(a, schedule));
+        ++schedule;
+        ++result.descriptors_emitted;
+      }
+    }
+
+    if (!descs.empty()) {
+      // Insert at the unit-entry fetch point (no interprocedural analysis).
+      out.body.insert(out.body.begin(), Stmt::validate(std::move(descs)));
+      ++result.validates_inserted;
+    }
+    result.transformed.units.push_back(std::move(out));
+  }
+  return result;
+}
+
+}  // namespace sdsm::compiler

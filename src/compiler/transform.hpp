@@ -1,0 +1,55 @@
+// The source-to-source transformation phase (Figure 1 -> Figure 2).
+//
+// For every program unit:
+//   1. Analyze each top-level loop nest with regular section analysis.
+//   2. Build a Validate statement from the access summary:
+//        - indirect READ accesses become INDIRECT descriptors (the section
+//          names the indirection array),
+//        - direct accesses on shared arrays become DIRECT descriptors,
+//          upgraded to WRITE_ALL / READ&WRITE_ALL when the loop provably
+//          writes the whole section;
+//   3. Optionally privatize indirect reductions: forces(n1) = forces(n1) +
+//      ... becomes local_forces(n1) = local_forces(n1) + ..., with
+//      local_forces declared private — the accumulate-then-pipelined-update
+//      pattern the paper applies to moldyn and nbf.  (The pipelined update
+//      phase itself is a separate loop the program already contains or the
+//      runtime application adds; the transform records that the reduction
+//      was privatized.)
+//   4. Insert the Validate at the unit entry fetch point (no
+//      interprocedural analysis, exactly as in the paper).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/compiler/ast.hpp"
+#include "src/compiler/section_analysis.hpp"
+
+namespace sdsm::compiler {
+
+struct TransformOptions {
+  bool privatize_reductions = true;
+  /// Also emit a DIRECT READ descriptor for each indirection array so that
+  /// Read_indices scans prefetched pages instead of demand-faulting them.
+  /// Off by default: the paper's Figure 2 emits only the INDIRECT
+  /// descriptor (the list pages arrive one at a time during the scan).
+  bool fetch_indirection_arrays = false;
+  int first_schedule = 1;
+};
+
+struct PrivatizedReduction {
+  std::string unit;
+  std::string shared_array;   ///< e.g. FORCES
+  std::string private_array;  ///< e.g. LOCAL_FORCES
+};
+
+struct TransformResult {
+  SourceFile transformed;
+  std::vector<PrivatizedReduction> reductions;
+  int validates_inserted = 0;
+  int descriptors_emitted = 0;
+};
+
+TransformResult transform(const SourceFile& input, TransformOptions opts = {});
+
+}  // namespace sdsm::compiler

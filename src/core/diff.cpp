@@ -1,0 +1,125 @@
+#include "src/core/diff.hpp"
+
+#include <cstring>
+
+namespace sdsm::core {
+
+namespace {
+
+constexpr std::size_t kRunHeader = 4;  // u16 offset + u16 len
+
+void put_u16(std::vector<std::uint8_t>& v, std::uint16_t x) {
+  v.push_back(static_cast<std::uint8_t>(x & 0xff));
+  v.push_back(static_cast<std::uint8_t>(x >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& v, std::uint32_t x) {
+  v.push_back(static_cast<std::uint8_t>(x & 0xff));
+  v.push_back(static_cast<std::uint8_t>((x >> 8) & 0xff));
+  v.push_back(static_cast<std::uint8_t>((x >> 16) & 0xff));
+  v.push_back(static_cast<std::uint8_t>(x >> 24));
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::size_t run_len(std::uint16_t encoded_len) {
+  return encoded_len == 0 ? 65536 : encoded_len;
+}
+
+}  // namespace
+
+Diff Diff::create(std::span<const std::byte> current,
+                  std::span<const std::byte> twin) {
+  SDSM_REQUIRE(current.size() == twin.size());
+  SDSM_REQUIRE(current.size() <= 65536);
+
+  Diff d;
+  put_u32(d.encoded_, 0);  // run count patched below
+  std::uint32_t nruns = 0;
+
+  const std::size_t n = current.size();
+  std::size_t i = 0;
+  while (i < n) {
+    if (current[i] == twin[i]) {
+      ++i;
+      continue;
+    }
+    // Start of a run; extend only while the bytes actually differ.  A diff
+    // must never carry unmodified bytes: concurrent writers of one page
+    // produce diffs that are merged in arbitrary relative order, and a
+    // bridged gap would ship this writer's (stale) copy of bytes some
+    // other writer owns, erasing that writer's update on merge.  Exact
+    // runs cost more headers for interleaved patterns; correctness of the
+    // multiple-writer protocol requires them.
+    std::size_t end = i + 1;
+    while (end < n && current[end] != twin[end]) ++end;
+    const std::size_t last_diff = end - 1;
+    const std::size_t len = last_diff - i + 1;
+    put_u16(d.encoded_, static_cast<std::uint16_t>(i));
+    put_u16(d.encoded_, static_cast<std::uint16_t>(len == 65536 ? 0 : len));
+    const auto* bytes = reinterpret_cast<const std::uint8_t*>(current.data());
+    d.encoded_.insert(d.encoded_.end(), bytes + i, bytes + i + len);
+    ++nruns;
+    i = last_diff + 1;
+  }
+
+  std::memcpy(d.encoded_.data(), &nruns, sizeof(nruns));
+  return d;
+}
+
+Diff Diff::whole(std::span<const std::byte> current) {
+  SDSM_REQUIRE(!current.empty() && current.size() <= 65536);
+  Diff d;
+  put_u32(d.encoded_, 1);
+  put_u16(d.encoded_, 0);
+  put_u16(d.encoded_,
+          static_cast<std::uint16_t>(current.size() == 65536 ? 0 : current.size()));
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(current.data());
+  d.encoded_.insert(d.encoded_.end(), bytes, bytes + current.size());
+  return d;
+}
+
+Diff Diff::from_bytes(std::vector<std::uint8_t> encoded) {
+  SDSM_REQUIRE(encoded.size() >= 4);
+  Diff d;
+  d.encoded_ = std::move(encoded);
+  return d;
+}
+
+void Diff::apply(std::span<std::byte> page) const {
+  const std::uint32_t nruns = num_runs();
+  std::size_t pos = 4;
+  for (std::uint32_t r = 0; r < nruns; ++r) {
+    SDSM_REQUIRE(pos + kRunHeader <= encoded_.size());
+    const std::size_t off = get_u16(encoded_.data() + pos);
+    const std::size_t len = run_len(get_u16(encoded_.data() + pos + 2));
+    pos += kRunHeader;
+    SDSM_REQUIRE(pos + len <= encoded_.size());
+    SDSM_REQUIRE(off + len <= page.size());
+    std::memcpy(page.data() + off, encoded_.data() + pos, len);
+    pos += len;
+  }
+  SDSM_ENSURE(pos == encoded_.size());
+}
+
+bool Diff::is_whole(std::size_t page_size) const {
+  if (num_runs() != 1) return false;
+  const std::size_t off = get_u16(encoded_.data() + 4);
+  const std::size_t len = run_len(get_u16(encoded_.data() + 6));
+  return off == 0 && len == page_size;
+}
+
+std::uint32_t Diff::num_runs() const {
+  if (encoded_.size() < 4) return 0;
+  return get_u32(encoded_.data());
+}
+
+}  // namespace sdsm::core

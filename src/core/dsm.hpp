@@ -1,0 +1,419 @@
+// The TreadMarks-style software DSM runtime: lazy release consistency with
+// a multiple-writer protocol, plus the paper's Validate communication-
+// aggregation extension for irregular accesses.
+//
+// Structure per simulated node:
+//   - one PageRegion: the node's private view of the shared offset space,
+//     protection-driven by the coherence protocol;
+//   - one compute thread (supplied by the application via DsmRuntime::run),
+//     which executes application code, takes page faults, and performs
+//     acquires/releases;
+//   - one service thread, which answers remote diff requests and hosts this
+//     node's share of the lock/barrier managers (standing in for
+//     TreadMarks' SIGIO request handler).
+//
+// Thread-safety contract: a node's page metadata is touched only by its
+// compute thread (including inside SIGSEGV handlers).  The interval table,
+// diff store, and lock/barrier state are shared between the node's compute
+// and service threads and guarded by meta_mu_.  Service threads never
+// block on other nodes, which rules out cross-node deadlock by
+// construction.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/stats.hpp"
+#include "src/common/types.hpp"
+#include "src/core/diff.hpp"
+#include "src/core/interval.hpp"
+#include "src/core/shmalloc.hpp"
+#include "src/core/vector_clock.hpp"
+#include "src/net/network.hpp"
+#include "src/rsd/regular_section.hpp"
+#include "src/vm/fault_dispatcher.hpp"
+#include "src/vm/page_region.hpp"
+
+namespace sdsm::core {
+
+struct DsmConfig {
+  std::uint32_t num_nodes = 8;
+  std::size_t region_bytes = 64u << 20;
+  net::WireModel wire{};
+  /// Diff-store garbage collection: when a node's stored diffs exceed this
+  /// many bytes it requests a GC at the next barrier.  The barrier then
+  /// runs a flush round — every node fetches all pending diffs — after
+  /// which all nodes discard their diff stores and interval logs
+  /// (TreadMarks GC).  0 disables collection.
+  std::size_t gc_threshold_bytes = 256u << 20;
+  /// Honour WRITE_ALL / READ&WRITE_ALL access descriptors (twin elision +
+  /// whole-page shipping).  Disabled by the ablation bench to measure the
+  /// "multiple overlapping diffs" effect the paper describes for reductions.
+  bool write_all_enabled = true;
+};
+
+// ---------------------------------------------------------------------------
+// Protocol messages (payload codecs live in dsm.cpp / sync.cpp).
+// ---------------------------------------------------------------------------
+
+enum MsgType : std::uint32_t {
+  kGetDiffs = 1,    ///< request stored diffs for a batch of (page, seqs)
+  kDiffsReply,
+  kLockAcquire,
+  kLockGrant,
+  kLockRelease,
+  kBarrierArrive,
+  kBarrierRelease,
+};
+
+// ---------------------------------------------------------------------------
+// Validate interface (Section 3.2 of the paper, Figure 3).
+// ---------------------------------------------------------------------------
+
+enum class Access : std::uint8_t {
+  kRead,          ///< READ
+  kWrite,         ///< WRITE
+  kReadWrite,     ///< READ&WRITE
+  kWriteAll,      ///< WRITE_ALL: every element of the section is written
+  kReadWriteAll,  ///< READ&WRITE_ALL: reduction over the whole section
+};
+
+enum class DescType : std::uint8_t {
+  kDirect,    ///< section describes the shared data itself
+  kIndirect,  ///< section describes the indirection array
+};
+
+/// One access descriptor, as passed to Validate in Figure 3.
+struct AccessDescriptor {
+  DescType type = DescType::kDirect;
+  Access access = Access::kRead;
+  std::uint32_t schedule = 0;  ///< identifier of the cached page set
+
+  /// Shared data array being accessed.
+  GlobalAddr data_base = 0;
+  std::size_t data_elem_size = 0;
+  rsd::ArrayLayout data_layout;  ///< used by kDirect sections
+
+  /// For kDirect: section of the data array.  For kIndirect: section of the
+  /// indirection array whose *values* index the data array.
+  rsd::RegularSection section;
+
+  /// Indirection array (kIndirect only).  Elements must be std::int32_t.
+  GlobalAddr ind_base = 0;
+  rsd::ArrayLayout ind_layout;
+};
+
+/// Builders mirroring the paper's descriptor forms.
+AccessDescriptor direct_desc(GlobalAddr base, std::size_t elem_size,
+                             rsd::ArrayLayout data_layout,
+                             rsd::RegularSection section, Access access,
+                             std::uint32_t schedule);
+AccessDescriptor indirect_desc(GlobalAddr data_base, std::size_t data_elem_size,
+                               GlobalAddr ind_base, rsd::ArrayLayout ind_layout,
+                               rsd::RegularSection ind_section, Access access,
+                               std::uint32_t schedule);
+
+// ---------------------------------------------------------------------------
+// Per-page protocol state.
+// ---------------------------------------------------------------------------
+
+enum class PageState : std::uint8_t {
+  kInvalid,    ///< PROT_NONE: unseen remote modifications pending
+  kReadOnly,   ///< PROT_READ: valid copy
+  kReadWrite,  ///< PROT_READ|WRITE: valid + locally modified (twinned)
+};
+
+/// A write notice that has invalidated the local copy but whose diff has not
+/// been applied yet.
+struct PendingNotice {
+  IntervalId ival;
+  bool whole_page = false;
+};
+
+struct PageMeta {
+  PageState state = PageState::kReadOnly;
+  /// Current hardware protection.  Usually implied by `state`, except for
+  /// watched indirection pages (write-protected while dirty).  Tracked so
+  /// redundant mprotect calls — expensive process-wide operations — can be
+  /// skipped and runs of pages changed with one syscall.
+  vm::Prot prot = vm::Prot::kRead;
+  bool dirty = false;
+  bool write_all = false;  ///< dirty in whole-page mode (no twin)
+  std::unique_ptr<std::byte[]> twin;
+  /// Write notices learned but not yet applied to this copy.
+  std::vector<PendingNotice> pending;
+  /// Schedules watching this page for indirection-array changes.
+  std::vector<std::uint32_t> watchers;
+};
+
+/// Dense per-creator interval log that supports discarding a prefix at GC:
+/// entries cover seqs [base+1, base+v.size()].
+struct MetaLog {
+  std::uint32_t base = 0;
+  std::vector<IntervalMeta> v;
+
+  const IntervalMeta& get(std::uint32_t seq) const {
+    SDSM_ASSERT(seq > base && seq <= max_seq());
+    return v[seq - base - 1];
+  }
+  std::uint32_t max_seq() const {
+    return base + static_cast<std::uint32_t>(v.size());
+  }
+  void push(IntervalMeta m) { v.push_back(std::move(m)); }
+  void drop_all() {
+    base = max_seq();
+    v.clear();
+  }
+};
+
+/// Cached page set of one Validate schedule (pages[sch] in Figure 3).
+struct ScheduleState {
+  bool valid = false;
+  bool indirection_changed = false;
+  std::vector<PageId> pages;
+};
+
+class DsmRuntime;
+
+// ---------------------------------------------------------------------------
+// DsmNode
+// ---------------------------------------------------------------------------
+
+class DsmNode {
+ public:
+  DsmNode(DsmRuntime& rt, NodeId id);
+  ~DsmNode();
+
+  DsmNode(const DsmNode&) = delete;
+  DsmNode& operator=(const DsmNode&) = delete;
+
+  NodeId id() const { return id_; }
+  std::uint32_t num_nodes() const;
+  std::size_t page_size() const { return region_.page_size(); }
+
+  /// Translates a shared handle to this node's private mapping.
+  template <typename T>
+  T* ptr(const GlobalArray<T>& ga) {
+    return reinterpret_cast<T*>(region_.base() + ga.addr);
+  }
+  std::byte* raw(GlobalAddr addr) { return region_.base() + addr; }
+
+  // --- Synchronization (the TreadMarks primitives) ------------------------
+
+  /// Global barrier over all nodes (centralized manager at node 0).
+  /// Doubles as the GC rendezvous: arrivals piggyback a GC request when the
+  /// local diff store is over threshold, and the release orders a global
+  /// flush-and-drop round.
+  void barrier();
+
+  /// Distributed lock; home is lock_id % num_nodes.
+  void lock_acquire(LockId lock);
+  void lock_release(LockId lock);
+
+  // --- Validate (the paper's contribution, Figure 3) ----------------------
+
+  /// Prefetches and pre-twins the pages named by the descriptors,
+  /// aggregating all diff requests to the same node into one message.
+  void validate(const std::vector<AccessDescriptor>& descs);
+
+  // --- Introspection -------------------------------------------------------
+
+  PageState page_state(PageId page) const { return pages_[page].state; }
+  const VectorClock& clock() const { return vc_; }
+  /// Bytes of encoded diffs currently held (own + cached).  Thread-safe.
+  std::size_t diff_store_bytes() {
+    std::lock_guard<std::mutex> g(meta_mu_);
+    return diff_store_bytes_;
+  }
+  DsmStats& stats();
+  const DsmConfig& config() const;
+
+ private:
+  friend class DsmRuntime;
+
+  // Fault path (runs inside the SIGSEGV handler on the compute thread).
+  void handle_fault(void* addr, vm::FaultAccess access);
+
+  // Demand fetch of a single invalid page (base TreadMarks behaviour).
+  void fetch_one_page(PageId page);
+
+  /// Fetch plan: which interval diffs are needed for each page, after the
+  /// whole-page supersede rule, and from whom.  As in TreadMarks, a page's
+  /// whole pending stack is requested from the *most recent modifier*: any
+  /// node whose write happened-after an interval has applied — and cached —
+  /// that interval's diff, so one request/response pair per dominant writer
+  /// suffices (this is what makes base TreadMarks ship "multiple
+  /// overlapping diffs" per request in the paper's reduction loops).
+  /// Concurrent (incomparable) top intervals are requested from each of
+  /// their creators.
+  struct FetchItem {
+    PageId page;
+    std::vector<IntervalId> ivals;  ///< diffs to pull from this target
+  };
+  /// Groups needed diffs by target node: result[target] lists items.
+  std::map<NodeId, std::vector<FetchItem>> plan_fetch(
+      const std::vector<PageId>& pages);
+
+  /// Sends one kGetDiffs per creator, waits for all replies, applies diffs
+  /// in HB order, marks pages kReadOnly.
+  void fetch_pages(const std::vector<PageId>& pages);
+
+  /// Creates a twin (or enters whole-page mode) and marks the page dirty.
+  /// The caller must make the page writable afterwards (set_prot /
+  /// set_prot_batch) — batched by Validate, immediate in the fault path.
+  void pre_twin(PageId page, bool whole_page_mode);
+
+  /// Protection setters that skip no-ops and (for the batch form) coalesce
+  /// contiguous runs into single mprotect calls.
+  void set_prot(PageId page, vm::Prot prot);
+  void set_prot_batch(std::vector<PageId> pages, vm::Prot prot);
+
+  /// Closes the current interval: encodes diffs of dirty pages, stores
+  /// them, downgrades pages to kReadOnly, returns the interval meta
+  /// (nullopt when nothing was written).
+  std::optional<IntervalMeta> close_interval();
+
+  /// Records foreign metas in the table (for later forwarding) and applies
+  /// the write notices (invalidations) of every meta this compute thread
+  /// has not applied yet.  Application is tracked by applied_vc_, which is
+  /// independent of the table: the service thread may have learned a meta
+  /// (e.g. as barrier manager) long before the compute thread acquires it.
+  void process_metas(std::vector<IntervalMeta> metas);
+
+  /// Metas from this node's table that `peer` may lack, given a lower bound
+  /// on the peer's clock.  Caller holds meta_mu_.
+  std::vector<IntervalMeta> metas_not_covered_locked(const VectorClock& bound);
+
+  /// Inserts metas into the table, ignoring duplicates.  Caller holds
+  /// meta_mu_.
+  void insert_metas_locked(const std::vector<IntervalMeta>& metas);
+
+  // Service side.
+  void service_loop();
+  void serve_get_diffs(const net::Message& msg);
+
+  // Lock/barrier manager state lives in sync.cpp helpers.
+  struct LockHome {
+    bool held = false;
+    NodeId holder = 0;
+    VectorClock last_release_vc;
+    struct Waiter {
+      NodeId node;
+      std::uint64_t request_id;
+      VectorClock vc;
+    };
+    std::vector<Waiter> queue;
+  };
+  struct BarrierMgr {
+    struct Arrival {
+      NodeId node;
+      std::uint64_t request_id;
+      VectorClock vc;
+    };
+    std::vector<Arrival> arrivals;
+    bool want_gc = false;
+  };
+
+  void barrier_round(bool allow_gc);
+  /// GC flush: fetches every page with pending write notices, emptying the
+  /// pending sets so the diff stores can be dropped.
+  void flush_all_pending();
+  /// Drops diff store and interval logs (post-flush, all-nodes-synced).
+  void gc_drop();
+
+  void serve_lock_acquire(const net::Message& msg);
+  void serve_lock_release(const net::Message& msg);
+  void serve_barrier_arrive(const net::Message& msg);
+  void grant_lock_locked(LockId lock, const LockHome::Waiter& to);
+
+  // Validate internals (validate.cpp).
+  std::vector<PageId> read_indices(const AccessDescriptor& desc);
+  std::vector<PageId> direct_pages(const AccessDescriptor& desc) const;
+  void watch_indirection_pages(const AccessDescriptor& desc,
+                               std::uint32_t schedule);
+  void notice_watched_page(PageId page);  ///< flags watching schedules
+
+  DsmRuntime& rt_;
+  const NodeId id_;
+  vm::PageRegion region_;
+
+  // Compute-thread-private protocol state.
+  std::vector<PageMeta> pages_;
+  VectorClock vc_;
+  /// Highest interval per creator whose write notices this compute thread
+  /// has applied.  May run ahead of vc_ (a grant can carry extra metas) but
+  /// never behind it.
+  VectorClock applied_vc_;
+  std::vector<PageId> dirty_pages_;
+  std::unordered_map<std::uint32_t, ScheduleState> schedules_;
+
+  // Shared between compute and service threads of this node.
+  std::mutex meta_mu_;
+  std::vector<MetaLog> table_;  // [creator]
+  /// Diffs held by this node, keyed by (page, creator, seq): its own plus
+  /// every remote diff it has applied (TreadMarks diff caching — the basis
+  /// of most-recent-modifier fetching).
+  std::unordered_map<std::uint64_t, std::vector<Diff>> diff_store_;
+  std::size_t diff_store_bytes_ = 0;  ///< encoded bytes held in diff_store_
+  std::vector<VectorClock> last_seen_vc_;  // lower bound on peers' knowledge
+  std::map<LockId, LockHome> lock_homes_;
+  BarrierMgr barrier_mgr_;
+
+  std::thread service_thread_;
+};
+
+// ---------------------------------------------------------------------------
+// DsmRuntime
+// ---------------------------------------------------------------------------
+
+class DsmRuntime {
+ public:
+  explicit DsmRuntime(DsmConfig config);
+  ~DsmRuntime();
+
+  DsmRuntime(const DsmRuntime&) = delete;
+  DsmRuntime& operator=(const DsmRuntime&) = delete;
+
+  const DsmConfig& config() const { return config_; }
+  std::uint32_t num_nodes() const { return config_.num_nodes; }
+
+  /// Allocates a shared array visible to all nodes.  Must not be called
+  /// while run() is active.  Page-aligned unless packed is true.
+  template <typename T>
+  GlobalArray<T> alloc_global(std::size_t count, bool packed = false) {
+    if (!packed) heap_.align_to_page();
+    const GlobalAddr addr = heap_.alloc(count * sizeof(T), alignof(T));
+    return GlobalArray<T>{addr, count};
+  }
+
+  /// Runs `body` on every node's compute thread and joins.
+  void run(const std::function<void(DsmNode&)>& body);
+
+  DsmNode& node(NodeId n) { return *nodes_[n]; }
+  net::Network& network() { return net_; }
+  DsmStats& stats() { return stats_; }
+
+  /// Total messages / payload bytes on the fabric (the paper's metrics).
+  std::uint64_t total_messages() { return net_.stats().messages.get(); }
+  double total_megabytes() { return net_.stats().megabytes(); }
+
+  void reset_stats();
+
+ private:
+  friend class DsmNode;
+
+  DsmConfig config_;
+  net::Network net_;
+  DsmStats stats_;
+  SharedHeap heap_;
+  std::vector<std::unique_ptr<DsmNode>> nodes_;
+};
+
+}  // namespace sdsm::core

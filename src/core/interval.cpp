@@ -1,0 +1,47 @@
+#include "src/core/interval.hpp"
+
+namespace sdsm::core {
+
+void IntervalMeta::serialize(Writer& w) const {
+  w.put<std::uint32_t>(id.node);
+  w.put<std::uint32_t>(id.seq);
+  vc.serialize(w);
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(notices.size()));
+  for (const auto& n : notices) {
+    w.put<std::uint32_t>(n.page);
+    w.put<std::uint8_t>(n.whole_page ? 1 : 0);
+  }
+}
+
+IntervalMeta IntervalMeta::deserialize(Reader& r) {
+  IntervalMeta m;
+  m.id.node = r.get<std::uint32_t>();
+  m.id.seq = r.get<std::uint32_t>();
+  m.vc = VectorClock::deserialize(r);
+  const auto n = r.get<std::uint32_t>();
+  m.notices.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    WriteNotice wn;
+    wn.page = r.get<std::uint32_t>();
+    wn.whole_page = r.get<std::uint8_t>() != 0;
+    m.notices.push_back(wn);
+  }
+  return m;
+}
+
+void serialize_metas(Writer& w, const std::vector<IntervalMeta>& metas) {
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(metas.size()));
+  for (const auto& m : metas) m.serialize(w);
+}
+
+std::vector<IntervalMeta> deserialize_metas(Reader& r) {
+  const auto n = r.get<std::uint32_t>();
+  std::vector<IntervalMeta> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    out.push_back(IntervalMeta::deserialize(r));
+  }
+  return out;
+}
+
+}  // namespace sdsm::core

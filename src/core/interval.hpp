@@ -1,0 +1,64 @@
+// Intervals and write notices: the bookkeeping units of lazy release
+// consistency.  A node's execution is divided into intervals delimited by
+// release operations (lock releases, barrier arrivals).  Closing an interval
+// produces one write notice per page modified during it; the notices travel
+// with synchronization messages and invalidate remote copies at acquire
+// time.  The diffs themselves stay with the creator until demanded.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/buffer.hpp"
+#include "src/common/types.hpp"
+#include "src/core/vector_clock.hpp"
+
+namespace sdsm::core {
+
+struct IntervalId {
+  NodeId node = 0;
+  std::uint32_t seq = 0;  ///< 1-based per-node interval counter
+
+  bool operator==(const IntervalId&) const = default;
+  auto operator<=>(const IntervalId&) const = default;
+};
+
+struct WriteNotice {
+  PageId page = 0;
+  /// True when the creator rewrote the page in its entirety (WRITE_ALL):
+  /// the stored "diff" is the whole page and supersedes older diffs.
+  bool whole_page = false;
+};
+
+/// Metadata describing one closed interval: identity, creation timestamp,
+/// and the pages it modified.  Shipped inside synchronization messages;
+/// kept by every node that has learned of the interval.
+struct IntervalMeta {
+  IntervalId id;
+  VectorClock vc;  ///< creator's clock *after* closing the interval
+  std::vector<WriteNotice> notices;
+
+  void serialize(Writer& w) const;
+  static IntervalMeta deserialize(Reader& r);
+};
+
+/// Serializes a batch of interval metas.
+void serialize_metas(Writer& w, const std::vector<IntervalMeta>& metas);
+std::vector<IntervalMeta> deserialize_metas(Reader& r);
+
+/// HB-consistent total-order key: sort by (vc.total, node, seq).  If
+/// interval a happened before b then key(a) < key(b); concurrent intervals
+/// order arbitrarily but deterministically.
+struct IntervalOrderKey {
+  std::uint64_t vc_total;
+  NodeId node;
+  std::uint32_t seq;
+
+  auto operator<=>(const IntervalOrderKey&) const = default;
+};
+
+inline IntervalOrderKey order_key(const IntervalMeta& m) {
+  return IntervalOrderKey{m.vc.total(), m.id.node, m.id.seq};
+}
+
+}  // namespace sdsm::core

@@ -1,0 +1,18 @@
+#include "src/core/shmalloc.hpp"
+
+namespace sdsm::core {
+
+GlobalAddr SharedHeap::alloc(std::size_t bytes, std::size_t align) {
+  SDSM_REQUIRE(bytes > 0);
+  SDSM_REQUIRE(align > 0 && (align & (align - 1)) == 0);
+  std::size_t start = (cursor_ + align - 1) & ~(align - 1);
+  SDSM_REQUIRE(start + bytes <= capacity_);
+  cursor_ = start + bytes;
+  return static_cast<GlobalAddr>(start);
+}
+
+void SharedHeap::align_to_page() {
+  cursor_ = (cursor_ + page_size_ - 1) / page_size_ * page_size_;
+}
+
+}  // namespace sdsm::core

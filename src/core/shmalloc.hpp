@@ -1,0 +1,55 @@
+// Shared-heap allocation.
+//
+// TreadMarks programs allocate shared memory dynamically with Tmk_malloc;
+// every node addresses the same object through the same offset.  Here the
+// host allocates before (or between) parallel phases through
+// DsmRuntime::alloc_global<T>(), which returns a GlobalArray handle — an
+// (offset, count) pair valid on every node.  Nodes translate handles to raw
+// pointers into their private mapping of the region.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/assert.hpp"
+#include "src/common/types.hpp"
+
+namespace sdsm::core {
+
+/// Typed handle to a shared array.  Trivially copyable: safe to capture in
+/// the lambdas handed to DsmRuntime::run().
+template <typename T>
+struct GlobalArray {
+  GlobalAddr addr = 0;
+  std::size_t count = 0;
+
+  /// Handle to the subarray [first, first+n).
+  GlobalArray<T> slice(std::size_t first, std::size_t n) const {
+    SDSM_REQUIRE(first + n <= count);
+    return GlobalArray<T>{addr + first * sizeof(T), n};
+  }
+};
+
+/// Bump allocator over the shared offset space.  Page-aligned by default so
+/// distinct arrays never share a page unless the caller asks for packed
+/// placement (used by the false-sharing experiments).
+class SharedHeap {
+ public:
+  SharedHeap(std::size_t capacity, std::size_t page_size)
+      : capacity_(capacity), page_size_(page_size) {}
+
+  GlobalAddr alloc(std::size_t bytes, std::size_t align);
+
+  /// Next allocation starts on a fresh page.
+  void align_to_page();
+
+  std::size_t used() const { return cursor_; }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t page_size_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace sdsm::core

@@ -1,0 +1,260 @@
+// Validate: the augmented run-time interface for irregular accesses
+// (Figure 3 of the paper).
+//
+// Call structure, mirroring the paper:
+//   - For every INDIRECT descriptor whose indirection-array section has been
+//     modified since the last call (detected via write protection), the page
+//     set pages[sch] is recomputed by Read_indices and the indirection pages
+//     are re-protected.
+//   - The invalid pages of all descriptors are fetched with one aggregated
+//     diff request per producer node (Fetch_diffs / Apply_diffs).
+//   - Pages that will be written are preemptively twinned (Create_twins), so
+//     the executor loop runs without a single protection violation.
+//   - WRITE_ALL / READ&WRITE_ALL sections skip twin creation on fully
+//     covered pages; their release-time "diff" is the entire page.
+//
+// Descriptors are processed in two rounds: DIRECT first, INDIRECT second.
+// This lets a program list the indirection array itself as a DIRECT READ
+// descriptor so that Read_indices scans locally valid pages instead of
+// demand-faulting them one at a time.
+#include <algorithm>
+#include <bit>
+
+#include "src/common/timer.hpp"
+#include "src/core/dsm.hpp"
+
+namespace sdsm::core {
+
+AccessDescriptor direct_desc(GlobalAddr base, std::size_t elem_size,
+                             rsd::ArrayLayout data_layout,
+                             rsd::RegularSection section, Access access,
+                             std::uint32_t schedule) {
+  AccessDescriptor d;
+  d.type = DescType::kDirect;
+  d.access = access;
+  d.schedule = schedule;
+  d.data_base = base;
+  d.data_elem_size = elem_size;
+  d.data_layout = std::move(data_layout);
+  d.section = std::move(section);
+  return d;
+}
+
+AccessDescriptor indirect_desc(GlobalAddr data_base, std::size_t data_elem_size,
+                               GlobalAddr ind_base, rsd::ArrayLayout ind_layout,
+                               rsd::RegularSection ind_section, Access access,
+                               std::uint32_t schedule) {
+  AccessDescriptor d;
+  d.type = DescType::kIndirect;
+  d.access = access;
+  d.schedule = schedule;
+  d.data_base = data_base;
+  d.data_elem_size = data_elem_size;
+  d.ind_base = ind_base;
+  d.ind_layout = std::move(ind_layout);
+  d.section = std::move(ind_section);
+  return d;
+}
+
+namespace {
+
+/// Byte extent of a DIRECT descriptor's section when it is dense
+/// (rank 1, unit stride); nullopt otherwise.  Used to decide which pages a
+/// WRITE_ALL section covers completely.
+struct DenseRange {
+  GlobalAddr lo;
+  GlobalAddr hi;  // exclusive
+};
+
+std::optional<DenseRange> dense_range(const AccessDescriptor& d) {
+  if (d.type != DescType::kDirect) return std::nullopt;
+  if (d.section.rank() != 1) return std::nullopt;
+  const rsd::Dim& dim = d.section.dim(0);
+  if (dim.stride != 1 || dim.count() == 0) return std::nullopt;
+  const GlobalAddr lo =
+      d.data_base + static_cast<GlobalAddr>(dim.lower) * d.data_elem_size;
+  return DenseRange{lo, lo + static_cast<GlobalAddr>(dim.count()) *
+                             d.data_elem_size};
+}
+
+bool page_fully_covered(PageId page, const DenseRange& r,
+                        std::size_t page_size) {
+  const GlobalAddr page_lo = static_cast<GlobalAddr>(page) * page_size;
+  return r.lo <= page_lo && page_lo + page_size <= r.hi;
+}
+
+bool writes(Access a) {
+  return a != Access::kRead;
+}
+bool whole_section_write(Access a) {
+  return a == Access::kWriteAll || a == Access::kReadWriteAll;
+}
+
+}  // namespace
+
+std::vector<PageId> DsmNode::direct_pages(const AccessDescriptor& desc) const {
+  return desc.section.pages(desc.data_base, desc.data_elem_size,
+                            desc.data_layout, region_.page_size());
+}
+
+std::vector<PageId> DsmNode::read_indices(const AccessDescriptor& desc) {
+  const Timer scan_timer;
+  const auto* ind =
+      reinterpret_cast<const std::int32_t*>(region_.base() + desc.ind_base);
+  const std::size_t ps = region_.page_size();
+  // Dedup through a page bitmap: the scan over the indirection array is the
+  // cost the paper compares against the CHAOS inspector, so it must stay a
+  // tight loop (one load, one shift, one or per index).
+  std::vector<std::uint64_t> bits((region_.num_pages() + 63) / 64, 0);
+  const auto mark = [&](std::int32_t v) {
+    SDSM_ASSERT(v >= 0);
+    const GlobalAddr lo =
+        desc.data_base + static_cast<GlobalAddr>(v) * desc.data_elem_size;
+    const GlobalAddr hi = lo + desc.data_elem_size - 1;
+    SDSM_ASSERT(hi < region_.size());
+    for (GlobalAddr a = lo / ps; a <= hi / ps; ++a) {
+      bits[a >> 6] |= std::uint64_t{1} << (a & 63);
+    }
+  };
+  if (const auto range = desc.section.contiguous_flat_range(desc.ind_layout)) {
+    // Reading ind[] may demand-fault list pages; that is the measured cost.
+    for (std::int64_t f = range->first; f <= range->second; ++f) mark(ind[f]);
+  } else {
+    desc.section.for_each_flat(desc.ind_layout,
+                               [&](std::int64_t flat) { mark(ind[flat]); });
+  }
+  std::vector<PageId> pages;
+  for (std::size_t w = 0; w < bits.size(); ++w) {
+    std::uint64_t word = bits[w];
+    while (word != 0) {
+      const int b = std::countr_zero(word);
+      word &= word - 1;
+      pages.push_back(static_cast<PageId>(w * 64 + b));
+    }
+  }
+  stats().scan_ns.add(static_cast<std::uint64_t>(scan_timer.elapsed_s() * 1e9));
+  return pages;
+}
+
+void DsmNode::watch_indirection_pages(const AccessDescriptor& desc,
+                                      std::uint32_t schedule) {
+  const auto ind_pages = desc.section.pages(
+      desc.ind_base, sizeof(std::int32_t), desc.ind_layout, region_.page_size());
+  for (const PageId page : ind_pages) {
+    PageMeta& pm = pages_[page];
+    if (std::find(pm.watchers.begin(), pm.watchers.end(), schedule) ==
+        pm.watchers.end()) {
+      pm.watchers.push_back(schedule);
+    }
+    if (pm.state == PageState::kReadWrite) {
+      // Dirty page: downgrade access so the next local write traps.  The
+      // twin and dirty flag stay; the fault handler simply restores write
+      // access after flagging the schedules.
+      set_prot(page, vm::Prot::kRead);
+    }
+  }
+}
+
+void DsmNode::notice_watched_page(PageId page) {
+  for (const std::uint32_t sch : pages_[page].watchers) {
+    auto it = schedules_.find(sch);
+    if (it != schedules_.end()) it->second.indirection_changed = true;
+  }
+}
+
+void DsmNode::validate(const std::vector<AccessDescriptor>& descs) {
+  stats().validate_calls.add(1);
+
+  std::vector<std::vector<PageId>> desc_pages(descs.size());
+  std::vector<std::vector<PageId>> full_pages(descs.size());
+
+  auto collect_round = [&](DescType round) {
+    std::vector<PageId> fetch;
+    for (std::size_t i = 0; i < descs.size(); ++i) {
+      const AccessDescriptor& desc = descs[i];
+      if (desc.type != round) continue;
+
+      if (desc.type == DescType::kIndirect) {
+        ScheduleState& sch = schedules_[desc.schedule];
+        if (!sch.valid || sch.indirection_changed) {
+          // modified(section) returned true: recompute pages[sch] and
+          // re-write-protect the indirection array.
+          stats().validate_recomputes.add(1);
+          sch.pages = read_indices(desc);
+          watch_indirection_pages(desc, desc.schedule);
+          sch.valid = true;
+          sch.indirection_changed = false;
+        }
+        desc_pages[i] = sch.pages;
+      } else {
+        desc_pages[i] = direct_pages(desc);
+      }
+
+      // Split WRITE_ALL-style sections into fully and partially covered
+      // pages; fully covered pages need no twin, and for kWriteAll (no
+      // read) they need no fetch either.
+      const bool wall = whole_section_write(desc.access) &&
+                        config().write_all_enabled;
+      std::optional<DenseRange> range =
+          wall ? dense_range(desc) : std::nullopt;
+      if (range) {
+        for (const PageId page : desc_pages[i]) {
+          if (page_fully_covered(page, *range, region_.page_size())) {
+            full_pages[i].push_back(page);
+          }
+        }
+      }
+
+      for (const PageId page : desc_pages[i]) {
+        if (pages_[page].state != PageState::kInvalid) continue;
+        if (desc.access == Access::kWriteAll &&
+            std::binary_search(full_pages[i].begin(), full_pages[i].end(),
+                               page)) {
+          // The executor rewrites the whole page: discard the pending
+          // notices instead of fetching dead data.  No protection change:
+          // Create_twins below makes the page writable.
+          PageMeta& pm = pages_[page];
+          pm.pending.clear();
+          pm.state = PageState::kReadOnly;
+          continue;
+        }
+        fetch.push_back(page);
+      }
+    }
+    std::sort(fetch.begin(), fetch.end());
+    fetch.erase(std::unique(fetch.begin(), fetch.end()), fetch.end());
+    // Re-check state: an earlier descriptor in this round may have fetched
+    // the page already (desc page lists overlap).
+    std::erase_if(fetch, [&](PageId p) {
+      return pages_[p].state != PageState::kInvalid;
+    });
+    if (!fetch.empty()) {
+      fetch_pages(fetch);
+      stats().pages_prefetched.add(fetch.size());
+    }
+  };
+
+  // DIRECT first so that indirection arrays named by DIRECT READ
+  // descriptors are local before Read_indices scans them.
+  collect_round(DescType::kDirect);
+  collect_round(DescType::kIndirect);
+
+  // Create_twins: preemptive write preparation, eliminating both the write
+  // fault and (for whole-section writes) the twin copy.  Protection
+  // upgrades are batched: one mprotect per run of contiguous pages.
+  std::vector<PageId> writable;
+  for (std::size_t i = 0; i < descs.size(); ++i) {
+    const AccessDescriptor& desc = descs[i];
+    if (!writes(desc.access)) continue;
+    for (const PageId page : desc_pages[i]) {
+      const bool whole =
+          whole_section_write(desc.access) &&
+          std::binary_search(full_pages[i].begin(), full_pages[i].end(), page);
+      pre_twin(page, whole);
+      writable.push_back(page);
+    }
+  }
+  set_prot_batch(std::move(writable), vm::Prot::kReadWrite);
+}
+
+}  // namespace sdsm::core

@@ -1,0 +1,50 @@
+#include "src/core/vector_clock.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sdsm::core {
+
+void VectorClock::merge(const VectorClock& other) {
+  SDSM_REQUIRE(other.c_.size() == c_.size());
+  for (std::size_t i = 0; i < c_.size(); ++i) {
+    c_[i] = std::max(c_[i], other.c_[i]);
+  }
+}
+
+bool VectorClock::dominates(const VectorClock& other) const {
+  SDSM_REQUIRE(other.c_.size() == c_.size());
+  for (std::size_t i = 0; i < c_.size(); ++i) {
+    if (c_[i] < other.c_[i]) return false;
+  }
+  return true;
+}
+
+std::uint64_t VectorClock::total() const {
+  std::uint64_t sum = 0;
+  for (auto v : c_) sum += v;
+  return sum;
+}
+
+void VectorClock::serialize(Writer& w) const {
+  w.put_span<std::uint32_t>(c_);
+}
+
+VectorClock VectorClock::deserialize(Reader& r) {
+  VectorClock vc;
+  vc.c_ = r.get_vector<std::uint32_t>();
+  return vc;
+}
+
+std::string VectorClock::to_string() const {
+  std::ostringstream os;
+  os << '<';
+  for (std::size_t i = 0; i < c_.size(); ++i) {
+    if (i > 0) os << ',';
+    os << c_[i];
+  }
+  os << '>';
+  return os.str();
+}
+
+}  // namespace sdsm::core

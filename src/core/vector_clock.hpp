@@ -1,0 +1,68 @@
+// Vector timestamps ordering the intervals of lazy release consistency.
+//
+// Component vc[n] counts the intervals of node n that this timestamp
+// covers.  An interval (n, s) "happened before" a state with clock vc iff
+// vc[n] >= s.  Interval metadata carries the creator's clock at creation;
+// two intervals are HB-ordered iff one clock dominates the other.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/assert.hpp"
+#include "src/common/buffer.hpp"
+#include "src/common/types.hpp"
+
+namespace sdsm::core {
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+  explicit VectorClock(std::uint32_t num_nodes) : c_(num_nodes, 0) {}
+
+  std::uint32_t size() const { return static_cast<std::uint32_t>(c_.size()); }
+
+  std::uint32_t get(NodeId n) const {
+    SDSM_REQUIRE(n < c_.size());
+    return c_[n];
+  }
+  void set(NodeId n, std::uint32_t v) {
+    SDSM_REQUIRE(n < c_.size());
+    c_[n] = v;
+  }
+  void bump(NodeId n) {
+    SDSM_REQUIRE(n < c_.size());
+    ++c_[n];
+  }
+
+  /// True when this clock covers interval (n, seq).
+  bool covers(NodeId n, std::uint32_t seq) const { return get(n) >= seq; }
+
+  /// Componentwise maximum.
+  void merge(const VectorClock& other);
+
+  /// True when every component of this clock >= the other's ("other
+  /// happened before or equals this").
+  bool dominates(const VectorClock& other) const;
+
+  bool concurrent_with(const VectorClock& other) const {
+    return !dominates(other) && !other.dominates(*this);
+  }
+
+  /// Sum of components: a monotone function of the happened-before order,
+  /// used to build an HB-consistent total order for diff application.
+  std::uint64_t total() const;
+
+  void serialize(Writer& w) const;
+  static VectorClock deserialize(Reader& r);
+
+  std::string to_string() const;
+
+  bool operator==(const VectorClock&) const = default;
+
+ private:
+  std::vector<std::uint32_t> c_;
+};
+
+}  // namespace sdsm::core

@@ -1,0 +1,52 @@
+#include "src/harness/experiment.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace sdsm::harness {
+
+Table::Table(std::string title, std::vector<std::string> /*extra_columns*/)
+    : title_(std::move(title)) {}
+
+void Table::add(Row row) { rows_.push_back(std::move(row)); }
+
+double speedup(double seq_seconds, double par_seconds) {
+  if (par_seconds <= 0) return 0;
+  return seq_seconds / par_seconds;
+}
+
+void Table::print(std::ostream& os) const {
+  os << "=== " << title_ << " ===\n";
+  os << std::left << std::setw(34) << "Group" << std::setw(16) << "Variant"
+     << std::right << std::setw(10) << "Time(s)" << std::setw(9) << "Speedup"
+     << std::setw(10) << "Messages" << std::setw(10) << "Data(MB)"
+     << std::setw(12) << "Ovhd(s)"
+     << "  Note\n";
+  std::string last_group;
+  for (const Row& r : rows_) {
+    const bool first_of_group = r.group != last_group;
+    os << std::left << std::setw(34) << (first_of_group ? r.group : "")
+       << std::setw(16) << r.variant << std::right << std::fixed
+       << std::setprecision(3) << std::setw(10) << r.seconds
+       << std::setprecision(2) << std::setw(9) << r.speedup << std::setw(10)
+       << r.messages << std::setprecision(2) << std::setw(10) << r.megabytes
+       << std::setprecision(4) << std::setw(12) << r.overhead_seconds << "  "
+       << r.note << "\n";
+    last_group = r.group;
+  }
+  os << "\n";
+}
+
+void Table::print_csv(std::ostream& os) const {
+  os << "# csv: group,variant,seconds,speedup,messages,megabytes,"
+        "overhead_seconds\n";
+  for (const Row& r : rows_) {
+    os << "# csv: " << r.group << ',' << r.variant << ',' << std::fixed
+       << std::setprecision(6) << r.seconds << ',' << std::setprecision(3)
+       << r.speedup << ',' << r.messages << ',' << std::setprecision(3)
+       << r.megabytes << ',' << std::setprecision(6) << r.overhead_seconds
+       << "\n";
+  }
+}
+
+}  // namespace sdsm::harness

@@ -1,0 +1,46 @@
+// Experiment harness: runs application variants and prints rows shaped like
+// the paper's Tables 1 and 2 (time, speedup, messages, data volume), plus a
+// machine-readable CSV line per row for EXPERIMENTS.md bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sdsm::harness {
+
+struct Row {
+  std::string group;    ///< e.g. "Every 12 iterations (seq = 1.23 s)"
+  std::string variant;  ///< "CHAOS" | "Tmk base" | "Tmk optimized"
+  double seconds = 0;
+  double speedup = 0;
+  std::uint64_t messages = 0;
+  double megabytes = 0;
+  /// Inspector time (CHAOS) or indirection-scan time (Tmk), per node.
+  double overhead_seconds = 0;
+  std::string note;
+};
+
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> extra_columns = {});
+
+  void add(Row row);
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Paper-style fixed-width table.
+  void print(std::ostream& os) const;
+
+  /// One CSV line per row (header first), for scripting.
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<Row> rows_;
+};
+
+/// speedup = seq / parallel, guarded against zero.
+double speedup(double seq_seconds, double par_seconds);
+
+}  // namespace sdsm::harness

@@ -1,0 +1,47 @@
+#include "src/partition/partition.hpp"
+
+#include "src/common/assert.hpp"
+
+namespace sdsm::part {
+
+std::vector<Range> block_partition(std::int64_t n, std::uint32_t nprocs) {
+  SDSM_REQUIRE(n >= 0 && nprocs >= 1);
+  std::vector<Range> out(nprocs);
+  const std::int64_t base = n / nprocs;
+  const std::int64_t extra = n % nprocs;
+  std::int64_t cursor = 0;
+  for (std::uint32_t p = 0; p < nprocs; ++p) {
+    const std::int64_t len = base + (p < static_cast<std::uint32_t>(extra) ? 1 : 0);
+    out[p] = Range{cursor, cursor + len};
+    cursor += len;
+  }
+  SDSM_ENSURE(cursor == n);
+  return out;
+}
+
+NodeId block_owner(std::int64_t i, std::int64_t n, std::uint32_t nprocs) {
+  SDSM_REQUIRE(i >= 0 && i < n);
+  const std::int64_t base = n / nprocs;
+  const std::int64_t extra = n % nprocs;
+  const std::int64_t fat = (base + 1) * extra;  // elements in the fat ranges
+  if (i < fat) return static_cast<NodeId>(i / (base + 1));
+  if (base == 0) return static_cast<NodeId>(nprocs - 1);
+  return static_cast<NodeId>(extra + (i - fat) / base);
+}
+
+NodeId cyclic_owner(std::int64_t i, std::uint32_t nprocs) {
+  SDSM_REQUIRE(i >= 0);
+  return static_cast<NodeId>(i % nprocs);
+}
+
+std::vector<std::vector<std::int64_t>> owners_to_lists(
+    std::span<const NodeId> owner, std::uint32_t nprocs) {
+  std::vector<std::vector<std::int64_t>> out(nprocs);
+  for (std::size_t i = 0; i < owner.size(); ++i) {
+    SDSM_REQUIRE(owner[i] < nprocs);
+    out[owner[i]].push_back(static_cast<std::int64_t>(i));
+  }
+  return out;
+}
+
+}  // namespace sdsm::part

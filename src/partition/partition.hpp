@@ -1,0 +1,52 @@
+// Data and iteration partitioners.
+//
+// CHAOS supports several parallel partitioners (Section 4 of the paper);
+// both the CHAOS applications and the TreadMarks applications use the same
+// RCB decomposition, so this library is shared between the two runtimes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/types.hpp"
+
+namespace sdsm::part {
+
+/// Contiguous index range [begin, end).
+struct Range {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+  std::int64_t size() const { return end - begin; }
+  bool contains(std::int64_t i) const { return i >= begin && i < end; }
+  bool operator==(const Range&) const = default;
+};
+
+/// BLOCK partition of n elements over nprocs processors: processor p owns
+/// one contiguous range; remainders spread over the first ranges.
+std::vector<Range> block_partition(std::int64_t n, std::uint32_t nprocs);
+
+/// Owner of element i under block_partition(n, nprocs).
+NodeId block_owner(std::int64_t i, std::int64_t n, std::uint32_t nprocs);
+
+/// CYCLIC partition: element i belongs to processor i % nprocs.
+NodeId cyclic_owner(std::int64_t i, std::uint32_t nprocs);
+
+/// 3-D point used by the RCB partitioner.
+struct Point3 {
+  double x = 0, y = 0, z = 0;
+};
+
+/// Recursive Coordinate Bisection: splits the point set along the widest
+/// spatial dimension at the weighted median, recursively, until each leaf
+/// holds the points of one processor.  Returns owner[i] for every point.
+/// Deterministic for a fixed input (ties broken by point index).
+std::vector<NodeId> rcb_partition(std::span<const Point3> points,
+                                  std::uint32_t nprocs);
+
+/// Groups element indices by owner: result[p] lists the elements owned by p,
+/// each list sorted ascending.
+std::vector<std::vector<std::int64_t>> owners_to_lists(
+    std::span<const NodeId> owner, std::uint32_t nprocs);
+
+}  // namespace sdsm::part

@@ -1,0 +1,88 @@
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/assert.hpp"
+#include "src/partition/partition.hpp"
+
+namespace sdsm::part {
+
+namespace {
+
+double coord(const Point3& p, int axis) {
+  switch (axis) {
+    case 0: return p.x;
+    case 1: return p.y;
+    default: return p.z;
+  }
+}
+
+/// Recursively assigns `procs` processors (ids [proc_lo, proc_lo+procs)) to
+/// the points indexed by idx[lo, hi).
+void rcb_recurse(std::span<const Point3> points, std::vector<std::int64_t>& idx,
+                 std::int64_t lo, std::int64_t hi, std::uint32_t proc_lo,
+                 std::uint32_t procs, std::vector<NodeId>& owner) {
+  if (procs == 1) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      owner[static_cast<std::size_t>(idx[i])] = proc_lo;
+    }
+    return;
+  }
+
+  // Choose the widest spatial dimension of this box.
+  double mins[3] = {1e300, 1e300, 1e300};
+  double maxs[3] = {-1e300, -1e300, -1e300};
+  for (std::int64_t i = lo; i < hi; ++i) {
+    const Point3& p = points[static_cast<std::size_t>(idx[i])];
+    for (int a = 0; a < 3; ++a) {
+      mins[a] = std::min(mins[a], coord(p, a));
+      maxs[a] = std::max(maxs[a], coord(p, a));
+    }
+  }
+  int axis = 0;
+  double best = -1;
+  for (int a = 0; a < 3; ++a) {
+    const double width = maxs[a] - mins[a];
+    if (width > best) {
+      best = width;
+      axis = a;
+    }
+  }
+
+  // Split processors in half (left gets the ceiling) and points
+  // proportionally, at the coordinate median.
+  const std::uint32_t left_procs = (procs + 1) / 2;
+  const std::int64_t n = hi - lo;
+  const std::int64_t left_n =
+      static_cast<std::int64_t>(std::llround(static_cast<double>(n) * left_procs / procs));
+  const std::int64_t cut = lo + std::clamp<std::int64_t>(left_n, 0, n);
+
+  auto cmp = [&](std::int64_t a, std::int64_t b) {
+    const double ca = coord(points[static_cast<std::size_t>(a)], axis);
+    const double cb = coord(points[static_cast<std::size_t>(b)], axis);
+    if (ca != cb) return ca < cb;
+    return a < b;  // deterministic tie-break
+  };
+  if (cut > lo && cut < hi) {
+    std::nth_element(idx.begin() + lo, idx.begin() + cut, idx.begin() + hi, cmp);
+  }
+
+  rcb_recurse(points, idx, lo, cut, proc_lo, left_procs, owner);
+  rcb_recurse(points, idx, cut, hi, proc_lo + left_procs, procs - left_procs,
+              owner);
+}
+
+}  // namespace
+
+std::vector<NodeId> rcb_partition(std::span<const Point3> points,
+                                  std::uint32_t nprocs) {
+  SDSM_REQUIRE(nprocs >= 1);
+  std::vector<NodeId> owner(points.size(), 0);
+  if (points.empty()) return owner;
+  std::vector<std::int64_t> idx(points.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<std::int64_t>(i);
+  rcb_recurse(points, idx, 0, static_cast<std::int64_t>(points.size()), 0,
+              nprocs, owner);
+  return owner;
+}
+
+}  // namespace sdsm::part

@@ -1,0 +1,229 @@
+#include "src/rsd/regular_section.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace sdsm::rsd {
+
+std::int64_t ArrayLayout::flatten(const std::vector<std::int64_t>& idx) const {
+  SDSM_REQUIRE(idx.size() == extents.size());
+  std::int64_t flat = 0;
+  if (column_major) {
+    std::int64_t mult = 1;
+    for (std::size_t d = 0; d < extents.size(); ++d) {
+      SDSM_REQUIRE(idx[d] >= 0 && idx[d] < extents[d]);
+      flat += idx[d] * mult;
+      mult *= extents[d];
+    }
+  } else {
+    std::int64_t mult = 1;
+    for (std::size_t d = extents.size(); d-- > 0;) {
+      SDSM_REQUIRE(idx[d] >= 0 && idx[d] < extents[d]);
+      flat += idx[d] * mult;
+      mult *= extents[d];
+    }
+  }
+  return flat;
+}
+
+std::int64_t RegularSection::count() const {
+  std::int64_t n = 1;
+  for (const auto& d : dims_) n *= d.count();
+  return dims_.empty() ? 0 : n;
+}
+
+bool RegularSection::contains(const std::vector<std::int64_t>& idx) const {
+  SDSM_REQUIRE(idx.size() == dims_.size());
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    if (!dims_[d].contains(idx[d])) return false;
+  }
+  return true;
+}
+
+bool RegularSection::contains_section(const RegularSection& other) const {
+  if (other.rank() != rank()) return false;
+  if (other.empty()) return true;
+  bool exact = true;
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    const Dim& a = dims_[d];
+    const Dim& b = other.dims_[d];
+    if (a.stride == b.stride ||
+        (a.stride == 1)) {  // unit stride contains any aligned subsection
+      if (b.lower < a.lower || b.upper > a.upper) return false;
+      if (a.stride != 1 &&
+          ((b.lower - a.lower) % a.stride != 0 || b.stride % a.stride != 0)) {
+        exact = false;
+      }
+    } else {
+      exact = false;
+    }
+  }
+  if (exact) return true;
+  // Fall back to explicit membership for small sections only.
+  constexpr std::int64_t kExplicitLimit = 4096;
+  if (other.count() > kExplicitLimit) return false;
+  bool all = true;
+  other.for_each([&](const std::vector<std::int64_t>& idx) {
+    if (!contains(idx)) all = false;
+  });
+  return all;
+}
+
+RegularSection RegularSection::intersect(const RegularSection& other) const {
+  SDSM_REQUIRE(other.rank() == rank());
+  std::vector<Dim> out;
+  out.reserve(dims_.size());
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    const Dim& a = dims_[d];
+    const Dim& b = other.dims_[d];
+    Dim r;
+    r.lower = std::max(a.lower, b.lower);
+    r.upper = std::min(a.upper, b.upper);
+    if (a.stride == b.stride) {
+      r.stride = a.stride;
+      if (a.stride > 1 && (a.lower - b.lower) % a.stride != 0) {
+        // Interleaved lattices never meet.
+        r.upper = r.lower - 1;
+      } else if (a.stride > 1 && r.upper >= r.lower) {
+        // Align the lower bound to the common lattice.
+        const std::int64_t misalign = (r.lower - a.lower) % a.stride;
+        if (misalign != 0) r.lower += a.stride - misalign;
+      }
+    } else {
+      // Conservative over-approximation: keep the bounds, use the finer
+      // stride.  Over-approximating a prefetch set is safe (extra pages),
+      // never incorrect.
+      r.stride = std::gcd(a.stride, b.stride);
+    }
+    if (r.upper < r.lower) return RegularSection({Dim{0, -1, 1}});
+    out.push_back(r);
+  }
+  return RegularSection(std::move(out));
+}
+
+void RegularSection::for_each(
+    const std::function<void(const std::vector<std::int64_t>&)>& fn) const {
+  if (empty()) return;
+  std::vector<std::int64_t> idx(dims_.size());
+  for (std::size_t d = 0; d < dims_.size(); ++d) idx[d] = dims_[d].lower;
+  for (;;) {
+    fn(idx);
+    // Advance first dimension fastest (Fortran order).
+    std::size_t d = 0;
+    for (; d < dims_.size(); ++d) {
+      idx[d] += dims_[d].stride;
+      if (idx[d] <= dims_[d].upper) break;
+      idx[d] = dims_[d].lower;
+    }
+    if (d == dims_.size()) return;
+  }
+}
+
+std::vector<std::int64_t> RegularSection::flat_indices(
+    const ArrayLayout& layout) const {
+  std::vector<std::int64_t> out;
+  out.reserve(static_cast<std::size_t>(count()));
+  for_each([&](const std::vector<std::int64_t>& idx) {
+    out.push_back(layout.flatten(idx));
+  });
+  return out;
+}
+
+std::optional<std::pair<std::int64_t, std::int64_t>>
+RegularSection::contiguous_flat_range(const ArrayLayout& layout) const {
+  if (empty()) return std::nullopt;
+  const std::size_t n = dims_.size();
+  if (layout.extents.size() != n) return std::nullopt;
+  // Walk dimensions fastest-varying first; find the last dim with more
+  // than one element.  Contiguity requires every faster dim to be full and
+  // dense, and that last partial dim to be dense.
+  std::size_t last_wide = 0;
+  bool any_wide = false;
+  auto fast_dim = [&](std::size_t k) {
+    return layout.column_major ? k : n - 1 - k;
+  };
+  for (std::size_t k = 0; k < n; ++k) {
+    if (dims_[fast_dim(k)].count() > 1) {
+      last_wide = k;
+      any_wide = true;
+    }
+  }
+  if (any_wide) {
+    for (std::size_t k = 0; k < last_wide; ++k) {
+      const Dim& d = dims_[fast_dim(k)];
+      if (d.stride != 1 || d.lower != 0 ||
+          d.upper != layout.extents[fast_dim(k)] - 1) {
+        return std::nullopt;
+      }
+    }
+    if (dims_[fast_dim(last_wide)].stride != 1) return std::nullopt;
+  }
+  std::vector<std::int64_t> lo(n), hi(n);
+  for (std::size_t d = 0; d < n; ++d) {
+    lo[d] = dims_[d].lower;
+    hi[d] = dims_[d].upper;
+  }
+  return std::make_pair(layout.flatten(lo), layout.flatten(hi));
+}
+
+std::vector<PageId> RegularSection::pages(GlobalAddr base,
+                                          std::size_t elem_size,
+                                          const ArrayLayout& layout,
+                                          std::size_t page_size) const {
+  if (const auto range = contiguous_flat_range(layout)) {
+    const GlobalAddr lo =
+        base + static_cast<GlobalAddr>(range->first) * elem_size;
+    const GlobalAddr hi =
+        base + static_cast<GlobalAddr>(range->second + 1) * elem_size - 1;
+    std::vector<PageId> out;
+    const auto first = static_cast<PageId>(lo / page_size);
+    const auto last = static_cast<PageId>(hi / page_size);
+    out.reserve(last - first + 1);
+    for (PageId p = first; p <= last; ++p) out.push_back(p);
+    return out;
+  }
+  std::vector<PageId> out;
+  out.reserve(64);
+  PageId last = kInvalidPage;
+  for_each_flat(layout, [&](std::int64_t flat) {
+    const GlobalAddr lo = base + static_cast<GlobalAddr>(flat) * elem_size;
+    const GlobalAddr hi = lo + elem_size - 1;
+    const auto first = static_cast<PageId>(lo / page_size);
+    const auto second = static_cast<PageId>(hi / page_size);
+    for (PageId p = first; p <= second; ++p) {
+      if (p != last) {
+        out.push_back(p);
+        last = p;
+      }
+    }
+  });
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::string RegularSection::to_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    if (d > 0) os << ", ";
+    os << dims_[d].lower << ':' << dims_[d].upper;
+    if (dims_[d].stride != 1) os << ':' << dims_[d].stride;
+  }
+  os << ']';
+  return os.str();
+}
+
+std::vector<PageId> pages_of_range(GlobalAddr base, std::size_t len,
+                                   std::size_t page_size) {
+  if (len == 0) return {};
+  const auto first = static_cast<PageId>(base / page_size);
+  const auto last = static_cast<PageId>((base + len - 1) / page_size);
+  std::vector<PageId> out;
+  out.reserve(last - first + 1);
+  for (PageId p = first; p <= last; ++p) out.push_back(p);
+  return out;
+}
+
+}  // namespace sdsm::rsd

@@ -1,0 +1,152 @@
+#include "src/vm/fault_dispatcher.hpp"
+
+#include <signal.h>
+#include <string.h>
+#include <ucontext.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <array>
+#include <cstdint>
+#include <mutex>
+
+#include "src/common/assert.hpp"
+
+namespace sdsm::vm {
+
+namespace {
+
+constexpr std::size_t kMaxRegions = 128;
+constexpr int kMaxNestedFaults = 64;
+
+thread_local int g_fault_depth = 0;
+
+struct RegionEntry {
+  // `lo` doubles as the occupancy flag: 0 means free.  Entries are written
+  // under a mutex and read lock-free from the signal handler; the store
+  // order below (handler first, then lo) makes a half-registered entry
+  // invisible.
+  std::atomic<std::uintptr_t> lo{0};
+  std::atomic<std::uintptr_t> hi{0};
+  FaultHandler handler;
+};
+
+[[noreturn]] void die_in_handler(const char* msg) {
+  // write(2) is async-signal-safe, unlike fprintf.
+  [[maybe_unused]] ssize_t n = ::write(STDERR_FILENO, msg, ::strlen(msg));
+  ::abort();
+}
+
+}  // namespace
+
+struct FaultDispatcher::Impl {
+  std::mutex mu;  // serializes register/unregister
+  std::array<RegionEntry, kMaxRegions> regions;
+  std::atomic<bool> installed{false};
+};
+
+FaultDispatcher::Impl& FaultDispatcher::impl() {
+  static Impl* impl = new Impl();  // leaked: must outlive all threads
+  return *impl;
+}
+
+FaultDispatcher& FaultDispatcher::instance() {
+  static FaultDispatcher dispatcher;
+  return dispatcher;
+}
+
+void FaultDispatcher::register_region(void* base, std::size_t len,
+                                      FaultHandler handler) {
+  SDSM_REQUIRE(base != nullptr && len > 0);
+  Impl& im = impl();
+  std::lock_guard<std::mutex> g(im.mu);
+  if (!im.installed.load(std::memory_order_acquire)) {
+    struct sigaction sa;
+    ::memset(&sa, 0, sizeof(sa));
+    sa.sa_sigaction = reinterpret_cast<void (*)(int, siginfo_t*, void*)>(
+        &FaultDispatcher::on_signal);
+    // SA_NODEFER allows the nested faults described in the header comment;
+    // SA_RESTART keeps interrupted syscalls in other code paths transparent.
+    sa.sa_flags = SA_SIGINFO | SA_NODEFER | SA_RESTART;
+    ::sigemptyset(&sa.sa_mask);
+    SDSM_ASSERT(::sigaction(SIGSEGV, &sa, nullptr) == 0);
+    im.installed.store(true, std::memory_order_release);
+  }
+  const auto lo = reinterpret_cast<std::uintptr_t>(base);
+  for (auto& e : im.regions) {
+    if (e.lo.load(std::memory_order_relaxed) == 0) {
+      e.handler = std::move(handler);
+      e.hi.store(lo + len, std::memory_order_relaxed);
+      e.lo.store(lo, std::memory_order_release);
+      return;
+    }
+  }
+  SDSM_UNREACHABLE("fault dispatcher region table full");
+}
+
+void FaultDispatcher::unregister_region(void* base) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> g(im.mu);
+  const auto lo = reinterpret_cast<std::uintptr_t>(base);
+  for (auto& e : im.regions) {
+    if (e.lo.load(std::memory_order_relaxed) == lo) {
+      e.lo.store(0, std::memory_order_release);
+      e.hi.store(0, std::memory_order_relaxed);
+      e.handler = nullptr;
+      return;
+    }
+  }
+  SDSM_UNREACHABLE("unregister of unknown region");
+}
+
+std::size_t FaultDispatcher::num_regions() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> g(im.mu);
+  std::size_t n = 0;
+  for (auto& e : im.regions) {
+    if (e.lo.load(std::memory_order_relaxed) != 0) ++n;
+  }
+  return n;
+}
+
+void FaultDispatcher::on_signal(int /*signo*/, void* info_v, void* ucontext_v) {
+  auto* info = static_cast<siginfo_t*>(info_v);
+  auto* addr = info->si_addr;
+  const auto a = reinterpret_cast<std::uintptr_t>(addr);
+
+  FaultAccess access = FaultAccess::kUnknown;
+#if defined(__x86_64__)
+  // Bit 1 of the page-fault error code distinguishes write (1) from read (0).
+  // Real hardware always sets bit 0 (protection violation) for faults on
+  // mprotect-ed pages, so err == 0 means the kernel (e.g. a sandboxed one)
+  // did not populate the error code: report kUnknown and let the caller
+  // fall back to protection-state escalation.
+  auto* uc = static_cast<ucontext_t*>(ucontext_v);
+  const auto err = static_cast<std::uint64_t>(uc->uc_mcontext.gregs[REG_ERR]);
+  if (err != 0) {
+    access = (err & 0x2) != 0 ? FaultAccess::kWrite : FaultAccess::kRead;
+  }
+#else
+  (void)ucontext_v;
+#endif
+
+  Impl& im = impl();
+  for (auto& e : im.regions) {
+    const auto lo = e.lo.load(std::memory_order_acquire);
+    if (lo == 0 || a < lo) continue;
+    if (a >= e.hi.load(std::memory_order_relaxed)) continue;
+    if (++g_fault_depth > kMaxNestedFaults) {
+      die_in_handler("sdsm: fault handler recursion limit exceeded\n");
+    }
+    e.handler(addr, access);
+    --g_fault_depth;
+    return;  // retry the faulting instruction
+  }
+
+  // Not one of ours: restore the default action and return, so the retried
+  // access produces an ordinary crash with a usable core dump.
+  ::signal(SIGSEGV, SIG_DFL);
+  die_in_handler("sdsm: SIGSEGV outside registered DSM regions\n");
+}
+
+}  // namespace sdsm::vm

@@ -1,0 +1,61 @@
+// Process-wide SIGSEGV dispatcher.
+//
+// TreadMarks detects shared-memory accesses with virtual-memory protection:
+// an invalid access raises SIGSEGV, and the handler runs the coherence
+// protocol before retrying the faulting instruction.  This dispatcher
+// reproduces that machinery for multiple simulated nodes inside one process:
+// each node registers its PageRegion with a callback, and the signal handler
+// routes the fault to the region containing the faulting address.
+//
+// Handler execution context: the callback runs on the faulting (compute)
+// thread inside the signal handler.  It may allocate, take locks, and block
+// on the message fabric — this is safe for the same reason it was safe in
+// TreadMarks: faults are only ever raised by *application* accesses to
+// shared data, never from inside the runtime's own critical sections, so no
+// lock can be held by the interrupted code.  Nested faults (e.g. the handler
+// reads a protected indirection-array page while computing a prefetch set)
+// are supported via SA_NODEFER, with a depth guard against runaway
+// recursion.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace sdsm::vm {
+
+enum class FaultAccess : std::uint8_t {
+  kRead,
+  kWrite,
+  kUnknown,  ///< architecture did not expose the access type
+};
+
+/// Resolves the fault so the access can be retried, or aborts.
+using FaultHandler = std::function<void(void* addr, FaultAccess access)>;
+
+class FaultDispatcher {
+ public:
+  static FaultDispatcher& instance();
+
+  FaultDispatcher(const FaultDispatcher&) = delete;
+  FaultDispatcher& operator=(const FaultDispatcher&) = delete;
+
+  /// Registers [base, base+len) with a handler.  Installs the SIGSEGV action
+  /// on first use.  The handler must stay valid until unregister_region.
+  void register_region(void* base, std::size_t len, FaultHandler handler);
+
+  /// Removes a previously registered region.
+  void unregister_region(void* base);
+
+  /// Number of currently registered regions (for tests).
+  std::size_t num_regions() const;
+
+ private:
+  FaultDispatcher() = default;
+
+  static void on_signal(int signo, void* info, void* ucontext);
+  struct Impl;
+  static Impl& impl();
+};
+
+}  // namespace sdsm::vm

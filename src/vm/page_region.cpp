@@ -1,0 +1,97 @@
+#include "src/vm/page_region.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+
+#include "src/common/assert.hpp"
+
+namespace sdsm::vm {
+
+namespace {
+
+int to_native(Prot prot) {
+  switch (prot) {
+    case Prot::kNone:
+      return PROT_NONE;
+    case Prot::kRead:
+      return PROT_READ;
+    case Prot::kReadWrite:
+      return PROT_READ | PROT_WRITE;
+  }
+  SDSM_UNREACHABLE("bad Prot");
+}
+
+}  // namespace
+
+std::size_t system_page_size() {
+  static const std::size_t size = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  return size;
+}
+
+PageRegion::PageRegion(std::size_t bytes, Prot initial)
+    : page_size_(system_page_size()) {
+  SDSM_REQUIRE(bytes > 0);
+  size_ = (bytes + page_size_ - 1) / page_size_ * page_size_;
+  const int fd = static_cast<int>(
+      ::memfd_create("sdsm-region", MFD_CLOEXEC));
+  SDSM_REQUIRE(fd >= 0);
+  const int trc = ::ftruncate(fd, static_cast<off_t>(size_));
+  SDSM_REQUIRE(trc == 0);
+  void* p = ::mmap(nullptr, size_, to_native(initial), MAP_SHARED, fd, 0);
+  void* m = ::mmap(nullptr, size_, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (p == MAP_FAILED || m == MAP_FAILED) {
+    std::perror("sdsm: mmap");
+    SDSM_ASSERT(p != MAP_FAILED && m != MAP_FAILED);
+  }
+  base_ = static_cast<std::byte*>(p);
+  mirror_ = static_cast<std::byte*>(m);
+}
+
+PageRegion::~PageRegion() {
+  if (base_ != nullptr) ::munmap(base_, size_);
+  if (mirror_ != nullptr) ::munmap(mirror_, size_);
+}
+
+PageId PageRegion::page_of(const void* addr) const {
+  SDSM_REQUIRE(contains(addr));
+  const auto off =
+      static_cast<std::size_t>(static_cast<const std::byte*>(addr) - base_);
+  return static_cast<PageId>(off / page_size_);
+}
+
+std::byte* PageRegion::page_ptr(PageId page) const {
+  SDSM_REQUIRE(page < num_pages());
+  return base_ + static_cast<std::size_t>(page) * page_size_;
+}
+
+std::byte* PageRegion::mirror_ptr(PageId page) const {
+  SDSM_REQUIRE(page < num_pages());
+  return mirror_ + static_cast<std::size_t>(page) * page_size_;
+}
+
+void PageRegion::protect(PageId first, std::size_t count, Prot prot) {
+  SDSM_REQUIRE(first + count <= num_pages());
+  if (count == 0) return;
+  const int rc =
+      ::mprotect(page_ptr(first), count * page_size_, to_native(prot));
+  if (rc != 0) {
+    std::perror("sdsm: mprotect");
+    SDSM_ASSERT(rc == 0);
+  }
+}
+
+void PageRegion::protect_pages(std::span<const PageId> pages, Prot prot) {
+  std::size_t i = 0;
+  while (i < pages.size()) {
+    std::size_t j = i + 1;
+    while (j < pages.size() && pages[j] == pages[j - 1] + 1) ++j;
+    protect(pages[i], j - i, prot);
+    i = j;
+  }
+}
+
+}  // namespace sdsm::vm

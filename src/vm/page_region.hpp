@@ -1,0 +1,77 @@
+// RAII wrapper around an mmap region with per-page protection control.
+// Each simulated node owns one PageRegion: its private view of the global
+// shared address space.  The DSM protocol drives page state transitions
+// through protect(); stray application accesses fault exactly as they would
+// on a TreadMarks node.
+//
+// The region is backed by a memfd mapped twice: the *access* view (base()),
+// whose protections the protocol manages, and a *mirror* view that is always
+// readable and writable.  The runtime applies diffs and copies twins through
+// the mirror, so protocol-internal data movement needs no protection flips —
+// the same separation TreadMarks achieved with its unprotected runtime
+// window, and essential here because all nodes share one process:
+// mprotect() serializes on the address-space lock and broadcasts TLB
+// shootdowns, so every avoided call matters.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "src/common/types.hpp"
+
+namespace sdsm::vm {
+
+enum class Prot : std::uint8_t {
+  kNone,       ///< PROT_NONE  - invalid page, any access faults
+  kRead,       ///< PROT_READ  - valid page, writes fault (twin on demand)
+  kReadWrite,  ///< PROT_READ|PROT_WRITE - dirty page
+};
+
+class PageRegion {
+ public:
+  /// Maps `bytes` (rounded up to a page multiple) of zero-filled memory with
+  /// initial protection `initial`.
+  explicit PageRegion(std::size_t bytes, Prot initial = Prot::kRead);
+  ~PageRegion();
+
+  PageRegion(const PageRegion&) = delete;
+  PageRegion& operator=(const PageRegion&) = delete;
+
+  std::byte* base() const { return base_; }
+  std::size_t size() const { return size_; }
+  std::size_t page_size() const { return page_size_; }
+  std::size_t num_pages() const { return size_ / page_size_; }
+
+  bool contains(const void* addr) const {
+    const auto* p = static_cast<const std::byte*>(addr);
+    return p >= base_ && p < base_ + size_;
+  }
+
+  /// Page index of an address inside the region.
+  PageId page_of(const void* addr) const;
+
+  /// Start of page `page` within this region (the protection-managed view).
+  std::byte* page_ptr(PageId page) const;
+
+  /// Start of page `page` within the always-read-write mirror view.  Writes
+  /// land in the same physical pages as base() but never fault.
+  std::byte* mirror_ptr(PageId page) const;
+
+  /// Changes protection of `count` pages starting at `first`.
+  void protect(PageId first, std::size_t count, Prot prot);
+
+  /// Changes protection of every page in `pages` (sorted, unique) with one
+  /// mprotect call per contiguous run.
+  void protect_pages(std::span<const PageId> pages, Prot prot);
+
+ private:
+  std::byte* base_ = nullptr;
+  std::byte* mirror_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t page_size_ = 0;
+};
+
+/// System page size (cached).
+std::size_t system_page_size();
+
+}  // namespace sdsm::vm

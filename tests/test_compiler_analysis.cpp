@@ -1,0 +1,306 @@
+// Tests for regular section analysis, fetch points, the Validate-insertion
+// transform (the paper's Figure 1 -> Figure 2), and lowering to runtime
+// descriptors.
+#include <gtest/gtest.h>
+
+#include "src/compiler/fetch_points.hpp"
+#include "src/compiler/lowering.hpp"
+#include "src/compiler/parser.hpp"
+#include "src/compiler/pretty.hpp"
+#include "src/compiler/section_analysis.hpp"
+#include "src/compiler/transform.hpp"
+
+namespace sdsm::compiler {
+namespace {
+
+const char* kMoldynForces =
+    "SUBROUTINE COMPUTEFORCES\n"
+    "  SHARED REAL X(16384), FORCES(16384)\n"
+    "  SHARED INTEGER INTERACTION_LIST(2, 100000)\n"
+    "  INTEGER I, N1, N2\n"
+    "  REAL FORCE\n"
+    "DO I = 1, NUM_INTERACTIONS\n"
+    "  N1 = INTERACTION_LIST(1, I)\n"
+    "  N2 = INTERACTION_LIST(2, I)\n"
+    "  FORCE = X(N1) - X(N2)\n"
+    "  FORCES(N1) = FORCES(N1) + FORCE\n"
+    "  FORCES(N2) = FORCES(N2) - FORCE\n"
+    "ENDDO\n"
+    "END\n";
+
+TEST(SectionAnalysis, RecognizesIndirectReadThroughInteractionList) {
+  auto file = parse(kMoldynForces);
+  const Unit& u = file.units[0];
+  SymbolTable syms(u);
+  auto summary = analyze_loop(*u.body[0], syms);
+
+  const AccessInfo* x = summary.find("X");
+  ASSERT_NE(x, nullptr);
+  EXPECT_TRUE(x->indirect);
+  EXPECT_EQ(x->ind_array, "INTERACTION_LIST");
+  EXPECT_TRUE(x->read);
+  EXPECT_FALSE(x->written);
+  // Section of the indirection array: [1:2, 1:NUM_INTERACTIONS].
+  ASSERT_EQ(x->section.size(), 2u);
+  EXPECT_EQ(print_expr(*x->section[0].lower), "1");
+  EXPECT_EQ(print_expr(*x->section[0].upper), "2");
+  EXPECT_EQ(print_expr(*x->section[1].lower), "1");
+  EXPECT_EQ(print_expr(*x->section[1].upper), "NUM_INTERACTIONS");
+}
+
+TEST(SectionAnalysis, RecognizesIndirectReduction) {
+  auto file = parse(kMoldynForces);
+  const Unit& u = file.units[0];
+  SymbolTable syms(u);
+  auto summary = analyze_loop(*u.body[0], syms);
+
+  const AccessInfo* f = summary.find("FORCES");
+  ASSERT_NE(f, nullptr);
+  EXPECT_TRUE(f->indirect);
+  EXPECT_TRUE(f->read);
+  EXPECT_TRUE(f->written);
+  EXPECT_EQ(f->access_string(), "READ&WRITE");
+}
+
+TEST(SectionAnalysis, DirectAffineSection) {
+  auto file = parse(
+      "SUBROUTINE S\n"
+      "  SHARED REAL A(1000)\n"
+      "DO I = 1, N\n"
+      "  A(I) = 0\n"
+      "ENDDO\n"
+      "END\n");
+  SymbolTable syms(file.units[0]);
+  auto summary = analyze_loop(*file.units[0].body[0], syms);
+  const AccessInfo* a = summary.find("A");
+  ASSERT_NE(a, nullptr);
+  EXPECT_FALSE(a->indirect);
+  EXPECT_TRUE(a->written);
+  EXPECT_FALSE(a->read);
+  EXPECT_TRUE(a->covers_section);  // WRITE_ALL candidate
+  EXPECT_EQ(a->access_string(), "WRITE_ALL");
+  EXPECT_EQ(print_expr(*a->section[0].lower), "1");
+  EXPECT_EQ(print_expr(*a->section[0].upper), "N");
+  EXPECT_EQ(a->section[0].stride, 1);
+}
+
+TEST(SectionAnalysis, DenseReductionIsReadWriteAll) {
+  auto file = parse(
+      "SUBROUTINE S\n"
+      "  SHARED REAL A(1000)\n"
+      "DO I = 1, N\n"
+      "  A(I) = A(I) + 1\n"
+      "ENDDO\n"
+      "END\n");
+  SymbolTable syms(file.units[0]);
+  auto summary = analyze_loop(*file.units[0].body[0], syms);
+  const AccessInfo* a = summary.find("A");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->access_string(), "READ&WRITE_ALL");
+}
+
+TEST(SectionAnalysis, StridedAndOffsetSubscripts) {
+  auto file = parse(
+      "SUBROUTINE S\n"
+      "  SHARED REAL A(1000)\n"
+      "DO I = 1, N, 2\n"
+      "  A(3*I + 10) = 0\n"
+      "ENDDO\n"
+      "END\n");
+  SymbolTable syms(file.units[0]);
+  auto summary = analyze_loop(*file.units[0].body[0], syms);
+  const AccessInfo* a = summary.find("A");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(print_expr(*a->section[0].lower), "13");
+  EXPECT_EQ(print_expr(*a->section[0].upper), "3*N + 10");
+  EXPECT_EQ(a->section[0].stride, 6);  // coeff 3 * step 2
+  EXPECT_FALSE(a->covers_section);     // strided writes do not cover
+}
+
+TEST(SectionAnalysis, NestedLoopTwoDimensionalSection) {
+  auto file = parse(
+      "SUBROUTINE S\n"
+      "  SHARED REAL A(100, 100)\n"
+      "DO J = 1, M\n"
+      "  DO I = 1, N\n"
+      "    A(I, J) = 0\n"
+      "  ENDDO\n"
+      "ENDDO\n"
+      "END\n");
+  SymbolTable syms(file.units[0]);
+  auto summary = analyze_loop(*file.units[0].body[0], syms);
+  const AccessInfo* a = summary.find("A");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->section.size(), 2u);
+  EXPECT_EQ(print_expr(*a->section[0].upper), "N");
+  EXPECT_EQ(print_expr(*a->section[1].upper), "M");
+}
+
+TEST(SectionAnalysis, PrivateArraysAreIgnored) {
+  auto file = parse(
+      "SUBROUTINE S\n"
+      "  REAL LOCAL(100)\n"
+      "  SHARED REAL A(100)\n"
+      "DO I = 1, N\n"
+      "  LOCAL(I) = A(I)\n"
+      "ENDDO\n"
+      "END\n");
+  SymbolTable syms(file.units[0]);
+  auto summary = analyze_loop(*file.units[0].body[0], syms);
+  EXPECT_EQ(summary.find("LOCAL"), nullptr);
+  EXPECT_NE(summary.find("A"), nullptr);
+}
+
+TEST(SectionAnalysis, NonAffineSubscriptDefeatsAnalysisSafely) {
+  auto file = parse(
+      "SUBROUTINE S\n"
+      "  SHARED REAL A(100)\n"
+      "DO I = 1, N\n"
+      "  A(I*I) = 0\n"
+      "ENDDO\n"
+      "END\n");
+  SymbolTable syms(file.units[0]);
+  auto summary = analyze_loop(*file.units[0].body[0], syms);
+  const AccessInfo* a = summary.find("A");
+  ASSERT_NE(a, nullptr);
+  EXPECT_TRUE(a->section.empty());  // recorded but unqualified
+}
+
+TEST(FetchPoints, IncludesEntryLoopsCallsAndSyncs) {
+  auto file = parse(
+      "PROGRAM P\n"
+      "CALL INIT()\n"
+      "BARRIER\n"
+      "DO I = 1, N\n"
+      "  X = I\n"
+      "ENDDO\n"
+      "IF (N .GT. 0) THEN\n"
+      "  X = 0\n"
+      "ENDIF\n"
+      "END\n");
+  auto points = fetch_points(file.units[0]);
+  ASSERT_EQ(points.size(), 5u);
+  EXPECT_EQ(points[0].kind, FetchPointKind::kUnitEntry);
+  EXPECT_EQ(points[1].kind, FetchPointKind::kCallSite);
+  EXPECT_EQ(points[2].kind, FetchPointKind::kSyncPoint);
+  EXPECT_EQ(points[3].kind, FetchPointKind::kLoopBoundary);
+  EXPECT_EQ(points[4].kind, FetchPointKind::kConditional);
+}
+
+TEST(Transform, InsertsValidateAtUnitEntry) {
+  auto result = transform(parse(kMoldynForces));
+  const Unit& u = result.transformed.units[0];
+  ASSERT_FALSE(u.body.empty());
+  EXPECT_EQ(u.body[0]->kind, StmtKind::kValidate);
+  EXPECT_EQ(result.validates_inserted, 1);
+  // X is fetched through the indirection array.
+  ASSERT_EQ(u.body[0]->descs.size(), 1u);
+  const ValidateDescAst& d = u.body[0]->descs[0];
+  EXPECT_TRUE(d.indirect);
+  EXPECT_EQ(d.data_array, "X");
+  EXPECT_EQ(d.section_array, "INTERACTION_LIST");
+  EXPECT_EQ(d.access, "READ");
+}
+
+TEST(Transform, PrivatizesIndirectReduction) {
+  auto result = transform(parse(kMoldynForces));
+  ASSERT_EQ(result.reductions.size(), 1u);
+  EXPECT_EQ(result.reductions[0].shared_array, "FORCES");
+  EXPECT_EQ(result.reductions[0].private_array, "LOCAL_FORCES");
+  // The transformed body uses LOCAL_FORCES, exactly like Figure 2.
+  const std::string text = print_unit(result.transformed.units[0]);
+  EXPECT_NE(text.find("LOCAL_FORCES(N1) = LOCAL_FORCES(N1) + FORCE"),
+            std::string::npos);
+  EXPECT_EQ(text.find("FORCES(N1) = FORCES(N1)"), std::string::npos);
+  // And LOCAL_FORCES is declared private (no SHARED attribute).
+  EXPECT_NE(text.find("  REAL LOCAL_FORCES(16384)"), std::string::npos);
+}
+
+TEST(Transform, Figure2ShapeReproduced) {
+  auto result = transform(parse(kMoldynForces));
+  const std::string text = print_unit(result.transformed.units[0]);
+  EXPECT_NE(
+      text.find(
+          "CALL Validate(1, INDIRECT, X, "
+          "INTERACTION_LIST[1:2, 1:NUM_INTERACTIONS], READ, 1)"),
+      std::string::npos)
+      << text;
+}
+
+TEST(Transform, WithoutPrivatizationEmitsIndirectReadWrite) {
+  TransformOptions opts;
+  opts.privatize_reductions = false;
+  auto result = transform(parse(kMoldynForces), opts);
+  const Unit& u = result.transformed.units[0];
+  ASSERT_EQ(u.body[0]->descs.size(), 2u);
+  EXPECT_EQ(u.body[0]->descs[1].data_array, "FORCES");
+  EXPECT_EQ(u.body[0]->descs[1].access, "READ&WRITE");
+}
+
+TEST(Transform, DirectWriteAllGetsUpgradedAccess) {
+  auto result = transform(parse(
+      "SUBROUTINE CLEAR\n"
+      "  SHARED REAL A(4096)\n"
+      "DO I = 1, N\n"
+      "  A(I) = 0\n"
+      "ENDDO\n"
+      "END\n"));
+  const Unit& u = result.transformed.units[0];
+  ASSERT_EQ(u.body[0]->kind, StmtKind::kValidate);
+  EXPECT_EQ(u.body[0]->descs[0].access, "WRITE_ALL");
+}
+
+TEST(Transform, UnitsWithoutSharedAccessesAreUntouched) {
+  auto result = transform(parse(
+      "SUBROUTINE PURE\n"
+      "  REAL T(10)\n"
+      "DO I = 1, 10\n"
+      "  T(I) = I\n"
+      "ENDDO\n"
+      "END\n"));
+  EXPECT_EQ(result.validates_inserted, 0);
+  EXPECT_EQ(result.transformed.units[0].body[0]->kind, StmtKind::kDo);
+}
+
+TEST(Lowering, SectionBecomesZeroBasedRsd) {
+  std::vector<SectionDimAst> section;
+  section.push_back(SectionDimAst{Expr::int_lit(1), Expr::var("N"), 1});
+  Env env{{"N", 100}};
+  auto rsd = lower_section(section, env);
+  EXPECT_EQ(rsd.dim(0).lower, 0);
+  EXPECT_EQ(rsd.dim(0).upper, 99);
+  EXPECT_EQ(rsd.count(), 100);
+}
+
+TEST(Lowering, ValidateStatementToRuntimeDescriptors) {
+  auto result = transform(parse(kMoldynForces));
+  const Stmt& v = *result.transformed.units[0].body[0];
+
+  Bindings arrays;
+  arrays["X"] = ArrayBinding{0, sizeof(double), rsd::ArrayLayout{{16384}, true}};
+  arrays["INTERACTION_LIST"] =
+      ArrayBinding{16384 * sizeof(double), sizeof(std::int32_t),
+                   rsd::ArrayLayout{{2, 100000}, true}};
+  Env scalars{{"NUM_INTERACTIONS", 5000}};
+
+  auto descs = lower_validate(v, arrays, scalars);
+  ASSERT_EQ(descs.size(), 1u);
+  EXPECT_EQ(descs[0].type, core::DescType::kIndirect);
+  EXPECT_EQ(descs[0].access, core::Access::kRead);
+  EXPECT_EQ(descs[0].data_base, 0u);
+  EXPECT_EQ(descs[0].data_elem_size, sizeof(double));
+  EXPECT_EQ(descs[0].section.dim(0).lower, 0);
+  EXPECT_EQ(descs[0].section.dim(0).upper, 1);
+  EXPECT_EQ(descs[0].section.dim(1).upper, 4999);
+}
+
+TEST(Lowering, AccessStringsMapToRuntimeEnum) {
+  EXPECT_EQ(parse_access("READ"), core::Access::kRead);
+  EXPECT_EQ(parse_access("WRITE"), core::Access::kWrite);
+  EXPECT_EQ(parse_access("READ&WRITE"), core::Access::kReadWrite);
+  EXPECT_EQ(parse_access("WRITE_ALL"), core::Access::kWriteAll);
+  EXPECT_EQ(parse_access("READ&WRITE_ALL"), core::Access::kReadWriteAll);
+}
+
+}  // namespace
+}  // namespace sdsm::compiler

@@ -1,0 +1,235 @@
+// Tests for the mini-Fortran lexer, parser, and pretty-printer, including
+// the parse-print round-trip property.
+#include <gtest/gtest.h>
+
+#include "src/compiler/lexer.hpp"
+#include "src/compiler/parser.hpp"
+#include "src/compiler/pretty.hpp"
+
+namespace sdsm::compiler {
+namespace {
+
+TEST(Lexer, TokenizesKeywordsCaseInsensitively) {
+  auto toks = lex("program Foo\nend\n");
+  ASSERT_GE(toks.size(), 4u);
+  EXPECT_EQ(toks[0].kind, Tok::kProgram);
+  EXPECT_EQ(toks[1].kind, Tok::kIdent);
+  EXPECT_EQ(toks[1].text, "FOO");
+}
+
+TEST(Lexer, TokenizesDotOperators) {
+  auto toks = lex("a .EQ. b\n");
+  EXPECT_EQ(toks[1].kind, Tok::kEq);
+  toks = lex("a .ge. b\n");
+  EXPECT_EQ(toks[1].kind, Tok::kGe);
+}
+
+TEST(Lexer, DistinguishesIntAndRealLiterals) {
+  auto toks = lex("x = 42\ny = 3.5\n");
+  EXPECT_EQ(toks[2].kind, Tok::kIntLit);
+  EXPECT_EQ(toks[2].int_val, 42);
+  EXPECT_EQ(toks[6].kind, Tok::kRealLit);
+  EXPECT_DOUBLE_EQ(toks[6].real_val, 3.5);
+}
+
+TEST(Lexer, IntFollowedByDotOperatorIsNotAReal) {
+  auto toks = lex("IF (1 .EQ. n) THEN\n");
+  // 1 then .EQ. then n
+  EXPECT_EQ(toks[2].kind, Tok::kIntLit);
+  EXPECT_EQ(toks[3].kind, Tok::kEq);
+}
+
+TEST(Lexer, SkipsComments) {
+  auto toks = lex("! a comment line\nx = 1\nC old-style comment\n");
+  EXPECT_EQ(toks[0].kind, Tok::kIdent);
+  EXPECT_EQ(toks[0].text, "X");
+}
+
+TEST(Lexer, ReportsLineNumbers) {
+  auto toks = lex("x = 1\ny = 2\n");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[4].line, 2);
+}
+
+TEST(Lexer, ThrowsOnBadCharacter) {
+  EXPECT_THROW(lex("x = #\n"), CompileError);
+}
+
+TEST(Parser, ParsesEmptyProgram) {
+  auto file = parse("PROGRAM EMPTY\nEND\n");
+  ASSERT_EQ(file.units.size(), 1u);
+  EXPECT_EQ(file.units[0].name, "EMPTY");
+  EXPECT_EQ(file.units[0].kind, UnitKind::kProgram);
+  EXPECT_TRUE(file.units[0].body.empty());
+}
+
+TEST(Parser, ParsesDeclarations) {
+  auto file = parse(
+      "SUBROUTINE S\n"
+      "SHARED REAL x(100), forces(100)\n"
+      "SHARED INTEGER list(2, n)\n"
+      "INTEGER i, n1\n"
+      "END\n");
+  const Unit& u = file.units[0];
+  ASSERT_EQ(u.decls.size(), 5u);
+  EXPECT_TRUE(u.decls[0].shared);
+  EXPECT_EQ(u.decls[0].elem, ElemType::kReal);
+  EXPECT_EQ(u.decls[0].dims.size(), 1u);
+  EXPECT_TRUE(u.decls[2].shared);
+  EXPECT_EQ(u.decls[2].elem, ElemType::kInteger);
+  EXPECT_EQ(u.decls[2].dims.size(), 2u);
+  EXPECT_FALSE(u.decls[3].shared);
+  EXPECT_TRUE(u.decls[3].is_scalar());
+}
+
+TEST(Parser, ParsesDoLoopWithBody) {
+  auto file = parse(
+      "PROGRAM P\n"
+      "DO i = 1, n\n"
+      "  a(i) = a(i) + 1\n"
+      "ENDDO\n"
+      "END\n");
+  const Stmt& s = *file.units[0].body[0];
+  EXPECT_EQ(s.kind, StmtKind::kDo);
+  EXPECT_EQ(s.do_var, "I");
+  EXPECT_EQ(s.body.size(), 1u);
+  EXPECT_EQ(s.body[0]->kind, StmtKind::kAssign);
+}
+
+TEST(Parser, ParsesDoLoopWithStep) {
+  auto file = parse("PROGRAM P\nDO i = 1, 100, 2\nx = i\nENDDO\nEND\n");
+  const Stmt& s = *file.units[0].body[0];
+  ASSERT_TRUE(s.do_step != nullptr);
+  EXPECT_EQ(s.do_step->int_val, 2);
+}
+
+TEST(Parser, ParsesIfThenElse) {
+  auto file = parse(
+      "PROGRAM P\n"
+      "IF (MOD(step, k) .EQ. 0) THEN\n"
+      "  CALL rebuild()\n"
+      "ELSE\n"
+      "  x = 1\n"
+      "ENDIF\n"
+      "END\n");
+  const Stmt& s = *file.units[0].body[0];
+  EXPECT_EQ(s.kind, StmtKind::kIf);
+  EXPECT_EQ(s.body.size(), 1u);
+  EXPECT_EQ(s.body[0]->kind, StmtKind::kCall);
+  EXPECT_EQ(s.body[0]->callee, "REBUILD");
+  EXPECT_EQ(s.else_body.size(), 1u);
+}
+
+TEST(Parser, ParsesNestedLoops) {
+  auto file = parse(
+      "PROGRAM P\n"
+      "DO i = 1, n\n"
+      "  DO j = 1, m\n"
+      "    a(i, j) = 0\n"
+      "  ENDDO\n"
+      "ENDDO\n"
+      "END\n");
+  const Stmt& outer = *file.units[0].body[0];
+  EXPECT_EQ(outer.body[0]->kind, StmtKind::kDo);
+  EXPECT_EQ(outer.body[0]->do_var, "J");
+}
+
+TEST(Parser, ExpressionPrecedence) {
+  auto file = parse("PROGRAM P\nx = a + b*c - d/e\nEND\n");
+  const Expr& rhs = *file.units[0].body[0]->rhs;
+  // ((a + b*c) - d/e)
+  EXPECT_EQ(rhs.kind, ExprKind::kBin);
+  EXPECT_EQ(rhs.op, BinOp::kSub);
+  EXPECT_EQ(rhs.lhs->op, BinOp::kAdd);
+  EXPECT_EQ(rhs.lhs->rhs->op, BinOp::kMul);
+  EXPECT_EQ(rhs.rhs->op, BinOp::kDiv);
+}
+
+TEST(Parser, UnaryMinus) {
+  auto file = parse("PROGRAM P\nx = -y\nEND\n");
+  const Expr& rhs = *file.units[0].body[0]->rhs;
+  EXPECT_EQ(rhs.kind, ExprKind::kBin);
+  EXPECT_EQ(rhs.op, BinOp::kSub);
+  EXPECT_TRUE(rhs.lhs->is_int(0));
+}
+
+TEST(Parser, ModIsIntrinsicNotArray) {
+  auto file = parse("PROGRAM P\nx = MOD(a, b)\nEND\n");
+  EXPECT_EQ(file.units[0].body[0]->rhs->kind, ExprKind::kIntrinsic);
+}
+
+TEST(Parser, MultipleUnits) {
+  auto file = parse(
+      "PROGRAM MAIN\nCALL S()\nEND\n"
+      "\n"
+      "SUBROUTINE S\nx = 1\nEND\n");
+  ASSERT_EQ(file.units.size(), 2u);
+  EXPECT_EQ(file.units[1].kind, UnitKind::kSubroutine);
+  EXPECT_NE(file.find_unit("S"), nullptr);
+  EXPECT_EQ(file.find_unit("MISSING"), nullptr);
+}
+
+TEST(Parser, ThrowsOnMissingEnd) {
+  EXPECT_THROW(parse("PROGRAM P\nx = 1\n"), CompileError);
+}
+
+TEST(Parser, ThrowsOnBadAssignmentTarget) {
+  EXPECT_THROW(parse("PROGRAM P\n1 = x\nEND\n"), CompileError);
+}
+
+TEST(Eval, EvaluatesArithmetic) {
+  auto file = parse("PROGRAM P\nx = 2*n + MOD(7, 3) - 1\nEND\n");
+  Env env{{"N", 10}};
+  EXPECT_EQ(eval_int(*file.units[0].body[0]->rhs, env), 20 + 1 - 1);
+}
+
+TEST(Fold, FoldsConstantsAndIdentities) {
+  auto file = parse("PROGRAM P\nx = 1*n + 0\ny = 2 + 3\nEND\n");
+  EXPECT_EQ(print_expr(*fold(*file.units[0].body[0]->rhs)), "N");
+  EXPECT_EQ(print_expr(*fold(*file.units[0].body[1]->rhs)), "5");
+}
+
+TEST(Pretty, PrintParseRoundTripIsStable) {
+  const std::string source =
+      "PROGRAM MOLDYN\n"
+      "  SHARED REAL X(16384), FORCES(16384)\n"
+      "  SHARED INTEGER INTERACTION_LIST(2, 100000)\n"
+      "DO STEP = 1, NSTEPS\n"
+      "  IF (MOD(STEP, UPDATE_INTERVAL) .EQ. 0) THEN\n"
+      "    CALL BUILD_INTERACTION_LIST()\n"
+      "  ENDIF\n"
+      "  CALL COMPUTEFORCES()\n"
+      "ENDDO\n"
+      "END\n";
+  auto once = print_file(parse(source));
+  auto twice = print_file(parse(once));
+  EXPECT_EQ(once, twice);
+}
+
+TEST(Pretty, RoundTripPreservesSemanticsOnKernels) {
+  const std::string kernels[] = {
+      "SUBROUTINE COMPUTEFORCES\n"
+      "  SHARED REAL X(N), FORCES(N)\n"
+      "  SHARED INTEGER INTERACTION_LIST(2, M)\n"
+      "DO I = 1, NUM_INTERACTIONS\n"
+      "  N1 = INTERACTION_LIST(1, I)\n"
+      "  N2 = INTERACTION_LIST(2, I)\n"
+      "  FORCE = X(N1) - X(N2)\n"
+      "  FORCES(N1) = FORCES(N1) + FORCE\n"
+      "  FORCES(N2) = FORCES(N2) - FORCE\n"
+      "ENDDO\n"
+      "END\n",
+      "PROGRAM P\n"
+      "DO I = 1, N, 3\n"
+      "  A(2*I + 1) = B(I)*C(I - 1)\n"
+      "ENDDO\n"
+      "END\n",
+  };
+  for (const auto& k : kernels) {
+    auto once = print_file(parse(k));
+    EXPECT_EQ(once, print_file(parse(once)));
+  }
+}
+
+}  // namespace
+}  // namespace sdsm::compiler

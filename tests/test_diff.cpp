@@ -1,0 +1,250 @@
+// Tests for the twin/diff machinery: RLE encoding round-trips, whole-page
+// capture, merge behaviour of concurrent diffs, and size properties.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/core/diff.hpp"
+
+namespace sdsm::core {
+namespace {
+
+constexpr std::size_t kPage = 4096;
+
+std::vector<std::byte> page_of(unsigned char fill) {
+  return std::vector<std::byte>(kPage, std::byte{fill});
+}
+
+TEST(Diff, NoChangesProducesEmptyDiff) {
+  auto twin = page_of(7);
+  auto cur = twin;
+  Diff d = Diff::create(cur, twin);
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.num_runs(), 0u);
+}
+
+TEST(Diff, SingleByteChange) {
+  auto twin = page_of(0);
+  auto cur = twin;
+  cur[100] = std::byte{0xff};
+  Diff d = Diff::create(cur, twin);
+  EXPECT_EQ(d.num_runs(), 1u);
+
+  auto target = page_of(0);
+  d.apply(target);
+  EXPECT_EQ(target, cur);
+}
+
+TEST(Diff, ApplyRestoresModifiedPage) {
+  auto twin = page_of(3);
+  auto cur = twin;
+  for (std::size_t i = 10; i < 50; ++i) cur[i] = std::byte{0xaa};
+  for (std::size_t i = 1000; i < 1200; ++i) cur[i] = std::byte{0xbb};
+  Diff d = Diff::create(cur, twin);
+
+  auto target = page_of(3);
+  d.apply(target);
+  EXPECT_EQ(target, cur);
+}
+
+TEST(Diff, GapsAreNeverBridged) {
+  // Runs must carry modified bytes only: bridging the 2-byte gap below
+  // would ship this writer's (possibly stale) copy of bytes a concurrent
+  // writer may own, corrupting the multiple-writer merge.
+  auto twin = page_of(0);
+  auto cur = twin;
+  cur[10] = std::byte{1};
+  cur[13] = std::byte{1};
+  Diff d = Diff::create(cur, twin);
+  EXPECT_EQ(d.num_runs(), 2u);
+  // A concurrent writer's update to the gap byte must survive the apply.
+  auto target = page_of(0);
+  target[11] = std::byte{42};
+  d.apply(target);
+  EXPECT_EQ(target[10], std::byte{1});
+  EXPECT_EQ(target[11], std::byte{42});
+  EXPECT_EQ(target[13], std::byte{1});
+}
+
+TEST(Diff, LargeGapsStaySeparateRuns) {
+  auto twin = page_of(0);
+  auto cur = twin;
+  cur[10] = std::byte{1};
+  cur[500] = std::byte{1};
+  Diff d = Diff::create(cur, twin);
+  EXPECT_EQ(d.num_runs(), 2u);
+}
+
+TEST(Diff, EncodedSizeTracksModificationSize) {
+  auto twin = page_of(0);
+  auto small = twin;
+  small[0] = std::byte{1};
+  auto large = twin;
+  for (std::size_t i = 0; i < 2048; ++i) large[i] = std::byte{2};
+  EXPECT_LT(Diff::create(small, twin).encoded_size(),
+            Diff::create(large, twin).encoded_size());
+  // A small diff is far cheaper than a page.
+  EXPECT_LT(Diff::create(small, twin).encoded_size(), 64u);
+}
+
+TEST(Diff, WholePageCapture) {
+  auto cur = page_of(9);
+  Diff d = Diff::whole(cur);
+  EXPECT_TRUE(d.is_whole(kPage));
+  EXPECT_EQ(d.num_runs(), 1u);
+  auto target = page_of(0);
+  d.apply(target);
+  EXPECT_EQ(target, cur);
+}
+
+TEST(Diff, IsWholeFalseForPartialDiffs) {
+  auto twin = page_of(0);
+  auto cur = twin;
+  cur[5] = std::byte{1};
+  EXPECT_FALSE(Diff::create(cur, twin).is_whole(kPage));
+}
+
+TEST(Diff, FullPageModificationIsDetectedAsWhole) {
+  auto twin = page_of(0);
+  auto cur = page_of(1);
+  Diff d = Diff::create(cur, twin);
+  EXPECT_TRUE(d.is_whole(kPage));
+}
+
+TEST(Diff, WireRoundTrip) {
+  auto twin = page_of(0);
+  auto cur = twin;
+  for (std::size_t i = 100; i < 300; i += 7) cur[i] = std::byte{0x5c};
+  Diff d = Diff::create(cur, twin);
+  Diff d2 = Diff::from_bytes(d.bytes());
+  auto target = page_of(0);
+  d2.apply(target);
+  EXPECT_EQ(target, cur);
+}
+
+TEST(Diff, ConcurrentDisjointDiffsMerge) {
+  // Two writers of the same page touching disjoint halves: applying both
+  // diffs to a third copy must merge the writes (multiple-writer protocol).
+  auto base = page_of(0);
+  auto w1 = base;
+  auto w2 = base;
+  for (std::size_t i = 0; i < kPage / 2; i += 3) w1[i] = std::byte{0x11};
+  for (std::size_t i = kPage / 2; i < kPage; i += 5) w2[i] = std::byte{0x22};
+  Diff d1 = Diff::create(w1, base);
+  Diff d2 = Diff::create(w2, base);
+
+  auto merged = base;
+  d1.apply(merged);
+  d2.apply(merged);
+  for (std::size_t i = 0; i < kPage / 2; ++i) {
+    EXPECT_EQ(merged[i], (i % 3 == 0) ? std::byte{0x11} : std::byte{0});
+  }
+  for (std::size_t i = kPage / 2; i < kPage; ++i) {
+    EXPECT_EQ(merged[i], ((i - kPage / 2) % 5 == 0) ? std::byte{0x22}
+                                                    : std::byte{0});
+  }
+
+  // Order must not matter for disjoint writes.
+  auto merged2 = base;
+  d2.apply(merged2);
+  d1.apply(merged2);
+  EXPECT_EQ(merged, merged2);
+}
+
+TEST(Diff, SequentialDiffsComposeInOrder) {
+  auto v0 = page_of(0);
+  auto v1 = v0;
+  v1[10] = std::byte{1};
+  Diff d01 = Diff::create(v1, v0);
+  auto v2 = v1;
+  v2[10] = std::byte{2};
+  v2[20] = std::byte{3};
+  Diff d12 = Diff::create(v2, v1);
+
+  auto target = v0;
+  d01.apply(target);
+  d12.apply(target);
+  EXPECT_EQ(target, v2);
+}
+
+class DiffProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DiffProperty, RandomPatternsRoundTrip) {
+  sdsm::Rng rng(static_cast<std::uint64_t>(GetParam()) * 6151 + 13);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto twin = page_of(0);
+    for (auto& b : twin) {
+      b = std::byte{static_cast<unsigned char>(rng.next_below(256))};
+    }
+    auto cur = twin;
+    const auto nmods = rng.next_below(400);
+    for (std::uint64_t m = 0; m < nmods; ++m) {
+      cur[rng.next_below(kPage)] =
+          std::byte{static_cast<unsigned char>(rng.next_below(256))};
+    }
+    Diff d = Diff::create(cur, twin);
+    auto target = twin;
+    d.apply(target);
+    EXPECT_EQ(target, cur);
+    // Wire round trip preserves behaviour.
+    auto target2 = twin;
+    Diff::from_bytes(d.bytes()).apply(target2);
+    EXPECT_EQ(target2, cur);
+  }
+}
+
+TEST_P(DiffProperty, DiffNeverLargerThanPagePlusOverhead) {
+  sdsm::Rng rng(static_cast<std::uint64_t>(GetParam()) * 911 + 1);
+  auto twin = page_of(0);
+  auto cur = twin;
+  for (auto& b : cur) {
+    if (rng.next_bool(0.5)) {
+      b = std::byte{static_cast<unsigned char>(1 + rng.next_below(255))};
+    }
+  }
+  Diff d = Diff::create(cur, twin);
+  // Worst case: alternating single modified bytes, one header per byte.
+  EXPECT_LE(d.encoded_size(), 5 * kPage + 8);
+}
+
+TEST_P(DiffProperty, CarriesOnlyModifiedBytes) {
+  // The multiple-writer merge property: two concurrent writers modify
+  // disjoint random byte sets of one page; applying both diffs (in either
+  // order) over any base must yield both writers' bytes.  This fails if a
+  // diff ever encodes an unmodified byte (e.g. bridged gaps).
+  sdsm::Rng rng(static_cast<std::uint64_t>(GetParam()) * 3301 + 7);
+  auto twin = page_of(0);
+  auto a = twin;
+  auto b = twin;
+  std::vector<int> owner(kPage, 0);  // 0: untouched, 1: writer A, 2: writer B
+  for (std::size_t i = 0; i < kPage; ++i) {
+    const auto r = rng.next_below(4);
+    if (r == 1) {
+      owner[i] = 1;
+      a[i] = std::byte{static_cast<unsigned char>(1 + rng.next_below(255))};
+    } else if (r == 2) {
+      owner[i] = 2;
+      b[i] = std::byte{static_cast<unsigned char>(1 + rng.next_below(255))};
+    }
+  }
+  const Diff da = Diff::create(a, twin);
+  const Diff db = Diff::create(b, twin);
+  for (const bool a_first : {true, false}) {
+    auto merged = twin;
+    (a_first ? da : db).apply(merged);
+    (a_first ? db : da).apply(merged);
+    for (std::size_t i = 0; i < kPage; ++i) {
+      const std::byte want =
+          owner[i] == 1 ? a[i] : (owner[i] == 2 ? b[i] : twin[i]);
+      ASSERT_EQ(merged[i], want) << "byte " << i << " owner " << owner[i]
+                                 << " a_first " << a_first;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiffProperty, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace sdsm::core

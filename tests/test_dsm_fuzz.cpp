@@ -1,0 +1,134 @@
+// Randomized data-race-free program generator: the strongest consistency
+// check in the suite.  Each seed builds a random schedule of epochs; in
+// every epoch each node writes a pseudo-random (but globally disjoint)
+// subset of a shared array, synchronizes, and audits a random sample of
+// everything written so far against a sequential model.  Lock-protected
+// counters interleave with the barrier traffic to exercise the
+// lock-grant consistency path, and a small region plus a tiny GC threshold
+// keep false sharing and collections in play.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "src/common/rng.hpp"
+#include "src/core/dsm.hpp"
+
+namespace sdsm::core {
+namespace {
+
+struct FuzzCase {
+  std::uint64_t seed;
+  std::uint32_t nodes;
+  std::size_t gc_threshold;
+};
+
+class DsmFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+// Owner of element i in epoch e: deterministic pseudo-random partition, so
+// writes are disjoint by construction (DRF) yet scatter across pages.
+std::uint32_t owner_of(std::uint64_t seed, int epoch, std::int64_t i,
+                       std::uint32_t nodes) {
+  std::uint64_t z = seed ^ (static_cast<std::uint64_t>(epoch) << 32) ^
+                    static_cast<std::uint64_t>(i) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return static_cast<std::uint32_t>((z ^ (z >> 31)) % nodes);
+}
+
+std::int32_t value_of(int epoch, std::int64_t i) {
+  return static_cast<std::int32_t>(epoch * 2654435761u + i * 40503u);
+}
+
+TEST_P(DsmFuzz, RandomDrfProgramMatchesModel) {
+  const FuzzCase fc = GetParam();
+  const std::int64_t kElems = 24 * 1024;  // 96KB of ints, 24 pages
+  const int kEpochs = 10;
+
+  DsmConfig cfg;
+  cfg.num_nodes = fc.nodes;
+  cfg.region_bytes = 4u << 20;
+  cfg.gc_threshold_bytes = fc.gc_threshold;
+  DsmRuntime rt(cfg);
+  auto arr = rt.alloc_global<std::int32_t>(kElems);
+  auto counters = rt.alloc_global<std::int64_t>(8);
+
+  // Model: element -> epoch of last write (every element is written every
+  // epoch by its owner, so the model is simply "current epoch").
+  rt.run([&](DsmNode& self) {
+    std::int32_t* a = self.ptr(arr);
+    Rng rng(fc.seed ^ (0xabcdu + self.id()));
+    for (int e = 0; e < kEpochs; ++e) {
+      // Write my share of this epoch.
+      for (std::int64_t i = 0; i < kElems; ++i) {
+        if (owner_of(fc.seed, e, i, fc.nodes) == self.id()) {
+          a[i] = value_of(e, i);
+        }
+      }
+      // Random lock-protected counter bumps (tests grant-carried
+      // consistency data interleaved with barrier traffic).
+      const int bumps = static_cast<int>(rng.next_u64() % 3);
+      for (int b = 0; b < bumps; ++b) {
+        const LockId lock = static_cast<LockId>(rng.next_u64() % 4);
+        self.lock_acquire(lock);
+        self.ptr(counters)[lock] += 1;
+        self.lock_release(lock);
+      }
+      self.barrier();
+      // Audit a random sample against the model.
+      for (int probe = 0; probe < 2000; ++probe) {
+        const auto i = static_cast<std::int64_t>(rng.next_u64() % kElems);
+        const std::int32_t want = value_of(e, i);
+        if (a[i] != want) {
+          std::fprintf(stderr,
+                       "fuzz mismatch: node=%u epoch=%d elem=%lld got=%d "
+                       "want=%d\n",
+                       self.id(), e, static_cast<long long>(i), a[i], want);
+          std::abort();
+        }
+      }
+      self.barrier();
+    }
+  });
+
+  // Lock-counter totals must equal the sum of all bumps (mutual exclusion
+  // + grant consistency).  Recompute the expected totals from the RNGs.
+  std::vector<std::int64_t> expect(8, 0);
+  for (std::uint32_t node = 0; node < fc.nodes; ++node) {
+    Rng rng(fc.seed ^ (0xabcdu + node));
+    for (int e = 0; e < kEpochs; ++e) {
+      const int bumps = static_cast<int>(rng.next_u64() % 3);
+      for (int b = 0; b < bumps; ++b) {
+        expect[rng.next_u64() % 4] += 1;
+      }
+      for (int probe = 0; probe < 2000; ++probe) rng.next_u64();
+    }
+  }
+  rt.run([&](DsmNode& self) {
+    if (self.id() == 0) {
+      for (int l = 0; l < 4; ++l) {
+        if (self.ptr(counters)[l] != expect[static_cast<std::size_t>(l)]) {
+          std::fprintf(stderr, "lock counter %d: got %lld want %lld\n", l,
+                       static_cast<long long>(self.ptr(counters)[l]),
+                       static_cast<long long>(expect[static_cast<std::size_t>(l)]));
+          std::abort();
+        }
+      }
+    }
+    self.barrier();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, DsmFuzz,
+    ::testing::Values(FuzzCase{1, 2, 0}, FuzzCase{2, 4, 0}, FuzzCase{3, 8, 0},
+                      FuzzCase{4, 4, 16 << 10}, FuzzCase{5, 8, 64 << 10},
+                      FuzzCase{6, 3, 32 << 10}, FuzzCase{7, 5, 0},
+                      FuzzCase{8, 8, 16 << 10}),
+    [](const ::testing::TestParamInfo<FuzzCase>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_n" +
+             std::to_string(info.param.nodes) + "_gc" +
+             std::to_string(info.param.gc_threshold);
+    });
+
+}  // namespace
+}  // namespace sdsm::core

@@ -1,0 +1,49 @@
+// Tests for the experiment harness table formatting.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/harness/experiment.hpp"
+
+namespace sdsm::harness {
+namespace {
+
+TEST(Harness, SpeedupGuardsZero) {
+  EXPECT_EQ(speedup(10.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(speedup(10.0, 2.0), 5.0);
+}
+
+TEST(Harness, TablePrintsAllRowsAndGroupsOnce) {
+  Table t("Moldyn - 8 processor results");
+  t.add(Row{"Every 12 iterations", "CHAOS", 1.5, 6.0, 15704, 190.0, 4.6, ""});
+  t.add(Row{"Every 12 iterations", "Tmk base", 1.4, 6.3, 62149, 160.0, 0, ""});
+  t.add(Row{"Every 12 iterations", "Tmk optimized", 1.2, 7.1, 14528, 137.0,
+            0.02, ""});
+  std::ostringstream os;
+  t.print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("Moldyn - 8 processor results"), std::string::npos);
+  EXPECT_NE(text.find("CHAOS"), std::string::npos);
+  EXPECT_NE(text.find("Tmk optimized"), std::string::npos);
+  EXPECT_NE(text.find("62149"), std::string::npos);
+  // The group label appears exactly once.
+  const auto first = text.find("Every 12 iterations");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("Every 12 iterations", first + 1), std::string::npos);
+}
+
+TEST(Harness, CsvEmitsOneLinePerRow) {
+  Table t("T");
+  t.add(Row{"g", "v1", 1, 2, 3, 4, 5, ""});
+  t.add(Row{"g", "v2", 1, 2, 3, 4, 5, ""});
+  std::ostringstream os;
+  t.print_csv(os);
+  const std::string text = os.str();
+  int lines = 0;
+  for (const char c : text) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 3);  // header + 2 rows
+  EXPECT_NE(text.find("g,v1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdsm::harness

@@ -1,0 +1,162 @@
+// Integration tests for moldyn: every parallel variant (TreadMarks base,
+// TreadMarks optimized, CHAOS) must agree with the sequential reference.
+#include <gtest/gtest.h>
+
+#include "src/apps/moldyn/moldyn_chaos.hpp"
+#include "src/apps/moldyn/moldyn_common.hpp"
+#include "src/apps/moldyn/moldyn_tmk.hpp"
+
+namespace sdsm::apps::moldyn {
+namespace {
+
+Params small_params(std::uint32_t nprocs) {
+  Params p;
+  p.num_molecules = 512;
+  p.num_steps = 6;
+  p.update_interval = 3;
+  p.box = 8.0;
+  p.cutoff = 1.4;
+  p.nprocs = nprocs;
+  return p;
+}
+
+core::DsmConfig dsm_config(std::uint32_t nprocs) {
+  core::DsmConfig cfg;
+  cfg.num_nodes = nprocs;
+  cfg.region_bytes = 8u << 20;
+  return cfg;
+}
+
+TEST(MoldynCommon, SystemIsDeterministicAndPartitioned) {
+  const Params p = small_params(4);
+  const System a = make_system(p);
+  const System b = make_system(p);
+  ASSERT_EQ(a.pos0.size(), b.pos0.size());
+  for (std::size_t i = 0; i < a.pos0.size(); ++i) {
+    EXPECT_EQ(a.pos0[i].x, b.pos0[i].x);
+  }
+  std::int64_t total = 0;
+  for (const auto& r : a.owner_range) total += r.size();
+  EXPECT_EQ(total, p.num_molecules);
+  EXPECT_EQ(a.owner_range[0].begin, 0);
+}
+
+TEST(MoldynCommon, PairsAreWithinCutoffAndDeduplicated) {
+  const Params p = small_params(2);
+  const System sys = make_system(p);
+  auto groups = build_pairs(p, sys, sys.pos0);
+  const double cut2 = p.cutoff * p.cutoff;
+  std::set<std::pair<int, int>> seen;
+  for (const auto& g : groups) {
+    for (const Pair& pr : g) {
+      EXPECT_LT(pr.a, pr.b);
+      const double3 d = sys.pos0[static_cast<std::size_t>(pr.a)] -
+                        sys.pos0[static_cast<std::size_t>(pr.b)];
+      EXPECT_LT(d.norm2(), cut2);
+      EXPECT_TRUE(seen.insert({pr.a, pr.b}).second) << "duplicate pair";
+    }
+  }
+  EXPECT_GT(seen.size(), 0u);
+}
+
+TEST(MoldynCommon, PairsAssignedToOwnerOfFirstMolecule) {
+  const Params p = small_params(4);
+  const System sys = make_system(p);
+  auto groups = build_pairs(p, sys, sys.pos0);
+  for (std::size_t node = 0; node < groups.size(); ++node) {
+    for (const Pair& pr : groups[node]) {
+      EXPECT_EQ(owner_of(sys, pr.a), node);
+    }
+  }
+}
+
+TEST(MoldynCommon, InteractingFractionInPlausibleRange) {
+  const Params p = small_params(2);
+  const System sys = make_system(p);
+  auto groups = build_pairs(p, sys, sys.pos0);
+  const double f = interacting_fraction(groups, p.num_molecules);
+  EXPECT_GT(f, 0.1);
+  EXPECT_LE(f, 1.0);
+}
+
+TEST(MoldynCommon, SequentialRunIsDeterministic) {
+  const Params p = small_params(2);
+  const System sys = make_system(p);
+  const auto a = run_seq(p, sys);
+  const auto b = run_seq(p, sys);
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_NE(a.checksum, 0.0);
+}
+
+TEST(MoldynTmk, BaseMatchesSequential) {
+  const Params p = small_params(2);
+  const System sys = make_system(p);
+  const auto seq = run_seq(p, sys);
+  core::DsmRuntime rt(dsm_config(p.nprocs));
+  const auto par = run_tmk(rt, p, sys, /*optimized=*/false);
+  EXPECT_TRUE(checksum_close(seq.checksum, par.checksum))
+      << seq.checksum << " vs " << par.checksum;
+  EXPECT_GT(par.messages, 0u);
+}
+
+TEST(MoldynTmk, OptimizedMatchesSequential) {
+  const Params p = small_params(2);
+  const System sys = make_system(p);
+  const auto seq = run_seq(p, sys);
+  core::DsmRuntime rt(dsm_config(p.nprocs));
+  const auto par = run_tmk(rt, p, sys, /*optimized=*/true);
+  EXPECT_TRUE(checksum_close(seq.checksum, par.checksum))
+      << seq.checksum << " vs " << par.checksum;
+}
+
+TEST(MoldynTmk, FourNodeVariantsMatchSequential) {
+  const Params p = small_params(4);
+  const System sys = make_system(p);
+  const auto seq = run_seq(p, sys);
+  for (const bool optimized : {false, true}) {
+    core::DsmRuntime rt(dsm_config(p.nprocs));
+    const auto par = run_tmk(rt, p, sys, optimized);
+    EXPECT_TRUE(checksum_close(seq.checksum, par.checksum))
+        << "optimized=" << optimized << ": " << seq.checksum << " vs "
+        << par.checksum;
+  }
+}
+
+TEST(MoldynTmk, OptimizedSendsFewerMessagesThanBase) {
+  const Params p = small_params(4);
+  const System sys = make_system(p);
+  core::DsmRuntime rt_base(dsm_config(p.nprocs));
+  const auto base = run_tmk(rt_base, p, sys, false);
+  core::DsmRuntime rt_opt(dsm_config(p.nprocs));
+  const auto opt = run_tmk(rt_opt, p, sys, true);
+  EXPECT_LT(opt.messages, base.messages);
+}
+
+TEST(MoldynChaos, MatchesSequential) {
+  const Params p = small_params(4);
+  const System sys = make_system(p);
+  const auto seq = run_seq(p, sys);
+  chaos::ChaosRuntime rt(p.nprocs);
+  const auto par = run_chaos(rt, p, sys);
+  EXPECT_TRUE(checksum_close(seq.checksum, par.checksum))
+      << seq.checksum << " vs " << par.checksum;
+  EXPECT_GT(par.inspector_seconds, 0.0);
+  EXPECT_EQ(par.inspector_runs, 2);  // steps=6, interval=3
+}
+
+TEST(MoldynChaos, ReplicatedTableAlsoCorrectWithFewerMessages) {
+  const Params p = small_params(4);
+  const System sys = make_system(p);
+  const auto seq = run_seq(p, sys);
+  chaos::ChaosRuntime rt_rep(p.nprocs);
+  const auto rep = run_chaos(rt_rep, p, sys, chaos::TableKind::kReplicated);
+  chaos::ChaosRuntime rt_dist(p.nprocs);
+  const auto dist = run_chaos(rt_dist, p, sys, chaos::TableKind::kDistributed);
+  EXPECT_TRUE(checksum_close(seq.checksum, rep.checksum));
+  EXPECT_TRUE(checksum_close(seq.checksum, dist.checksum));
+  // The distributed table pays extra lookup messages in the inspector.
+  EXPECT_LT(rep.messages, dist.messages);
+}
+
+}  // namespace
+}  // namespace sdsm::apps::moldyn

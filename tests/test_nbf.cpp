@@ -1,0 +1,161 @@
+// Integration tests for nbf: variants vs the sequential reference, the
+// static-partner-list fast path, and the false-sharing configuration.
+#include <gtest/gtest.h>
+
+#include "src/apps/nbf/nbf_chaos.hpp"
+#include "src/apps/nbf/nbf_common.hpp"
+#include "src/apps/nbf/nbf_tmk.hpp"
+
+namespace sdsm::apps::nbf {
+namespace {
+
+Params small_params(std::uint32_t nprocs, std::int64_t molecules = 2048) {
+  Params p;
+  p.molecules = molecules;
+  p.partners = 8;
+  p.timed_steps = 4;
+  p.warmup_steps = 1;
+  p.nprocs = nprocs;
+  return p;
+}
+
+core::DsmConfig dsm_config(std::uint32_t nprocs) {
+  core::DsmConfig cfg;
+  cfg.num_nodes = nprocs;
+  cfg.region_bytes = 8u << 20;
+  return cfg;
+}
+
+TEST(NbfCommon, PartnersAreSpreadAndInRange) {
+  const Params p = small_params(2);
+  for (std::int64_t i = 0; i < p.molecules; i += 100) {
+    for (int j = 0; j < p.partners; ++j) {
+      const auto q = partner_of(p, i, j);
+      EXPECT_GE(q, 0);
+      EXPECT_LT(q, p.molecules);
+      EXPECT_NE(q, i);
+    }
+  }
+  // Adjacent partners are ~ spread/partners apart.
+  const auto d = (partner_of(p, 0, 1) - partner_of(p, 0, 0) + p.molecules) %
+                 p.molecules;
+  EXPECT_NEAR(static_cast<double>(d),
+              p.spread * static_cast<double>(p.molecules) / p.partners, 2.0);
+}
+
+TEST(NbfCommon, PartnerListMatchesPartnerOf) {
+  const Params p = small_params(2, 256);
+  const auto list = build_partner_list(p);
+  ASSERT_EQ(list.size(), static_cast<std::size_t>(p.molecules) * p.partners);
+  for (std::int64_t i = 0; i < p.molecules; i += 37) {
+    for (int j = 0; j < p.partners; ++j) {
+      EXPECT_EQ(list[static_cast<std::size_t>(i) * p.partners + j],
+                partner_of(p, i, j));
+    }
+  }
+}
+
+TEST(NbfCommon, SequentialDeterministic) {
+  const Params p = small_params(2);
+  EXPECT_EQ(run_seq(p).checksum, run_seq(p).checksum);
+}
+
+TEST(NbfTmk, BaseMatchesSequential) {
+  const Params p = small_params(2);
+  const auto seq = run_seq(p);
+  core::DsmRuntime rt(dsm_config(p.nprocs));
+  const auto par = run_tmk(rt, p, /*optimized=*/false);
+  EXPECT_TRUE(checksum_close(seq.checksum, par.checksum))
+      << seq.checksum << " vs " << par.checksum;
+}
+
+TEST(NbfTmk, OptimizedMatchesSequential) {
+  const Params p = small_params(4);
+  const auto seq = run_seq(p);
+  core::DsmRuntime rt(dsm_config(p.nprocs));
+  const auto par = run_tmk(rt, p, /*optimized=*/true);
+  EXPECT_TRUE(checksum_close(seq.checksum, par.checksum))
+      << seq.checksum << " vs " << par.checksum;
+}
+
+TEST(NbfTmk, StaticListMeansNoRecomputeInTimedSteps) {
+  const Params p = small_params(2);
+  core::DsmRuntime rt(dsm_config(p.nprocs));
+  const auto par = run_tmk(rt, p, /*optimized=*/true);
+  // The warmup step paid the one-time Read_indices; the timed steps only
+  // check the (unchanged) write-protected pages.
+  EXPECT_EQ(rt.stats().validate_recomputes.get(), 0u);
+  EXPECT_GT(rt.stats().validate_calls.get(), 0u);
+  (void)par;
+}
+
+TEST(NbfTmk, OptimizedSendsFewerMessagesThanBase) {
+  // Each node must own several pages of x for aggregation to beat
+  // page-at-a-time fetching: base pays two messages per fetched page, the
+  // optimized version two messages per producer node.
+  const Params p = small_params(4, 16384);
+  core::DsmRuntime rt_base(dsm_config(p.nprocs));
+  const auto base = run_tmk(rt_base, p, false);
+  core::DsmRuntime rt_opt(dsm_config(p.nprocs));
+  const auto opt = run_tmk(rt_opt, p, true);
+  EXPECT_LT(opt.messages, base.messages);
+}
+
+TEST(NbfTmk, MisalignedBlockBoundariesStillCorrect) {
+  // The 64x1000 analogue: molecule count chosen so block boundaries fall
+  // inside pages (false sharing at every boundary).
+  const Params p = small_params(4, 2040);
+  const auto seq = run_seq(p);
+  for (const bool optimized : {false, true}) {
+    core::DsmRuntime rt(dsm_config(p.nprocs));
+    const auto par = run_tmk(rt, p, optimized);
+    EXPECT_TRUE(checksum_close(seq.checksum, par.checksum))
+        << "optimized=" << optimized;
+  }
+}
+
+TEST(NbfTmk, FalseSharingCostsExtraMessages) {
+  const Params aligned = small_params(4, 2048);   // 512 doubles = page-exact
+  const Params misaligned = small_params(4, 2040);
+  core::DsmRuntime rt_a(dsm_config(4));
+  const auto a = run_tmk(rt_a, aligned, true);
+  core::DsmRuntime rt_m(dsm_config(4));
+  const auto m = run_tmk(rt_m, misaligned, true);
+  // Fewer molecules but more traffic: boundary pages ping-pong.
+  EXPECT_GT(m.messages, a.messages);
+}
+
+TEST(NbfChaos, MatchesSequential) {
+  const Params p = small_params(4);
+  const auto seq = run_seq(p);
+  chaos::ChaosRuntime rt(p.nprocs);
+  const auto par = run_chaos(rt, p);
+  EXPECT_TRUE(checksum_close(seq.checksum, par.checksum))
+      << seq.checksum << " vs " << par.checksum;
+  EXPECT_GT(par.inspector_seconds, 0.0);
+}
+
+TEST(NbfChaos, MessageCountFollowsScheduleStructure) {
+  // Per timed step: one gather exchange + one scatter exchange + one
+  // barrier.  With every pair of nodes active that is at most
+  // 2 * P*(P-1) + 2*(P-1) messages per step.
+  const Params p = small_params(4);
+  chaos::ChaosRuntime rt(p.nprocs);
+  const auto par = run_chaos(rt, p);
+  const std::uint64_t per_step_max = 2u * 4 * 3 + 2 * 3;
+  EXPECT_LE(par.messages,
+            per_step_max * static_cast<std::uint64_t>(p.timed_steps));
+  EXPECT_GT(par.messages, 0u);
+}
+
+TEST(NbfChaos, ChecksumAgreesWithTmkVariants) {
+  const Params p = small_params(2);
+  chaos::ChaosRuntime crt(p.nprocs);
+  const auto ch = run_chaos(crt, p);
+  core::DsmRuntime drt(dsm_config(p.nprocs));
+  const auto tk = run_tmk(drt, p, true);
+  EXPECT_TRUE(checksum_close(ch.checksum, tk.checksum));
+}
+
+}  // namespace
+}  // namespace sdsm::apps::nbf

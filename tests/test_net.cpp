@@ -1,0 +1,178 @@
+// Tests for the in-process message fabric: ordering, reply matching, stats
+// accounting, wire-cost model.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "src/common/timer.hpp"
+#include "src/net/network.hpp"
+
+namespace sdsm::net {
+namespace {
+
+Message make(std::uint32_t type, NodeId src, NodeId dst, std::uint64_t rid = 0,
+             std::size_t payload = 0) {
+  Message m;
+  m.type = type;
+  m.src = src;
+  m.dst = dst;
+  m.request_id = rid;
+  m.payload.assign(payload, std::uint8_t{0xab});
+  return m;
+}
+
+TEST(Network, SendRecvBasic) {
+  Network net(2);
+  net.send(Port::kService, make(7, 0, 1, 0, 16));
+  Message m = net.recv(Port::kService, 1);
+  EXPECT_EQ(m.type, 7u);
+  EXPECT_EQ(m.src, 0u);
+  EXPECT_EQ(m.payload.size(), 16u);
+}
+
+TEST(Network, FifoOrderPerChannel) {
+  Network net(2);
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    net.send(Port::kService, make(i, 0, 1));
+  }
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(net.recv(Port::kService, 1).type, i);
+  }
+}
+
+TEST(Network, TryRecvEmptyReturnsNullopt) {
+  Network net(2);
+  EXPECT_FALSE(net.try_recv(Port::kReply, 0).has_value());
+  net.send(Port::kReply, make(1, 1, 0));
+  auto m = net.try_recv(Port::kReply, 0);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->type, 1u);
+}
+
+TEST(Network, RecvReplyMatchesOutOfOrder) {
+  Network net(2);
+  net.send(Port::kReply, make(1, 1, 0, /*rid=*/55));
+  net.send(Port::kReply, make(2, 1, 0, /*rid=*/44));
+  Message m44 = net.recv_reply(0, 44);
+  EXPECT_EQ(m44.type, 2u);
+  Message m55 = net.recv_reply(0, 55);
+  EXPECT_EQ(m55.type, 1u);
+}
+
+TEST(Network, RecvReplyBlocksUntilArrival) {
+  Network net(2);
+  std::thread sender([&net] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    net.send(Port::kReply, make(9, 1, 0, 77));
+  });
+  Timer t;
+  Message m = net.recv_reply(0, 77);
+  EXPECT_EQ(m.type, 9u);
+  EXPECT_GE(t.elapsed_ms(), 20.0);
+  sender.join();
+}
+
+TEST(Network, StatsCountMessagesAndBytes) {
+  Network net(3);
+  net.send(Port::kService, make(1, 0, 1, 0, 100));
+  net.send(Port::kService, make(1, 0, 2, 0, 50));
+  net.send(Port::kReply, make(1, 2, 0, 0, 25));
+  EXPECT_EQ(net.stats().messages.get(), 3u);
+  EXPECT_EQ(net.stats().bytes.get(), 175u);
+  EXPECT_EQ(net.stats().node_messages[0]->get(), 2u);
+  EXPECT_EQ(net.stats().node_bytes[2]->get(), 25u);
+}
+
+TEST(Network, LoopbackIsNotCounted) {
+  Network net(2);
+  net.send(Port::kService, make(1, 1, 1, 0, 64));
+  EXPECT_EQ(net.stats().messages.get(), 0u);
+  EXPECT_EQ(net.stats().bytes.get(), 0u);
+  // ... but it is still delivered.
+  EXPECT_EQ(net.recv(Port::kService, 1).payload.size(), 64u);
+}
+
+TEST(Network, NextRequestIdsAreUniquePerNode) {
+  Network net(2);
+  EXPECT_EQ(net.next_request_id(0), 1u);
+  EXPECT_EQ(net.next_request_id(0), 2u);
+  EXPECT_EQ(net.next_request_id(1), 1u);
+}
+
+TEST(Network, WireModelDelaysDelivery) {
+  WireModel wire;
+  wire.latency_us = 20000;  // 20 ms
+  Network net(2, wire);
+  net.send(Port::kService, make(1, 0, 1));
+  Timer t;
+  net.recv(Port::kService, 1);
+  EXPECT_GE(t.elapsed_ms(), 10.0);
+}
+
+TEST(Network, WireModelChargesPerKilobyte) {
+  WireModel wire;
+  wire.us_per_kb = 10000;  // 10 ms per KB
+  Network net(2, wire);
+  net.send(Port::kService, make(1, 0, 1, 0, 2048));
+  Timer t;
+  net.recv(Port::kService, 1);
+  EXPECT_GE(t.elapsed_ms(), 10.0);  // 2 KB -> ~20 ms
+}
+
+TEST(Network, ZeroWireModelDeliversImmediately) {
+  Network net(2);
+  net.send(Port::kService, make(1, 0, 1));
+  Timer t;
+  net.recv(Port::kService, 1);
+  EXPECT_LT(t.elapsed_ms(), 5.0);
+}
+
+TEST(Network, StopAllServicesDeliversControlStop) {
+  Network net(3);
+  net.stop_all_services();
+  for (NodeId n = 0; n < 3; ++n) {
+    EXPECT_EQ(net.recv(Port::kService, n).type, kControlStop);
+  }
+  // Control messages are not counted.
+  EXPECT_EQ(net.stats().messages.get(), 0u);
+}
+
+TEST(Network, ConcurrentPingPong) {
+  Network net(2);
+  constexpr int kRounds = 2000;
+  std::thread server([&net] {
+    for (int i = 0; i < kRounds; ++i) {
+      Message req = net.recv(Port::kService, 1);
+      Message rep = make(req.type + 1, 1, 0, req.request_id);
+      net.send(Port::kReply, std::move(rep));
+    }
+  });
+  for (int i = 0; i < kRounds; ++i) {
+    const auto rid = net.next_request_id(0);
+    net.send(Port::kService, make(static_cast<std::uint32_t>(i), 0, 1, rid));
+    Message rep = net.recv_reply(0, rid);
+    EXPECT_EQ(rep.type, static_cast<std::uint32_t>(i) + 1);
+  }
+  server.join();
+  EXPECT_EQ(net.stats().messages.get(), 2u * kRounds);
+}
+
+TEST(Network, JitterStillDeliversEverything) {
+  WireModel wire;
+  wire.jitter_us = 500;
+  wire.jitter_seed = 123;
+  Network net(2, wire);
+  for (int i = 0; i < 200; ++i) {
+    net.send(Port::kService, make(static_cast<std::uint32_t>(i), 0, 1));
+  }
+  int got = 0;
+  for (int i = 0; i < 200; ++i) {
+    net.recv(Port::kService, 1);
+    ++got;
+  }
+  EXPECT_EQ(got, 200);
+}
+
+}  // namespace
+}  // namespace sdsm::net

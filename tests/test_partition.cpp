@@ -1,0 +1,170 @@
+// Tests for BLOCK / CYCLIC / RCB partitioners.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/rng.hpp"
+#include "src/partition/partition.hpp"
+
+namespace sdsm::part {
+namespace {
+
+TEST(Block, RangesTileTheIndexSpace) {
+  auto ranges = block_partition(100, 8);
+  ASSERT_EQ(ranges.size(), 8u);
+  std::int64_t cursor = 0;
+  for (const auto& r : ranges) {
+    EXPECT_EQ(r.begin, cursor);
+    cursor = r.end;
+  }
+  EXPECT_EQ(cursor, 100);
+}
+
+TEST(Block, SizesDifferByAtMostOne) {
+  auto ranges = block_partition(103, 8);
+  std::int64_t lo = 1 << 30, hi = 0;
+  for (const auto& r : ranges) {
+    lo = std::min(lo, r.size());
+    hi = std::max(hi, r.size());
+  }
+  EXPECT_LE(hi - lo, 1);
+}
+
+TEST(Block, OwnerMatchesRanges) {
+  const std::int64_t n = 1037;
+  const std::uint32_t p = 7;
+  auto ranges = block_partition(n, p);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const NodeId owner = block_owner(i, n, p);
+    EXPECT_TRUE(ranges[owner].contains(i)) << "element " << i;
+  }
+}
+
+TEST(Block, HandlesFewerElementsThanProcessors) {
+  auto ranges = block_partition(3, 8);
+  std::int64_t total = 0;
+  for (const auto& r : ranges) total += r.size();
+  EXPECT_EQ(total, 3);
+  for (std::int64_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(ranges[block_owner(i, 3, 8)].contains(i));
+  }
+}
+
+TEST(Cyclic, RoundRobin) {
+  EXPECT_EQ(cyclic_owner(0, 4), 0u);
+  EXPECT_EQ(cyclic_owner(5, 4), 1u);
+  EXPECT_EQ(cyclic_owner(7, 4), 3u);
+}
+
+TEST(OwnersToLists, GroupsAndSorts) {
+  std::vector<NodeId> owner{1, 0, 1, 0, 2};
+  auto lists = owners_to_lists(owner, 3);
+  EXPECT_EQ(lists[0], (std::vector<std::int64_t>{1, 3}));
+  EXPECT_EQ(lists[1], (std::vector<std::int64_t>{0, 2}));
+  EXPECT_EQ(lists[2], (std::vector<std::int64_t>{4}));
+}
+
+std::vector<Point3> random_points(std::size_t n, std::uint64_t seed) {
+  sdsm::Rng rng(seed);
+  std::vector<Point3> pts(n);
+  for (auto& p : pts) {
+    p.x = rng.next_double();
+    p.y = rng.next_double();
+    p.z = rng.next_double();
+  }
+  return pts;
+}
+
+TEST(Rcb, SinglePartitionOwnsEverything) {
+  auto pts = random_points(100, 1);
+  auto owner = rcb_partition(pts, 1);
+  for (auto o : owner) EXPECT_EQ(o, 0u);
+}
+
+TEST(Rcb, BalancedForPowerOfTwo) {
+  auto pts = random_points(1024, 2);
+  auto owner = rcb_partition(pts, 8);
+  std::vector<int> counts(8, 0);
+  for (auto o : owner) ++counts[o];
+  for (int c : counts) EXPECT_EQ(c, 128);
+}
+
+TEST(Rcb, RoughlyBalancedForNonPowerOfTwo) {
+  auto pts = random_points(999, 3);
+  auto owner = rcb_partition(pts, 5);
+  std::vector<int> counts(5, 0);
+  for (auto o : owner) ++counts[o];
+  for (int c : counts) {
+    EXPECT_NEAR(c, 200, 10);
+  }
+}
+
+TEST(Rcb, Deterministic) {
+  auto pts = random_points(512, 4);
+  EXPECT_EQ(rcb_partition(pts, 8), rcb_partition(pts, 8));
+}
+
+TEST(Rcb, SpatialLocality) {
+  // Points on a line: each partition must own a contiguous segment, i.e.
+  // average intra-partition distance must be much smaller than global.
+  const std::size_t n = 800;
+  std::vector<Point3> pts(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts[i].x = static_cast<double>(i);
+  }
+  auto owner = rcb_partition(pts, 8);
+  for (std::uint32_t p = 0; p < 8; ++p) {
+    double lo = 1e18, hi = -1e18;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (owner[i] == p) {
+        lo = std::min(lo, pts[i].x);
+        hi = std::max(hi, pts[i].x);
+      }
+    }
+    EXPECT_LE(hi - lo + 1, 100.0 + 1e-9) << "partition " << p << " spans too far";
+  }
+}
+
+TEST(Rcb, SplitsAlongWidestDimension) {
+  // A slab thin in x and z but long in y: the first cut must be in y, so
+  // partitions of a 2-way split separate low-y from high-y points.
+  std::vector<Point3> pts;
+  sdsm::Rng rng(7);
+  for (int i = 0; i < 400; ++i) {
+    pts.push_back(Point3{rng.next_double() * 0.01, rng.next_double() * 100.0,
+                         rng.next_double() * 0.01});
+  }
+  auto owner = rcb_partition(pts, 2);
+  double max_y0 = -1e18, min_y1 = 1e18;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (owner[i] == 0) max_y0 = std::max(max_y0, pts[i].y);
+    else min_y1 = std::min(min_y1, pts[i].y);
+  }
+  EXPECT_LE(max_y0, min_y1);
+}
+
+class RcbProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(RcbProperty, EveryPointAssignedToValidOwner) {
+  const std::uint32_t nprocs = GetParam();
+  auto pts = random_points(501, 1000 + nprocs);
+  auto owner = rcb_partition(pts, nprocs);
+  ASSERT_EQ(owner.size(), pts.size());
+  std::vector<int> counts(nprocs, 0);
+  for (auto o : owner) {
+    ASSERT_LT(o, nprocs);
+    ++counts[o];
+  }
+  // No partition may be empty or grossly oversized.
+  for (int c : counts) {
+    EXPECT_GT(c, 0);
+    EXPECT_LT(c, static_cast<int>(2 * pts.size() / nprocs + 2));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, RcbProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 6u, 8u, 16u));
+
+}  // namespace
+}  // namespace sdsm::part

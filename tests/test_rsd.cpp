@@ -1,0 +1,226 @@
+// Tests for regular section descriptors: counting, enumeration order,
+// layout flattening, page-set computation, and section algebra.  Includes
+// property sweeps over randomly generated sections.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/rng.hpp"
+#include "src/rsd/regular_section.hpp"
+
+namespace sdsm::rsd {
+namespace {
+
+constexpr std::size_t kPage = 4096;
+
+TEST(Dim, CountAndContains) {
+  Dim d{2, 10, 2};
+  EXPECT_EQ(d.count(), 5);  // 2 4 6 8 10
+  EXPECT_TRUE(d.contains(2));
+  EXPECT_TRUE(d.contains(10));
+  EXPECT_FALSE(d.contains(3));
+  EXPECT_FALSE(d.contains(12));
+  EXPECT_FALSE(d.contains(0));
+}
+
+TEST(Dim, EmptyWhenUpperBelowLower) {
+  Dim d{5, 4, 1};
+  EXPECT_EQ(d.count(), 0);
+}
+
+TEST(RegularSection, CountMultiDim) {
+  RegularSection s({Dim{0, 1, 1}, Dim{0, 9, 1}});
+  EXPECT_EQ(s.count(), 20);
+}
+
+TEST(RegularSection, Dense1dFactory) {
+  auto s = RegularSection::dense1d(3, 7);
+  EXPECT_EQ(s.rank(), 1u);
+  EXPECT_EQ(s.count(), 5);
+}
+
+TEST(RegularSection, ForEachVisitsFortranOrder) {
+  // First dimension varies fastest, as in Fortran column-major iteration.
+  RegularSection s({Dim{0, 1, 1}, Dim{0, 2, 1}});
+  std::vector<std::vector<std::int64_t>> seen;
+  s.for_each([&](const std::vector<std::int64_t>& idx) { seen.push_back(idx); });
+  ASSERT_EQ(seen.size(), 6u);
+  EXPECT_EQ(seen[0], (std::vector<std::int64_t>{0, 0}));
+  EXPECT_EQ(seen[1], (std::vector<std::int64_t>{1, 0}));
+  EXPECT_EQ(seen[2], (std::vector<std::int64_t>{0, 1}));
+  EXPECT_EQ(seen[5], (std::vector<std::int64_t>{1, 2}));
+}
+
+TEST(ArrayLayout, ColumnMajorFlatten) {
+  ArrayLayout l{{2, 100}, true};  // interaction_list(2, n)
+  EXPECT_EQ(l.flatten({0, 0}), 0);
+  EXPECT_EQ(l.flatten({1, 0}), 1);
+  EXPECT_EQ(l.flatten({0, 1}), 2);
+  EXPECT_EQ(l.flatten({1, 41}), 83);
+}
+
+TEST(ArrayLayout, RowMajorFlatten) {
+  ArrayLayout l{{2, 100}, false};
+  EXPECT_EQ(l.flatten({0, 0}), 0);
+  EXPECT_EQ(l.flatten({0, 1}), 1);
+  EXPECT_EQ(l.flatten({1, 0}), 100);
+}
+
+TEST(RegularSection, FlatIndicesDense) {
+  RegularSection s({Dim{1, 3, 1}});
+  ArrayLayout l{{10}, true};
+  EXPECT_EQ(s.flat_indices(l), (std::vector<std::int64_t>{1, 2, 3}));
+}
+
+TEST(RegularSection, PagesOfDoubleArray) {
+  // 4096-byte pages hold 512 doubles.  Elements [0, 600) span pages 0-1.
+  RegularSection s = RegularSection::dense1d(0, 599);
+  ArrayLayout l{{1000}, true};
+  auto pages = s.pages(/*base=*/0, sizeof(double), l, kPage);
+  EXPECT_EQ(pages, (std::vector<PageId>{0, 1}));
+}
+
+TEST(RegularSection, PagesRespectBaseOffset) {
+  RegularSection s = RegularSection::dense1d(0, 0);
+  ArrayLayout l{{8}, true};
+  auto pages = s.pages(/*base=*/3 * kPage + 100, sizeof(double), l, kPage);
+  EXPECT_EQ(pages, (std::vector<PageId>{3}));
+}
+
+TEST(RegularSection, ElementStraddlingPageBoundaryCountsBothPages) {
+  // An 8-byte element starting 4 bytes before a page boundary.
+  RegularSection s = RegularSection::dense1d(0, 0);
+  ArrayLayout l{{4}, true};
+  auto pages = s.pages(/*base=*/kPage - 4, sizeof(double), l, kPage);
+  EXPECT_EQ(pages, (std::vector<PageId>{0, 1}));
+}
+
+TEST(RegularSection, StridedSectionSkipsWholePages) {
+  // Every 1024th double: elements 0, 1024, 2048 -> pages 0, 2, 4.
+  RegularSection s({Dim{0, 2048, 1024}});
+  ArrayLayout l{{4096}, true};
+  auto pages = s.pages(0, sizeof(double), l, kPage);
+  EXPECT_EQ(pages, (std::vector<PageId>{0, 2, 4}));
+}
+
+TEST(RegularSection, IntersectEqualStrides) {
+  RegularSection a({Dim{0, 100, 2}});
+  RegularSection b({Dim{50, 150, 2}});
+  auto c = a.intersect(b);
+  EXPECT_EQ(c.dim(0).lower, 50);
+  EXPECT_EQ(c.dim(0).upper, 100);
+  EXPECT_EQ(c.dim(0).stride, 2);
+}
+
+TEST(RegularSection, IntersectMisalignedLatticesIsEmpty) {
+  RegularSection a({Dim{0, 100, 2}});   // evens
+  RegularSection b({Dim{1, 101, 2}});   // odds
+  EXPECT_TRUE(a.intersect(b).empty());
+}
+
+TEST(RegularSection, IntersectDisjointRangesIsEmpty) {
+  RegularSection a({Dim{0, 10, 1}});
+  RegularSection b({Dim{20, 30, 1}});
+  EXPECT_TRUE(a.intersect(b).empty());
+}
+
+TEST(RegularSection, ContainsSectionDense) {
+  RegularSection a({Dim{0, 100, 1}});
+  RegularSection b({Dim{10, 20, 3}});
+  EXPECT_TRUE(a.contains_section(b));
+  EXPECT_FALSE(b.contains_section(a));
+}
+
+TEST(RegularSection, ContainsSectionRespectsStridePhase) {
+  RegularSection evens({Dim{0, 100, 2}});
+  RegularSection odds({Dim{1, 99, 2}});
+  RegularSection evens_sub({Dim{10, 20, 2}});
+  EXPECT_TRUE(evens.contains_section(evens_sub));
+  EXPECT_FALSE(evens.contains_section(odds));
+}
+
+TEST(RegularSection, ToStringFormat) {
+  RegularSection s({Dim{1, 2, 1}, Dim{1, 100, 5}});
+  EXPECT_EQ(s.to_string(), "[1:2, 1:100:5]");
+}
+
+TEST(PagesOfRange, DenseRange) {
+  EXPECT_EQ(pages_of_range(0, 1, kPage), (std::vector<PageId>{0}));
+  EXPECT_EQ(pages_of_range(kPage - 1, 2, kPage), (std::vector<PageId>{0, 1}));
+  EXPECT_TRUE(pages_of_range(100, 0, kPage).empty());
+  EXPECT_EQ(pages_of_range(2 * kPage, 2 * kPage, kPage),
+            (std::vector<PageId>{2, 3}));
+}
+
+// ---------------------------------------------------------------------------
+// Property sweeps: random sections, checked against brute-force enumeration.
+// ---------------------------------------------------------------------------
+
+class RsdProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RsdProperty, CountMatchesEnumeration) {
+  sdsm::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto rank = 1 + rng.next_below(3);
+    std::vector<Dim> dims;
+    for (std::size_t d = 0; d < rank; ++d) {
+      const std::int64_t lo = rng.next_in(0, 20);
+      const std::int64_t hi = lo + rng.next_in(-1, 30);
+      const std::int64_t stride = rng.next_in(1, 5);
+      dims.push_back(Dim{lo, hi, stride});
+    }
+    RegularSection s(dims);
+    std::int64_t visited = 0;
+    s.for_each([&](const std::vector<std::int64_t>&) { ++visited; });
+    EXPECT_EQ(visited, s.count());
+  }
+}
+
+TEST_P(RsdProperty, PagesCoverExactlyTheTouchedBytes) {
+  sdsm::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::int64_t lo = rng.next_in(0, 2000);
+    const std::int64_t hi = lo + rng.next_in(0, 3000);
+    const std::int64_t stride = rng.next_in(1, 7);
+    RegularSection s({Dim{lo, hi, stride}});
+    ArrayLayout l{{hi + 1}, true};
+    const std::size_t elem = 1 + rng.next_below(16);
+    const GlobalAddr base = rng.next_below(3 * kPage);
+
+    auto pages = s.pages(base, elem, l, kPage);
+    std::set<PageId> expect;
+    for (std::int64_t i = lo; i <= hi; i += stride) {
+      const GlobalAddr first = base + static_cast<GlobalAddr>(i) * elem;
+      for (GlobalAddr b = first; b < first + elem; ++b) {
+        expect.insert(static_cast<PageId>(b / kPage));
+      }
+    }
+    EXPECT_EQ(pages, std::vector<PageId>(expect.begin(), expect.end()));
+  }
+}
+
+TEST_P(RsdProperty, IntersectIsSupersetOfTrueIntersection) {
+  sdsm::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto mk = [&] {
+      const std::int64_t lo = rng.next_in(0, 30);
+      return RegularSection(
+          {Dim{lo, lo + rng.next_in(0, 40), rng.next_in(1, 4)}});
+    };
+    RegularSection a = mk(), b = mk();
+    RegularSection c = a.intersect(b);
+    for (std::int64_t i = 0; i < 80; ++i) {
+      const bool in_both = a.contains({i}) && b.contains({i});
+      if (in_both) {
+        EXPECT_TRUE(c.contains({i}))
+            << "lost " << i << " from " << a.to_string() << " ^ "
+            << b.to_string() << " = " << c.to_string();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RsdProperty, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace sdsm::rsd

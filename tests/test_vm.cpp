@@ -1,0 +1,193 @@
+// Tests for the virtual-memory substrate: page regions, protection
+// transitions, and the SIGSEGV dispatcher that drives the DSM protocol.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+
+#include "src/vm/fault_dispatcher.hpp"
+#include "src/vm/page_region.hpp"
+
+namespace sdsm::vm {
+namespace {
+
+TEST(PageRegion, RoundsUpToPageMultiple) {
+  PageRegion r(100);
+  EXPECT_EQ(r.size(), system_page_size());
+  EXPECT_EQ(r.num_pages(), 1u);
+}
+
+TEST(PageRegion, StartsZeroFilled) {
+  PageRegion r(2 * system_page_size());
+  const auto* p = reinterpret_cast<const unsigned char*>(r.base());
+  for (std::size_t i = 0; i < r.size(); i += 97) {
+    EXPECT_EQ(p[i], 0);
+  }
+}
+
+TEST(PageRegion, PageOfAndPagePtrAgree) {
+  PageRegion r(4 * system_page_size());
+  for (PageId p = 0; p < 4; ++p) {
+    EXPECT_EQ(r.page_of(r.page_ptr(p)), p);
+    EXPECT_EQ(r.page_of(r.page_ptr(p) + system_page_size() - 1), p);
+  }
+}
+
+TEST(PageRegion, ContainsBounds) {
+  PageRegion r(system_page_size());
+  EXPECT_TRUE(r.contains(r.base()));
+  EXPECT_TRUE(r.contains(r.base() + r.size() - 1));
+  EXPECT_FALSE(r.contains(r.base() + r.size()));
+}
+
+TEST(PageRegion, ReadWriteAfterProtect) {
+  PageRegion r(system_page_size(), Prot::kReadWrite);
+  auto* p = reinterpret_cast<int*>(r.base());
+  p[0] = 42;
+  EXPECT_EQ(p[0], 42);
+  r.protect(0, 1, Prot::kRead);
+  EXPECT_EQ(p[0], 42);  // reads still fine
+}
+
+class FaultDispatcherTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    // Tests must leave the dispatcher clean for each other.
+    EXPECT_EQ(FaultDispatcher::instance().num_regions(), registered_);
+  }
+  std::size_t registered_ = 0;
+};
+
+TEST_F(FaultDispatcherTest, ReadFaultIsResolvedByHandler) {
+  PageRegion r(system_page_size(), Prot::kNone);
+  std::atomic<int> faults{0};
+  FaultDispatcher::instance().register_region(
+      r.base(), r.size(), [&](void* addr, FaultAccess) {
+        faults.fetch_add(1);
+        r.protect(r.page_of(addr), 1, Prot::kReadWrite);
+      });
+  auto* p = reinterpret_cast<volatile int*>(r.base());
+  const int v = p[0];
+  EXPECT_EQ(v, 0);
+  EXPECT_EQ(faults.load(), 1);
+  FaultDispatcher::instance().unregister_region(r.base());
+}
+
+TEST_F(FaultDispatcherTest, WriteFaultReportsWriteAccess) {
+  PageRegion r(system_page_size(), Prot::kRead);
+  // atomic: written inside the signal handler, read after it; a plain local
+  // may be register-cached across the faulting instruction.
+  std::atomic<FaultAccess> seen{FaultAccess::kUnknown};
+  FaultDispatcher::instance().register_region(
+      r.base(), r.size(), [&](void* addr, FaultAccess access) {
+        seen.store(access);
+        r.protect(r.page_of(addr), 1, Prot::kReadWrite);
+      });
+  auto* p = reinterpret_cast<int*>(r.base());
+  p[3] = 5;
+  EXPECT_EQ(p[3], 5);
+  // Kernels that populate the page-fault error code report kWrite; sandboxed
+  // kernels that zero it report kUnknown (never the wrong direction).
+  EXPECT_NE(seen.load(), FaultAccess::kRead);
+  FaultDispatcher::instance().unregister_region(r.base());
+}
+
+TEST_F(FaultDispatcherTest, ReadFaultReportsReadAccess) {
+  PageRegion r(system_page_size(), Prot::kNone);
+  std::atomic<FaultAccess> seen{FaultAccess::kWrite};
+  FaultDispatcher::instance().register_region(
+      r.base(), r.size(), [&](void* addr, FaultAccess access) {
+        seen.store(access);
+        r.protect(r.page_of(addr), 1, Prot::kRead);
+      });
+  auto* p = reinterpret_cast<volatile int*>(r.base());
+  (void)p[0];
+  EXPECT_NE(seen.load(), FaultAccess::kWrite);
+  FaultDispatcher::instance().unregister_region(r.base());
+}
+
+TEST_F(FaultDispatcherTest, RoutesToTheRightRegion) {
+  PageRegion a(system_page_size(), Prot::kNone);
+  PageRegion b(system_page_size(), Prot::kNone);
+  std::atomic<int> a_faults{0}, b_faults{0};
+  FaultDispatcher::instance().register_region(
+      a.base(), a.size(), [&](void* addr, FaultAccess) {
+        a_faults.fetch_add(1);
+        a.protect(a.page_of(addr), 1, Prot::kReadWrite);
+      });
+  FaultDispatcher::instance().register_region(
+      b.base(), b.size(), [&](void* addr, FaultAccess) {
+        b_faults.fetch_add(1);
+        b.protect(b.page_of(addr), 1, Prot::kReadWrite);
+      });
+  reinterpret_cast<int*>(b.base())[0] = 1;
+  reinterpret_cast<int*>(a.base())[0] = 2;
+  EXPECT_EQ(a_faults.load(), 1);
+  EXPECT_EQ(b_faults.load(), 1);
+  FaultDispatcher::instance().unregister_region(a.base());
+  FaultDispatcher::instance().unregister_region(b.base());
+}
+
+TEST_F(FaultDispatcherTest, NestedFaultFromHandlerIsServed) {
+  PageRegion r(2 * system_page_size(), Prot::kNone);
+  std::atomic<int> faults{0};
+  FaultDispatcher::instance().register_region(
+      r.base(), r.size(), [&](void* addr, FaultAccess) {
+        faults.fetch_add(1);
+        const PageId page = r.page_of(addr);
+        if (page == 0) {
+          // Touch page 1 from inside the handler: a nested fault.
+          auto* other = reinterpret_cast<volatile int*>(r.page_ptr(1));
+          (void)other[0];
+        }
+        r.protect(page, 1, Prot::kReadWrite);
+      });
+  auto* p = reinterpret_cast<volatile int*>(r.base());
+  (void)p[0];
+  EXPECT_EQ(faults.load(), 2);
+  FaultDispatcher::instance().unregister_region(r.base());
+}
+
+TEST_F(FaultDispatcherTest, ConcurrentFaultsOnDistinctRegions) {
+  constexpr int kThreads = 8;
+  std::vector<std::unique_ptr<PageRegion>> regions;
+  std::atomic<int> faults{0};
+  for (int i = 0; i < kThreads; ++i) {
+    regions.push_back(
+        std::make_unique<PageRegion>(4 * system_page_size(), Prot::kNone));
+    auto* r = regions.back().get();
+    FaultDispatcher::instance().register_region(
+        r->base(), r->size(), [&faults, r](void* addr, FaultAccess) {
+          faults.fetch_add(1);
+          r->protect(r->page_of(addr), 1, Prot::kReadWrite);
+        });
+  }
+  std::vector<std::thread> ts;
+  for (int i = 0; i < kThreads; ++i) {
+    ts.emplace_back([&regions, i] {
+      auto* r = regions[static_cast<std::size_t>(i)].get();
+      for (PageId p = 0; p < 4; ++p) {
+        reinterpret_cast<int*>(r->page_ptr(p))[1] = i;
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(faults.load(), kThreads * 4);
+  for (auto& r : regions) {
+    FaultDispatcher::instance().unregister_region(r->base());
+  }
+}
+
+TEST_F(FaultDispatcherTest, UnregisterRemovesRegion) {
+  PageRegion r(system_page_size(), Prot::kNone);
+  const auto before = FaultDispatcher::instance().num_regions();
+  FaultDispatcher::instance().register_region(r.base(), r.size(),
+                                              [](void*, FaultAccess) {});
+  EXPECT_EQ(FaultDispatcher::instance().num_regions(), before + 1);
+  FaultDispatcher::instance().unregister_region(r.base());
+  EXPECT_EQ(FaultDispatcher::instance().num_regions(), before);
+}
+
+}  // namespace
+}  // namespace sdsm::vm
