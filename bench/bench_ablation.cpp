@@ -13,8 +13,9 @@
 #include <iostream>
 
 #include "bench/bench_params.hpp"
-#include "src/apps/nbf/nbf_common.hpp"
-#include "src/apps/nbf/nbf_tmk.hpp"
+#include "src/apps/nbf/nbf_kernel.hpp"
+#include "src/core/descriptor.hpp"
+#include "src/core/dsm.hpp"
 #include "src/harness/experiment.hpp"
 
 namespace {
@@ -41,11 +42,10 @@ void ablation_aggregation() {
       self.barrier();
       if (self.id() == 1) {
         if (use_validate) {
-          self.validate({core::direct_desc(
-              arr.addr, sizeof(double),
-              rsd::ArrayLayout{{static_cast<std::int64_t>(n)}, true},
-              rsd::RegularSection::dense1d(0, n - 1), core::Access::kRead,
-              0)});
+          self.validate({core::DescriptorBuilder::array(arr)
+                             .elements(0, static_cast<std::int64_t>(n) - 1)
+                             .schedule(0)
+                             .read()});
         }
         double sum = 0;
         for (std::size_t i = 0; i < n; ++i) sum += p[i];
@@ -72,18 +72,16 @@ void ablation_write_all() {
     p.partners = 16;
     p.timed_steps = 6;
     p.nprocs = 4;
-    core::DsmConfig cfg;
-    cfg.num_nodes = p.nprocs;
-    cfg.region_bytes = 8u << 20;
-    cfg.write_all_enabled = write_all;
-    core::DsmRuntime rt(cfg);
-    const auto r = nbf::run_tmk(rt, p, /*optimized=*/true);
+    api::BackendOptions opts = nbf::default_options();
+    opts.region_bytes = 8u << 20;
+    opts.write_all_enabled = write_all;
+    const auto r = nbf::run(api::Backend::kTmkOptimized, p, opts);
     char note[96];
     std::snprintf(note, sizeof(note),
                   "twins=%llu whole_pages=%llu diff_bytes=%llu",
-                  static_cast<unsigned long long>(rt.stats().twins_created.get()),
-                  static_cast<unsigned long long>(rt.stats().whole_pages.get()),
-                  static_cast<unsigned long long>(rt.stats().diff_bytes.get()));
+                  static_cast<unsigned long long>(r.tmk.twins_created),
+                  static_cast<unsigned long long>(r.tmk.whole_pages),
+                  static_cast<unsigned long long>(r.tmk.diff_bytes));
     t.add(harness::Row{"nbf 8192x16, 4 nodes",
                        write_all ? "WRITE_ALL on" : "WRITE_ALL off", r.seconds,
                        0, r.messages, r.megabytes, 0, note});
@@ -105,11 +103,9 @@ void ablation_false_sharing() {
     p.partners = 16;
     p.timed_steps = 6;
     p.nprocs = 4;
-    core::DsmConfig cfg;
-    cfg.num_nodes = p.nprocs;
-    cfg.region_bytes = 8u << 20;
-    core::DsmRuntime rt(cfg);
-    const auto r = nbf::run_tmk(rt, p, /*optimized=*/true);
+    api::BackendOptions opts = nbf::default_options();
+    opts.region_bytes = 8u << 20;
+    const auto r = nbf::run(api::Backend::kTmkOptimized, p, opts);
     const std::int64_t per_node = molecules / 4;
     char group[64];
     std::snprintf(group, sizeof(group), "%lld molecules (%lld/node)",

@@ -1,0 +1,81 @@
+// The unified-API bench: every workload (moldyn, nbf, spmv) on every
+// backend through sdsm::api, one row per (workload, backend).  Alongside
+// the human table and CSV it writes BENCH_api.json — the machine-readable
+// perf trajectory successive PRs diff against.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_params.hpp"
+#include "src/apps/moldyn/moldyn_kernel.hpp"
+#include "src/apps/nbf/nbf_kernel.hpp"
+#include "src/apps/spmv/spmv.hpp"
+#include "src/harness/experiment.hpp"
+
+namespace {
+
+using namespace sdsm;
+using namespace sdsm::apps;
+
+void add_rows(harness::Table& table, const char* group, double seq_seconds,
+              double seq_checksum,
+              const std::function<api::KernelResult(api::Backend)>& run_one) {
+  for (const api::Backend b : api::kAllBackends) {
+    const auto r = run_one(b);
+    char note[96];
+    std::snprintf(note, sizeof(note), "checksum %s, %lld rebuilds",
+                  checksum_close(seq_checksum, r.checksum) ? "OK" : "MISMATCH",
+                  static_cast<long long>(r.rebuilds));
+    table.add(harness::Row{group, api::backend_name(b), r.seconds,
+                           harness::speedup(seq_seconds, r.seconds),
+                           r.messages, r.megabytes, r.overhead_seconds, note});
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("sdsm::api backend sweep: 3 workloads x 3 backends, %u nodes.\n\n",
+              bench::kNodes);
+  harness::Table table("Unified API - all workloads x all backends");
+
+  {
+    moldyn::Params p;
+    p.num_molecules = 4096;
+    p.num_steps = 24;
+    p.update_interval = 12;
+    p.nprocs = bench::kNodes;
+    const auto sys = moldyn::make_system(p);
+    const auto seq = moldyn::run_seq(p, sys);
+    add_rows(table, "moldyn 4096x24", seq.seconds, seq.checksum,
+             [&](api::Backend b) { return moldyn::run(b, p, sys); });
+  }
+  {
+    nbf::Params p;
+    p.molecules = 16384;
+    p.partners = 32;
+    p.timed_steps = 10;
+    p.nprocs = bench::kNodes;
+    const auto seq = nbf::run_seq(p);
+    add_rows(table, "nbf 16384x32", seq.seconds, seq.checksum,
+             [&](api::Backend b) { return nbf::run(b, p); });
+  }
+  {
+    spmv::Params p;
+    p.num_rows = 16384;
+    p.edges_per_vertex = 8;
+    p.num_steps = 16;
+    p.nprocs = bench::kNodes;
+    const auto seq = spmv::run_seq(p);
+    add_rows(table, "spmv 16384x8", seq.seconds, seq.checksum,
+             [&](api::Backend b) { return spmv::run(b, p); });
+  }
+
+  table.print(std::cout);
+  table.print_csv(std::cout);
+  if (table.write_json("BENCH_api.json")) {
+    std::printf("wrote BENCH_api.json\n");
+  } else {
+    std::printf("could not write BENCH_api.json\n");
+  }
+  return 0;
+}

@@ -10,11 +10,8 @@
 #include <iostream>
 
 #include "bench/bench_params.hpp"
-#include "src/apps/moldyn/moldyn_chaos.hpp"
-#include "src/apps/moldyn/moldyn_common.hpp"
-#include "src/apps/moldyn/moldyn_tmk.hpp"
-#include "src/apps/nbf/nbf_chaos.hpp"
-#include "src/apps/nbf/nbf_tmk.hpp"
+#include "src/apps/moldyn/moldyn_kernel.hpp"
+#include "src/apps/nbf/nbf_kernel.hpp"
 #include "src/harness/experiment.hpp"
 
 namespace {
@@ -39,25 +36,21 @@ int main() {
     p.nprocs = bench::kNodes;
     const moldyn::System sys = moldyn::make_system(p);
 
-    chaos::ChaosRuntime crt(p.nprocs, bench::sp2_wire());
-    const auto ch = moldyn::run_chaos(crt, p, sys);
-
-    core::DsmConfig cfg;
-    cfg.num_nodes = p.nprocs;
-    cfg.region_bytes = 16u << 20;
-    cfg.wire = bench::sp2_wire();
-    core::DsmRuntime drt(cfg);
-    const auto tk = moldyn::run_tmk(drt, p, sys, /*optimized=*/true);
+    api::BackendOptions opts = moldyn::default_options();
+    opts.wire = bench::sp2_wire();
+    opts.region_bytes = 16u << 20;
+    const auto ch = moldyn::run(api::Backend::kChaos, p, sys, opts);
+    const auto tk = moldyn::run(api::Backend::kTmkOptimized, p, sys, opts);
 
     char group[64];
     std::snprintf(group, sizeof(group), "update every %d steps", interval);
     char note[96];
     std::snprintf(note, sizeof(note), "%lld inspector runs",
-                  static_cast<long long>(ch.inspector_runs));
+                  static_cast<long long>(ch.rebuilds));
     t1.add(harness::Row{group, "CHAOS", ch.seconds, 0, ch.messages,
-                        ch.megabytes, ch.inspector_seconds, note});
+                        ch.megabytes, ch.overhead_seconds, note});
     t1.add(harness::Row{group, "Tmk optimized", tk.seconds, 0, tk.messages,
-                        tk.megabytes, tk.list_scan_seconds, "Validate scan"});
+                        tk.megabytes, tk.overhead_seconds, "Validate scan"});
     if (tk.seconds >= ch.seconds) tmk_always_faster_with_inspector = false;
   }
   t1.print(std::cout);
@@ -76,22 +69,18 @@ int main() {
     p.timed_steps = 10;
     p.nprocs = bench::kNodes;
 
-    chaos::ChaosRuntime crt(p.nprocs, bench::sp2_wire());
-    const auto ch = nbf::run_chaos(crt, p);
-
-    core::DsmConfig cfg;
-    cfg.num_nodes = p.nprocs;
-    cfg.region_bytes = 16u << 20;
-    cfg.wire = bench::sp2_wire();
-    core::DsmRuntime drt(cfg);
-    const auto tk = nbf::run_tmk(drt, p, /*optimized=*/true);
+    api::BackendOptions opts = nbf::default_options();
+    opts.wire = bench::sp2_wire();
+    opts.region_bytes = 16u << 20;
+    const auto ch = nbf::run(api::Backend::kChaos, p, opts);
+    const auto tk = nbf::run(api::Backend::kTmkOptimized, p, opts);
 
     t2.add(harness::Row{"16 x 1024", "CHAOS", ch.seconds, 0, ch.messages,
-                        ch.megabytes, ch.inspector_seconds,
+                        ch.megabytes, ch.overhead_seconds,
                         "inspector excluded from time"});
     t2.add(harness::Row{"16 x 1024", "Tmk optimized", tk.seconds, 0,
-                        tk.messages, tk.megabytes, tk.list_scan_seconds,
-                        "scan included in time"});
+                        tk.messages, tk.megabytes, tk.overhead_seconds,
+                        "scan paid in warmup"});
     std::printf("\n");
     t2.print(std::cout);
     t2.print_csv(std::cout);
@@ -99,8 +88,8 @@ int main() {
         "Including the untimed inspector, CHAOS total = %.3f s vs Tmk "
         "%.3f s -> %s (paper: Tmk always faster once the inspector "
         "counts).\n",
-        ch.seconds + ch.inspector_seconds, tk.seconds,
-        ch.seconds + ch.inspector_seconds > tk.seconds
+        ch.seconds + ch.overhead_seconds, tk.seconds,
+        ch.seconds + ch.overhead_seconds > tk.seconds
             ? "Tmk faster (matches paper)"
             : "CHAOS faster (differs)");
   }

@@ -1,6 +1,7 @@
 // Reproduces Table 1: moldyn at 8 processors, interaction list updated at
 // varying intervals; CHAOS vs base TreadMarks vs compiler-optimized
-// TreadMarks; execution time, speedup, messages, and data volume.
+// TreadMarks; execution time, speedup, messages, and data volume — one
+// kernel definition, swept over api::kAllBackends.
 //
 // Paper scale: 16384 molecules / 40 steps, lists rebuilt every 20/15/11
 // iterations (2, 3, 4 rebuilds per run, the first at step 0).  The same
@@ -14,9 +15,7 @@
 #include <iostream>
 
 #include "bench/bench_params.hpp"
-#include "src/apps/moldyn/moldyn_chaos.hpp"
-#include "src/apps/moldyn/moldyn_common.hpp"
-#include "src/apps/moldyn/moldyn_tmk.hpp"
+#include "src/apps/moldyn/moldyn_kernel.hpp"
 #include "src/harness/experiment.hpp"
 
 namespace {
@@ -55,41 +54,19 @@ int main() {
     std::snprintf(group, sizeof(group), "Every %d iterations (seq = %.2f s)",
                   interval, seq.seconds);
 
-    {
-      chaos::ChaosRuntime rt(p.nprocs);
-      // The paper could not fit a replicated translation table for moldyn
-      // and used a distributed one, paying lookup traffic in the inspector.
-      const auto r =
-          moldyn::run_chaos(rt, p, sys, chaos::TableKind::kDistributed);
-      char note[64];
-      std::snprintf(note, sizeof(note), "inspector %.3f s/node x%lld runs",
-                    r.inspector_seconds,
-                    static_cast<long long>(r.inspector_runs));
-      table.add(harness::Row{group, "CHAOS", r.seconds,
-                             harness::speedup(seq.seconds, r.seconds),
-                             r.messages, r.megabytes, r.overhead_seconds,
-                             note});
-    }
-    {
-      core::DsmConfig cfg;
-      cfg.num_nodes = p.nprocs;
-      cfg.region_bytes = 1u << 30;  // the 2-int interaction list dominates
-      core::DsmRuntime rt(cfg);
-      const auto r = moldyn::run_tmk(rt, p, sys, /*optimized=*/false);
-      table.add(harness::Row{group, "Tmk base", r.seconds,
-                             harness::speedup(seq.seconds, r.seconds),
-                             r.messages, r.megabytes, r.overhead_seconds, ""});
-    }
-    {
-      core::DsmConfig cfg;
-      cfg.num_nodes = p.nprocs;
-      cfg.region_bytes = 1u << 30;  // the 2-int interaction list dominates
-      core::DsmRuntime rt(cfg);
-      const auto r = moldyn::run_tmk(rt, p, sys, /*optimized=*/true);
-      char note[64];
-      std::snprintf(note, sizeof(note), "list scan %.4f s/node, %.0f%% interact",
-                    r.list_scan_seconds, 100.0 * r.interacting);
-      table.add(harness::Row{group, "Tmk optimized", r.seconds,
+    api::BackendOptions opts = moldyn::default_options();
+    opts.region_bytes = 1u << 30;  // the 2-int interaction list dominates
+    for (const api::Backend b : api::kAllBackends) {
+      const auto r = moldyn::run(b, p, sys, opts);
+      char note[64] = "";
+      if (b == api::Backend::kChaos) {
+        std::snprintf(note, sizeof(note), "inspector %.3f s/node x%lld runs",
+                      r.overhead_seconds, static_cast<long long>(r.rebuilds));
+      } else if (b == api::Backend::kTmkOptimized) {
+        std::snprintf(note, sizeof(note), "list scan %.4f s/node",
+                      r.overhead_seconds);
+      }
+      table.add(harness::Row{group, api::backend_name(b), r.seconds,
                              harness::speedup(seq.seconds, r.seconds),
                              r.messages, r.megabytes, r.overhead_seconds,
                              note});

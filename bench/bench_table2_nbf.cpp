@@ -1,5 +1,5 @@
 // Reproduces Table 2: the NBF kernel at 8 processors for three problem
-// sizes; CHAOS vs base TreadMarks vs compiler-optimized TreadMarks.
+// sizes; one kernel definition swept over all api backends.
 //
 // Paper sizes, reproduced directly: 64x1024=65536 (each node's block is
 // exactly 16 pages of doubles), 64x1000=64000 (misaligned block boundaries
@@ -10,9 +10,7 @@
 #include <iostream>
 
 #include "bench/bench_params.hpp"
-#include "src/apps/nbf/nbf_chaos.hpp"
-#include "src/apps/nbf/nbf_common.hpp"
-#include "src/apps/nbf/nbf_tmk.hpp"
+#include "src/apps/nbf/nbf_kernel.hpp"
 #include "src/harness/experiment.hpp"
 
 namespace {
@@ -52,31 +50,19 @@ int main() {
     std::snprintf(group, sizeof(group), "%s (seq = %.2f s)", size.label,
                   seq.seconds);
 
-    {
-      chaos::ChaosRuntime rt(p.nprocs);
-      const auto r = nbf::run_chaos(rt, p);
-      char note[64];
-      std::snprintf(note, sizeof(note), "inspector %.3f s/node (untimed)",
-                    r.inspector_seconds);
-      table.add(harness::Row{group, "CHAOS", r.seconds,
-                             harness::speedup(seq.seconds, r.seconds),
-                             r.messages, r.megabytes, r.overhead_seconds,
-                             note});
-    }
-    for (const bool optimized : {false, true}) {
-      core::DsmConfig cfg;
-      cfg.num_nodes = p.nprocs;
-      cfg.region_bytes = 64u << 20;
-      core::DsmRuntime rt(cfg);
-      const auto r = nbf::run_tmk(rt, p, optimized);
-      char note[64];
-      note[0] = '\0';
-      if (optimized) {
-        std::snprintf(note, sizeof(note), "list scan %.4f s/node (timed)",
-                      r.list_scan_seconds);
+    api::BackendOptions opts = nbf::default_options();
+    opts.region_bytes = 64u << 20;
+    for (const api::Backend b : api::kAllBackends) {
+      const auto r = nbf::run(b, p, opts);
+      char note[64] = "";
+      if (b == api::Backend::kChaos) {
+        std::snprintf(note, sizeof(note), "inspector %.3f s/node (untimed)",
+                      r.overhead_seconds);
+      } else if (b == api::Backend::kTmkOptimized) {
+        std::snprintf(note, sizeof(note), "list scan %.4f s/node (warmup)",
+                      r.overhead_seconds);
       }
-      table.add(harness::Row{group, optimized ? "Tmk optimized" : "Tmk base",
-                             r.seconds,
+      table.add(harness::Row{group, api::backend_name(b), r.seconds,
                              harness::speedup(seq.seconds, r.seconds),
                              r.messages, r.megabytes, r.overhead_seconds,
                              note});

@@ -11,9 +11,7 @@
 #include <iostream>
 
 #include "bench/bench_params.hpp"
-#include "src/apps/moldyn/moldyn_chaos.hpp"
-#include "src/apps/moldyn/moldyn_common.hpp"
-#include "src/apps/moldyn/moldyn_tmk.hpp"
+#include "src/apps/moldyn/moldyn_kernel.hpp"
 #include "src/harness/experiment.hpp"
 
 namespace {
@@ -52,26 +50,22 @@ int main() {
                   interval, seq.seconds);
 
     {
-      chaos::ChaosRuntime rt(p.nprocs);
-      const auto r = moldyn::run_chaos(rt, p, sys, chaos::TableKind::kDistributed);
+      const auto r = moldyn::run(api::Backend::kChaos, p, sys);
       char note[64];
       std::snprintf(note, sizeof(note), "inspector %.3f s/node x%lld",
-                    r.inspector_seconds,
-                    static_cast<long long>(r.inspector_runs));
+                    r.overhead_seconds, static_cast<long long>(r.rebuilds));
       table.add(harness::Row{group, "CHAOS", r.seconds,
                              harness::speedup(seq.seconds, r.seconds),
                              r.messages, r.megabytes, r.overhead_seconds,
                              note});
     }
     {
-      core::DsmConfig cfg;
-      cfg.num_nodes = p.nprocs;
-      cfg.region_bytes = 512u << 20;
-      core::DsmRuntime rt(cfg);
-      const auto r = moldyn::run_tmk(rt, p, sys, /*optimized=*/true);
+      api::BackendOptions opts = moldyn::default_options();
+      opts.region_bytes = 512u << 20;
+      const auto r = moldyn::run(api::Backend::kTmkOptimized, p, sys, opts);
       char note[64];
       std::snprintf(note, sizeof(note), "list scan %.4f s/node",
-                    r.list_scan_seconds);
+                    r.overhead_seconds);
       table.add(harness::Row{group, "Tmk optimized", r.seconds,
                              harness::speedup(seq.seconds, r.seconds),
                              r.messages, r.megabytes, r.overhead_seconds,

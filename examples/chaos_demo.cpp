@@ -2,7 +2,7 @@
 // synthetic irregular gather/scatter, showing the schedule structure and
 // the effect of the translation-table storage policy.
 //
-// Build & run:   ./build/examples/chaos_demo
+// Build & run:   ./build/chaos_demo
 #include <cstdio>
 #include <numeric>
 

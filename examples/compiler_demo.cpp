@@ -1,7 +1,7 @@
 // Compiler demo: reproduces the paper's Figure 1 -> Figure 2 source-to-
 // source transformation on the moldyn and nbf kernels.
 //
-// Build & run:   ./build/examples/compiler_demo
+// Build & run:   ./build/compiler_demo
 #include <cstdio>
 
 #include "src/compiler/parser.hpp"

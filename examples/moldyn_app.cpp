@@ -1,15 +1,13 @@
-// Moldyn end to end: sequential reference, base TreadMarks, compiler-
-// optimized TreadMarks, and CHAOS, on one scaled workload — the domain
-// scenario the paper's introduction motivates (CHARMM-style non-bonded
-// force computation with a periodically rebuilt interaction list).
+// Moldyn end to end: sequential reference plus every sdsm::api backend on
+// one scaled workload — the domain scenario the paper's introduction
+// motivates (CHARMM-style non-bonded force computation with a periodically
+// rebuilt interaction list), written once and swept over backends.
 //
-// Build & run:   ./build/examples/moldyn_app
+// Build & run:   ./build/moldyn_app
 #include <cstdio>
 #include <iostream>
 
-#include "src/apps/moldyn/moldyn_chaos.hpp"
-#include "src/apps/moldyn/moldyn_common.hpp"
-#include "src/apps/moldyn/moldyn_tmk.hpp"
+#include "src/apps/moldyn/moldyn_kernel.hpp"
 #include "src/harness/experiment.hpp"
 
 using namespace sdsm;
@@ -29,38 +27,18 @@ int main() {
 
   const moldyn::System sys = moldyn::make_system(p);
   const auto seq = moldyn::run_seq(p, sys);
-  std::printf("sequential: %.3f s, checksum %.6f\n", seq.seconds,
+  std::printf("sequential: %.3f s, checksum %.6f\n\n", seq.seconds,
               seq.checksum);
 
   harness::Table table("moldyn variants");
+  api::BackendOptions opts = moldyn::default_options();
+  opts.region_bytes = 16u << 20;
 
-  core::DsmConfig cfg;
-  cfg.num_nodes = p.nprocs;
-  cfg.region_bytes = 16u << 20;
-  {
-    core::DsmRuntime rt(cfg);
-    const auto r = moldyn::run_tmk(rt, p, sys, /*optimized=*/false);
-    std::printf("Tmk base     : checksum %s\n",
+  for (const api::Backend b : api::kAllBackends) {
+    const auto r = moldyn::run(b, p, sys, opts);
+    std::printf("%-14s: checksum %s\n", api::backend_name(b),
                 checksum_close(r.checksum, seq.checksum) ? "OK" : "MISMATCH");
-    table.add(harness::Row{"2048 molecules", "Tmk base", r.seconds,
-                           harness::speedup(seq.seconds, r.seconds),
-                           r.messages, r.megabytes, r.overhead_seconds, ""});
-  }
-  {
-    core::DsmRuntime rt(cfg);
-    const auto r = moldyn::run_tmk(rt, p, sys, /*optimized=*/true);
-    std::printf("Tmk optimized: checksum %s\n",
-                checksum_close(r.checksum, seq.checksum) ? "OK" : "MISMATCH");
-    table.add(harness::Row{"2048 molecules", "Tmk optimized", r.seconds,
-                           harness::speedup(seq.seconds, r.seconds),
-                           r.messages, r.megabytes, r.overhead_seconds, ""});
-  }
-  {
-    chaos::ChaosRuntime rt(p.nprocs);
-    const auto r = moldyn::run_chaos(rt, p, sys);
-    std::printf("CHAOS        : checksum %s\n",
-                checksum_close(r.checksum, seq.checksum) ? "OK" : "MISMATCH");
-    table.add(harness::Row{"2048 molecules", "CHAOS", r.seconds,
+    table.add(harness::Row{"2048 molecules", api::backend_name(b), r.seconds,
                            harness::speedup(seq.seconds, r.seconds),
                            r.messages, r.megabytes, r.overhead_seconds, ""});
   }

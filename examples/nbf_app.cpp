@@ -1,13 +1,12 @@
 // NBF end to end: the GROMOS non-bonded-force kernel with static partner
-// lists, across all variants, including the false-sharing configuration.
+// lists, across all sdsm::api backends, including the false-sharing
+// configuration (the misaligned molecule count).
 //
-// Build & run:   ./build/examples/nbf_app
+// Build & run:   ./build/nbf_app
 #include <cstdio>
 #include <iostream>
 
-#include "src/apps/nbf/nbf_chaos.hpp"
-#include "src/apps/nbf/nbf_common.hpp"
-#include "src/apps/nbf/nbf_tmk.hpp"
+#include "src/apps/nbf/nbf_kernel.hpp"
 #include "src/harness/experiment.hpp"
 
 using namespace sdsm;
@@ -30,24 +29,12 @@ int main() {
     const auto seq = nbf::run_seq(p);
     harness::Table table("nbf variants");
 
-    core::DsmConfig cfg;
-    cfg.num_nodes = p.nprocs;
-    cfg.region_bytes = 16u << 20;
-    for (const bool optimized : {false, true}) {
-      core::DsmRuntime rt(cfg);
-      const auto r = nbf::run_tmk(rt, p, optimized);
+    api::BackendOptions opts = nbf::default_options();
+    opts.region_bytes = 16u << 20;
+    for (const api::Backend b : api::kAllBackends) {
+      const auto r = nbf::run(b, p, opts);
       table.add(harness::Row{
-          "timed steps", optimized ? "Tmk optimized" : "Tmk base", r.seconds,
-          harness::speedup(seq.seconds, r.seconds), r.messages, r.megabytes,
-          r.overhead_seconds,
-          checksum_close(r.checksum, seq.checksum) ? "checksum OK"
-                                                   : "CHECKSUM MISMATCH"});
-    }
-    {
-      chaos::ChaosRuntime rt(p.nprocs);
-      const auto r = nbf::run_chaos(rt, p);
-      table.add(harness::Row{
-          "timed steps", "CHAOS", r.seconds,
+          "timed steps", api::backend_name(b), r.seconds,
           harness::speedup(seq.seconds, r.seconds), r.messages, r.megabytes,
           r.overhead_seconds,
           checksum_close(r.checksum, seq.checksum) ? "checksum OK"

@@ -1,0 +1,24 @@
+// sdsm::api — the single façade header for writing and running irregular
+// kernels.  Pulls in the kernel abstraction, the backend enum, the runtime
+// factory, and the fluent descriptor builder (re-exported from core for
+// programs that drop down to raw Validate calls).
+//
+//   #include "src/api/api.hpp"
+//
+//   api::KernelSpec<double> spec = ...;   // written once
+//   for (api::Backend b : api::kAllBackends) {
+//     api::KernelResult r = api::run_kernel(b, spec);
+//   }
+#pragma once
+
+#include "src/api/backend.hpp"
+#include "src/api/kernel.hpp"
+#include "src/api/runtime.hpp"
+#include "src/core/descriptor.hpp"
+
+namespace sdsm::api {
+
+/// The fluent typed AccessDescriptor builder (see src/core/descriptor.hpp).
+using core::DescriptorBuilder;
+
+}  // namespace sdsm::api

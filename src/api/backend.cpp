@@ -1,0 +1,34 @@
+#include "src/api/backend.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+
+namespace sdsm::api {
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kChaos:
+      return "CHAOS";
+    case Backend::kTmkBase:
+      return "Tmk base";
+    case Backend::kTmkOptimized:
+      return "Tmk optimized";
+  }
+  return "?";
+}
+
+std::optional<Backend> parse_backend(std::string_view name) {
+  std::string s(name);
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return c == ' ' || c == '_' ? '-' : static_cast<char>(std::tolower(c));
+  });
+  if (s == "chaos") return Backend::kChaos;
+  if (s == "tmk-base" || s == "tmk" || s == "base") return Backend::kTmkBase;
+  if (s == "tmk-optimized" || s == "tmk-opt" || s == "optimized") {
+    return Backend::kTmkOptimized;
+  }
+  return std::nullopt;
+}
+
+}  // namespace sdsm::api

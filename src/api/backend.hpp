@@ -1,0 +1,53 @@
+// Backend selection for the unified irregular-kernel API.
+//
+// The paper's experiment is exactly a backend sweep: the same irregular
+// application run on CHAOS (hand-written inspector/executor), on base
+// TreadMarks (demand paging), and on TreadMarks with the compiler-inserted
+// Validate optimization.  This enum names those three execution strategies
+// so harnesses can sweep them uniformly and applications never mention a
+// concrete runtime.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "src/chaos/translation_table.hpp"
+#include "src/net/network.hpp"
+
+namespace sdsm::api {
+
+enum class Backend : std::uint8_t {
+  kChaos,         ///< CHAOS-style message passing: inspector/executor
+  kTmkBase,       ///< TreadMarks DSM, demand paging only
+  kTmkOptimized,  ///< TreadMarks DSM + compiler-driven Validate aggregation
+};
+
+inline constexpr Backend kAllBackends[] = {Backend::kChaos, Backend::kTmkBase,
+                                           Backend::kTmkOptimized};
+
+/// Stable display name: "CHAOS" | "Tmk base" | "Tmk optimized" (the labels
+/// the paper's tables use).
+const char* backend_name(Backend b);
+
+/// Parses "chaos" | "tmk-base" | "tmk-optimized" (plus the display names,
+/// case-insensitively); nullopt when unrecognized.
+std::optional<Backend> parse_backend(std::string_view name);
+
+/// Per-run tuning knobs that are about the *execution substrate*, not the
+/// kernel.  Each backend reads the subset that applies to it.
+struct BackendOptions {
+  /// Simulated interconnect cost model (all backends share the fabric, so
+  /// message/byte counts stay comparable — the paper's premise).
+  net::WireModel wire{};
+
+  // --- TreadMarks backends --------------------------------------------------
+  std::size_t region_bytes = 256u << 20;        ///< shared-region size
+  std::size_t gc_threshold_bytes = 256u << 20;  ///< diff-store GC trigger
+  bool write_all_enabled = true;  ///< WRITE_ALL twin elision (ablations)
+
+  // --- CHAOS backend --------------------------------------------------------
+  chaos::TableKind table = chaos::TableKind::kDistributed;
+};
+
+}  // namespace sdsm::api

@@ -1,0 +1,194 @@
+#include "src/api/chaos_backend.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <span>
+#include <vector>
+
+#include "src/chaos/chaos_runtime.hpp"
+#include "src/chaos/executor.hpp"
+#include "src/chaos/inspector.hpp"
+#include "src/chaos/translation_table.hpp"
+#include "src/common/buffer.hpp"
+#include "src/common/timer.hpp"
+
+namespace sdsm::api {
+
+namespace {
+
+class ChaosIrregularNode final : public IrregularNode {
+ public:
+  explicit ChaosIrregularNode(chaos::ChaosNode& n) : n_(n) {}
+  NodeId id() const override { return n_.id(); }
+  std::uint32_t num_nodes() const override { return n_.num_nodes(); }
+  void barrier() override { n_.barrier(); }
+
+ private:
+  chaos::ChaosNode& n_;
+};
+
+}  // namespace
+
+template <typename T>
+KernelResult ChaosBackend::run_impl(const KernelSpec<T>& spec) {
+  spec.require_valid(num_nodes_);
+  const std::uint32_t nprocs = num_nodes_;
+
+  // Owner map and translation table (remapping: owner-contiguous offsets,
+  // which for a contiguous partition makes local offset = global - begin).
+  std::vector<NodeId> owner(static_cast<std::size_t>(spec.num_elements));
+  for (std::int64_t g = 0; g < spec.num_elements; ++g) {
+    owner[static_cast<std::size_t>(g)] = owner_of(spec.owner_range, g);
+  }
+  const auto table =
+      chaos::TranslationTable::build(owner, nprocs, options_.table);
+
+  chaos::ChaosRuntime rt(nprocs, options_.wire);
+
+  std::vector<double> inspector_seconds(nprocs, 0.0);
+  std::vector<std::int64_t> rebuilds(nprocs, 0);
+  std::vector<double> timed_seconds(nprocs, 0.0);
+  std::vector<double> partial(nprocs, 0.0);
+  std::atomic<std::uint64_t> msgs_start{0}, msgs_end{0};
+  std::atomic<std::uint64_t> bytes_start{0}, bytes_end{0};
+
+  rt.reset_stats();
+  rt.run([&](chaos::ChaosNode& cn) {
+    const NodeId me = cn.id();
+    const part::Range mine = spec.owner_range[me];
+    const auto local_n = static_cast<std::size_t>(mine.size());
+    ChaosIrregularNode node(cn);
+
+    std::vector<T> x_all(local_n);  // owned block, ghost region appended
+    std::copy(spec.initial_state.begin() + mine.begin,
+              spec.initial_state.begin() + mine.end, x_all.begin());
+    std::vector<T> f_all;
+
+    chaos::Schedule sched;
+    std::vector<std::int32_t> localized;
+    std::vector<double> payload;
+    std::vector<T> all_state;
+
+    auto rebuild_fn = [&] {
+      std::span<const T> view{};
+      if (spec.rebuild_reads_state) {
+        // Allgather the owned blocks into a full copy: CHAOS has no shared
+        // memory, and the structure builder needs the global view (this is
+        // the rebuild communication the DSM performs via paging/Validate).
+        all_state.resize(static_cast<std::size_t>(spec.num_elements));
+        std::vector<std::vector<std::uint8_t>> out(nprocs);
+        {
+          Writer w;
+          w.put_span<T>(std::span<const T>(x_all.data(), local_n));
+          for (NodeId q = 0; q < nprocs; ++q) {
+            if (q != me) out[q] = w.bytes();
+          }
+        }
+        auto in = cn.all_to_all(std::move(out));
+        for (NodeId q = 0; q < nprocs; ++q) {
+          const part::Range range = spec.owner_range[q];
+          if (q == me) {
+            std::copy(x_all.begin(), x_all.begin() + local_n,
+                      all_state.begin() + range.begin);
+          } else {
+            Reader r(in[q]);
+            const auto block = r.template get_vector<T>();
+            std::copy(block.begin(), block.end(),
+                      all_state.begin() + range.begin);
+          }
+        }
+        view = all_state;
+      }
+
+      WorkItems items = spec.build_items(node, view);
+      SDSM_REQUIRE(items.refs.size() % spec.arity == 0);
+      const std::size_t num_items = items.refs.size() / spec.arity;
+      // Same capacity contract the Tmk backends enforce: a spec must not
+      // pass on one backend and abort on another.
+      SDSM_REQUIRE(num_items <=
+                   static_cast<std::size_t>(spec.max_items_per_node));
+      SDSM_REQUIRE(items.payload.empty() ||
+                   items.payload.size() == num_items);
+      payload = std::move(items.payload);
+
+      // Inspector: schedule + localization from the referenced globals.
+      chaos::InspectorStats istats;
+      sched = chaos::build_schedule(cn, items.refs, table, &istats);
+      inspector_seconds[me] += istats.seconds;
+      ++rebuilds[me];
+      localized = chaos::localize_references(me, items.refs, table, sched);
+      x_all.resize(local_n + static_cast<std::size_t>(sched.num_ghosts));
+      f_all.assign(local_n + static_cast<std::size_t>(sched.num_ghosts), T{});
+    };
+
+    auto step_fn = [&](int global_step) {
+      if (spec.rebuild_at(global_step)) rebuild_fn();
+      const auto ghosts = static_cast<std::size_t>(sched.num_ghosts);
+
+      // Executor: gather remote state, compute, scatter contributions.
+      chaos::gather<T>(cn, sched, std::span<const T>(x_all.data(), local_n),
+                       std::span<T>(x_all.data() + local_n, ghosts));
+      std::fill(f_all.begin(), f_all.end(), T{});
+      KernelCtx<T> ctx;
+      ctx.refs = localized;
+      ctx.payload = payload;
+      ctx.x = x_all;
+      ctx.f = f_all;
+      ctx.arity = spec.arity;
+      spec.compute(node, ctx);
+      chaos::scatter<T>(cn, sched, std::span<T>(f_all.data(), local_n),
+                        std::span<const T>(f_all.data() + local_n, ghosts),
+                        [](T a, T b) { return a + b; });
+
+      if (spec.update) {
+        spec.update(std::span<T>(x_all.data(), local_n),
+                    std::span<const T>(f_all.data(), local_n));
+      }
+      cn.barrier();
+    };
+
+    for (int s = 0; s < spec.warmup_steps; ++s) step_fn(s);
+    // Quiescent snapshots: taken by node 0 while every other node is
+    // blocked inside the barrier, so the counts are deterministic.
+    cn.barrier([&] {
+      msgs_start = rt.total_messages();
+      bytes_start = static_cast<std::uint64_t>(rt.total_megabytes() * 1e6);
+    });
+
+    const Timer timer;
+    for (int s = 0; s < spec.num_steps; ++s) step_fn(spec.warmup_steps + s);
+    timed_seconds[me] = timer.elapsed_s();
+    cn.barrier([&] {
+      msgs_end = rt.total_messages();
+      bytes_end = static_cast<std::uint64_t>(rt.total_megabytes() * 1e6);
+    });
+
+    partial[me] = spec.checksum(std::span<const T>(x_all.data(), local_n));
+  });
+
+  KernelResult res;
+  res.backend = Backend::kChaos;
+  for (const double t : timed_seconds) res.seconds = std::max(res.seconds, t);
+  // Between the two snapshots lie the timed steps plus exactly one barrier
+  // release (N-1 messages) and one barrier arrival (N-1).
+  res.messages =
+      msgs_end.load() - msgs_start.load() - 2 * (nprocs - 1);
+  res.megabytes =
+      static_cast<double>(bytes_end.load() - bytes_start.load()) / 1e6;
+  for (const double c : partial) res.checksum += c;
+  double insp = 0;
+  for (const double s : inspector_seconds) insp += s;
+  res.overhead_seconds = insp / nprocs;
+  res.rebuilds = rebuilds[0];
+  return res;
+}
+
+KernelResult ChaosBackend::run(const KernelSpec<double>& spec) {
+  return run_impl(spec);
+}
+
+KernelResult ChaosBackend::run(const KernelSpec<double3>& spec) {
+  return run_impl(spec);
+}
+
+}  // namespace sdsm::api

@@ -1,0 +1,31 @@
+// CHAOS-backed execution of irregular kernels: translation table from the
+// kernel's partition, inspector at every indirection rebuild, executor
+// gather/scatter around the compute loop — the hand-written
+// inspector/executor structure of the paper's Section 4, derived
+// automatically from the same KernelSpec the DSM backends run.
+#pragma once
+
+#include "src/api/runtime.hpp"
+
+namespace sdsm::api {
+
+class ChaosBackend final : public IrregularRuntime {
+ public:
+  ChaosBackend(std::uint32_t num_nodes, BackendOptions options)
+      : num_nodes_(num_nodes), options_(options) {}
+
+  Backend backend() const override { return Backend::kChaos; }
+  std::uint32_t num_nodes() const override { return num_nodes_; }
+
+  KernelResult run(const KernelSpec<double>& spec) override;
+  KernelResult run(const KernelSpec<double3>& spec) override;
+
+ private:
+  template <typename T>
+  KernelResult run_impl(const KernelSpec<T>& spec);
+
+  std::uint32_t num_nodes_;
+  BackendOptions options_;
+};
+
+}  // namespace sdsm::api

@@ -1,0 +1,174 @@
+// The backend-agnostic irregular-kernel abstraction (sdsm::api).
+//
+// An irregular kernel, in the sense of the paper's Figure 1, is:
+//
+//   x : T[num_elements]    state array, block-partitioned over the nodes
+//   f : T[num_elements]    per-step contribution (reduction) array
+//   items                  this node's slice of the indirection structure:
+//                          each item names `arity` global element indices
+//   compute                the per-step loop body: reads x at the item
+//                          references, accumulates into f at the same
+//   update                 the owner update x[i] op= f[i] after reduction
+//
+// A KernelSpec describes that structure once; each backend executes it its
+// own way — demand paging (Tmk base), compiler-style Validate prefetch and
+// WRITE_ALL pipelined reduction (Tmk optimized), or inspector/executor
+// gather/scatter over ghost regions (CHAOS).  The body is written against
+// *localized* int32 references: global indices on the DSM backends, local +
+// ghost offsets on CHAOS — the remapping CHAOS performs is invisible to the
+// kernel author.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/api/backend.hpp"
+#include "src/common/assert.hpp"
+#include "src/common/types.hpp"
+#include "src/common/vec.hpp"
+#include "src/partition/partition.hpp"
+
+namespace sdsm::api {
+
+/// Per-node handle the kernel callbacks receive.  Backends implement it
+/// over DsmNode / ChaosNode.
+class IrregularNode {
+ public:
+  virtual ~IrregularNode() = default;
+  virtual NodeId id() const = 0;
+  virtual std::uint32_t num_nodes() const = 0;
+  /// Global barrier over all nodes of the backend.
+  virtual void barrier() = 0;
+};
+
+/// One node's work items, as produced by KernelSpec::build_items: a
+/// flattened item-major list of global element references (`arity` per
+/// item) plus an optional per-item scalar payload (e.g. an edge weight).
+struct WorkItems {
+  std::vector<std::int64_t> refs;
+  std::vector<double> payload;
+};
+
+/// Everything the per-step body sees.  All references are localized by the
+/// backend; the body must index `x` and `f` only through `refs`.
+template <typename T>
+struct KernelCtx {
+  std::span<const std::int32_t> refs;  ///< localized, item-major
+  std::span<const double> payload;     ///< per-item payload (may be empty)
+  std::span<const T> x;                ///< state, indexed by localized ref
+  std::span<T> f;                      ///< accumulator, same indexing
+  std::size_t arity = 0;
+
+  std::size_t num_items() const { return arity == 0 ? 0 : refs.size() / arity; }
+};
+
+/// The kernel description — the single thing an application writes.
+template <typename T>
+struct KernelSpec {
+  std::string name;
+
+  /// Global problem shape: element count and the contiguous per-node
+  /// partition (owner_range[p] is node p's block; ranges must cover
+  /// [0, num_elements) in ascending node order).
+  std::int64_t num_elements = 0;
+  std::vector<part::Range> owner_range;
+  std::vector<T> initial_state;  ///< size num_elements
+
+  int num_steps = 1;     ///< timed steps
+  int warmup_steps = 0;  ///< untimed leading steps (one-time costs land here)
+  /// Rebuild the indirection structure every this many steps; 0 means the
+  /// structure is static and built once before the first step.
+  int update_interval = 0;
+
+  std::size_t arity = 0;                ///< global references per item
+  std::int64_t max_items_per_node = 0;  ///< capacity bound for the backends
+  /// True when build_items reads the current state (all_x): the backends
+  /// then materialize a coherent global view first (Validate prefetch /
+  /// allgather).  Static structures leave it false.
+  bool rebuild_reads_state = false;
+
+  /// Builds this node's items from the current global state view (all_x is
+  /// empty unless rebuild_reads_state).  Must be deterministic.
+  std::function<WorkItems(IrregularNode&, std::span<const T> all_x)>
+      build_items;
+
+  /// The per-step loop body.
+  std::function<void(IrregularNode&, const KernelCtx<T>&)> compute;
+
+  /// Owner update after the reduction; spans are the node's owned slices of
+  /// x and f.  Null means no update phase.
+  std::function<void(std::span<T> x_owned, std::span<const T> f_owned)> update;
+
+  /// Order-insensitive digest of an owned slice; backends sum it across
+  /// nodes into KernelResult::checksum.
+  std::function<double(std::span<const T> x_owned)> checksum;
+
+  /// True when the indirection structure is (re)built at this step — the
+  /// single cadence both backends must share for cross-backend parity.
+  bool rebuild_at(int global_step) const {
+    return update_interval > 0 ? global_step % update_interval == 0
+                               : global_step == 0;
+  }
+
+  void require_valid(std::uint32_t nprocs) const {
+    SDSM_REQUIRE(num_elements > 0);
+    SDSM_REQUIRE(owner_range.size() == nprocs);
+    SDSM_REQUIRE(initial_state.size() ==
+                 static_cast<std::size_t>(num_elements));
+    SDSM_REQUIRE(arity > 0 && max_items_per_node > 0);
+    SDSM_REQUIRE(num_elements < INT32_MAX);  // refs localize to int32
+    SDSM_REQUIRE(build_items && compute && checksum);
+    std::int64_t covered = 0;
+    for (const part::Range& r : owner_range) {
+      SDSM_REQUIRE(r.begin == covered && r.end >= r.begin);
+      covered = r.end;
+    }
+    SDSM_REQUIRE(covered == num_elements);
+  }
+};
+
+/// TreadMarks-side protocol counters surfaced for tests and ablations
+/// (zero for the CHAOS backend).  Counted over the timed steps only.
+struct TmkCounters {
+  std::uint64_t validate_calls = 0;
+  std::uint64_t validate_recomputes = 0;  ///< Read_indices executions
+  std::uint64_t read_faults = 0;
+  std::uint64_t pages_prefetched = 0;
+  std::uint64_t twins_created = 0;
+  std::uint64_t whole_pages = 0;
+  std::uint64_t diff_bytes = 0;
+};
+
+/// Result of one kernel execution, uniform across backends.
+struct KernelResult {
+  Backend backend = Backend::kChaos;
+  double checksum = 0;
+  double seconds = 0;  ///< timed steps, max over nodes
+  std::uint64_t messages = 0;
+  double megabytes = 0;
+  /// Per-node overhead of keeping the communication structure current:
+  /// inspector time on CHAOS, Read_indices scan time on Tmk.
+  double overhead_seconds = 0;
+  std::int64_t rebuilds = 0;  ///< item-list rebuilds (= inspector runs)
+  TmkCounters tmk;
+};
+
+/// Owner of global element g under a contiguous partition (binary search).
+inline NodeId owner_of(const std::vector<part::Range>& owner_range,
+                       std::int64_t g) {
+  std::size_t lo = 0, hi = owner_range.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (g < owner_range[mid].end) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return static_cast<NodeId>(lo);
+}
+
+}  // namespace sdsm::api

@@ -1,0 +1,43 @@
+// IrregularRuntime: the backend-agnostic execution interface.
+//
+// A runtime is bound to a backend, a node count, and a set of
+// BackendOptions; each run() executes one KernelSpec end to end on a fresh
+// underlying substrate (DSM region or CHAOS fabric) and returns uniform
+// metrics.  Applications and harnesses hold only this interface; the
+// concrete TmkBackend / ChaosBackend types live behind make_runtime.
+#pragma once
+
+#include <memory>
+
+#include "src/api/backend.hpp"
+#include "src/api/kernel.hpp"
+
+namespace sdsm::api {
+
+class IrregularRuntime {
+ public:
+  virtual ~IrregularRuntime() = default;
+
+  virtual Backend backend() const = 0;
+  virtual std::uint32_t num_nodes() const = 0;
+
+  virtual KernelResult run(const KernelSpec<double>& spec) = 0;
+  virtual KernelResult run(const KernelSpec<double3>& spec) = 0;
+};
+
+/// Factory over the three concrete backends.
+std::unique_ptr<IrregularRuntime> make_runtime(Backend backend,
+                                               std::uint32_t num_nodes,
+                                               BackendOptions options = {});
+
+/// One-shot convenience: node count comes from the spec's partition.
+template <typename T>
+KernelResult run_kernel(Backend backend, const KernelSpec<T>& spec,
+                        BackendOptions options = {}) {
+  return make_runtime(backend,
+                      static_cast<std::uint32_t>(spec.owner_range.size()),
+                      std::move(options))
+      ->run(spec);
+}
+
+}  // namespace sdsm::api

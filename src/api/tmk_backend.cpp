@@ -1,0 +1,311 @@
+#include "src/api/tmk_backend.hpp"
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "src/common/timer.hpp"
+#include "src/compiler/lowering.hpp"
+#include "src/compiler/parser.hpp"
+#include "src/compiler/transform.hpp"
+#include "src/core/descriptor.hpp"
+#include "src/core/dsm.hpp"
+
+namespace sdsm::api {
+
+namespace {
+
+// Hand-issued schedule ids, disjoint from the compiled kernel's (which
+// start at 1) and from each other: rebuild prefetch, list rewrite, the
+// per-chunk pipelined reduction, and the owner-update pair.
+constexpr std::uint32_t kSchedRebuildRead = 100;
+constexpr std::uint32_t kSchedListWrite = 101;
+constexpr std::uint32_t kSchedReduceBase = 1000;  // + chunk owner
+constexpr std::uint32_t kSchedUpdateRead = 2000;
+constexpr std::uint32_t kSchedUpdateWrite = 2001;
+
+// The generic irregular kernel in the repository's mini-Fortran.  Every
+// KernelSpec has this shape: per item (column I of LIST), K references
+// select the X elements read and the F elements reduced into.  Running it
+// through the real front-end — parse, section analysis, reduction
+// privatization, Validate insertion — reproduces the paper's tool path for
+// every workload; only the bindings (array addresses, K, per-node bounds)
+// differ per kernel and per node.
+constexpr const char* kIrregularKernelSource =
+    "SUBROUTINE IRREGULARKERNEL\n"
+    "  SHARED REAL X(N), F(N)\n"
+    "  SHARED INTEGER LIST(K, M)\n"
+    "  INTEGER I, J, Q\n"
+    "  REAL D\n"
+    "DO I = MY_START, MY_END\n"
+    "  DO J = 1, K\n"
+    "    Q = LIST(J, I)\n"
+    "    D = X(Q)\n"
+    "    F(Q) = F(Q) + D\n"
+    "  ENDDO\n"
+    "ENDDO\n"
+    "END\n";
+
+/// The Validate statement the transform inserts for the generic kernel,
+/// compiled once per process.
+const compiler::Stmt& compiled_validate_stmt() {
+  static const compiler::TransformResult* result = [] {
+    auto* r = new compiler::TransformResult(
+        compiler::transform(compiler::parse(kIrregularKernelSource)));
+    SDSM_REQUIRE(r->validates_inserted == 1);
+    return r;
+  }();
+  return *result->transformed.units[0].body[0];
+}
+
+class TmkIrregularNode final : public IrregularNode {
+ public:
+  explicit TmkIrregularNode(core::DsmNode& n) : n_(n) {}
+  NodeId id() const override { return n_.id(); }
+  std::uint32_t num_nodes() const override { return n_.num_nodes(); }
+  void barrier() override { n_.barrier(); }
+
+ private:
+  core::DsmNode& n_;
+};
+
+}  // namespace
+
+template <typename T>
+KernelResult TmkBackend::run_impl(const KernelSpec<T>& spec) {
+  spec.require_valid(num_nodes_);
+  const std::uint32_t nprocs = num_nodes_;
+  const auto n = static_cast<std::size_t>(spec.num_elements);
+
+  core::DsmConfig cfg;
+  cfg.num_nodes = nprocs;
+  cfg.region_bytes = options_.region_bytes;
+  cfg.wire = options_.wire;
+  cfg.gc_threshold_bytes = options_.gc_threshold_bytes;
+  cfg.write_all_enabled = options_.write_all_enabled;
+  core::DsmRuntime rt(cfg);
+
+  auto x = rt.alloc_global<T>(n);
+  auto f = rt.alloc_global<T>(n);
+
+  // Per-node slice of the shared indirection list: int32 refs, item-major.
+  // Page-aligned so one node's WRITE_ALL rebuild never ships a page
+  // carrying a neighbour's items, and a whole number of items per slice so
+  // the compiled LIST(K, M) binding sees every slice start on an item
+  // column.
+  const std::size_t page_ints = rt.node(0).page_size() / sizeof(std::int32_t);
+  std::size_t slice_ints =
+      (spec.arity * static_cast<std::size_t>(spec.max_items_per_node) +
+       page_ints - 1) /
+      page_ints * page_ints;
+  while (slice_ints % spec.arity != 0) slice_ints += page_ints;
+  const std::size_t slice_items = slice_ints / spec.arity;
+  auto list = rt.alloc_global<std::int32_t>(slice_ints * nprocs);
+
+  const rsd::ArrayLayout x_layout{{spec.num_elements}, true};
+  const rsd::ArrayLayout list_flat{
+      {static_cast<std::int64_t>(slice_ints * nprocs)}, true};
+  compiler::Bindings bindings;
+  bindings["X"] = compiler::ArrayBinding{x.addr, sizeof(T), x_layout};
+  bindings["F"] = compiler::ArrayBinding{f.addr, sizeof(T), x_layout};
+  bindings["LIST"] = compiler::ArrayBinding{
+      list.addr, sizeof(std::int32_t),
+      rsd::ArrayLayout{{static_cast<std::int64_t>(spec.arity),
+                        static_cast<std::int64_t>(slice_items * nprocs)},
+                       true}};
+
+  struct PerNode {
+    std::vector<T> accum;  ///< private full-size reduction array (the
+                           ///< memory cost the paper notes for Tmk)
+    std::vector<double> payload;
+    std::vector<bool> touches;  ///< chunks this node's items reference
+    std::size_t items = 0;
+    std::int64_t rebuilds = 0;
+    double checksum = 0;
+  };
+  std::vector<PerNode> state(nprocs);
+
+  // Node 0 seeds the shared state before the (un)timed sections.
+  rt.run([&](core::DsmNode& self) {
+    if (self.id() == 0) {
+      std::copy(spec.initial_state.begin(), spec.initial_state.end(),
+                self.ptr(x));
+    }
+    self.barrier();
+  });
+
+  int steps_done = 0;
+  auto body = [&](core::DsmNode& self, int steps) {
+    const NodeId me = self.id();
+    const part::Range mine = spec.owner_range[me];
+    T* xp = self.ptr(x);
+    T* fp = self.ptr(f);
+    std::int32_t* lp = self.ptr(list) + me * slice_ints;
+    PerNode& st = state[me];
+    st.accum.resize(n);
+    st.touches.resize(nprocs);
+    TmkIrregularNode node(self);
+    const std::int64_t my_col0 =
+        static_cast<std::int64_t>(me) * static_cast<std::int64_t>(slice_items);
+
+    for (int s = 0; s < steps; ++s) {
+      const int global_step = steps_done + s;
+      if (spec.rebuild_at(global_step)) {
+        if (optimized_ && spec.rebuild_reads_state) {
+          // Prefetch the whole state with one aggregated exchange per
+          // producer before the structure builder scans it.
+          self.validate({core::DescriptorBuilder::array(x, x_layout)
+                             .elements(0, spec.num_elements - 1)
+                             .schedule(kSchedRebuildRead)
+                             .read()});
+        }
+        WorkItems items = spec.build_items(node, std::span<const T>(xp, n));
+        SDSM_REQUIRE(items.refs.size() % spec.arity == 0);
+        st.items = items.refs.size() / spec.arity;
+        // The declared capacity, not the page-rounded slice_items: the
+        // contract must bind identically on every backend.
+        SDSM_REQUIRE(st.items <=
+                     static_cast<std::size_t>(spec.max_items_per_node));
+        SDSM_REQUIRE(items.payload.empty() ||
+                     items.payload.size() == st.items);
+        if (optimized_) {
+          // The whole slice is rewritten: whole-page shipping, no twins.
+          self.validate(
+              {core::DescriptorBuilder::array(list, list_flat)
+                   .elements(static_cast<std::int64_t>(me * slice_ints),
+                             static_cast<std::int64_t>((me + 1) * slice_ints) -
+                                 1)
+                   .schedule(kSchedListWrite)
+                   .write_all()});
+        }
+        std::fill(st.touches.begin(), st.touches.end(), false);
+        for (std::size_t k = 0; k < items.refs.size(); ++k) {
+          const std::int64_t g = items.refs[k];
+          SDSM_ASSERT(g >= 0 && g < spec.num_elements);
+          lp[k] = static_cast<std::int32_t>(g);
+          st.touches[owner_of(spec.owner_range, g)] = true;
+        }
+        st.payload = std::move(items.payload);
+        ++st.rebuilds;
+        self.barrier();
+      }
+
+      // The compute loop (the compiled kernel), accumulating privately.
+      std::fill(st.accum.begin(), st.accum.end(), T{});
+      if (optimized_) {
+        const compiler::Env env{
+            {"K", static_cast<long long>(spec.arity)},
+            {"MY_START", static_cast<long long>(my_col0) + 1},
+            {"MY_END", static_cast<long long>(my_col0) +
+                           static_cast<long long>(st.items)}};
+        self.validate(
+            compiler::lower_validate(compiled_validate_stmt(), bindings, env));
+      }
+      KernelCtx<T> ctx;
+      ctx.refs = std::span<const std::int32_t>(lp, spec.arity * st.items);
+      ctx.payload = std::span<const double>(st.payload);
+      ctx.x = std::span<const T>(xp, n);
+      ctx.f = std::span<T>(st.accum);
+      ctx.arity = spec.arity;
+      spec.compute(node, ctx);
+
+      // Pipelined update of the shared reduction array in nprocs rounds:
+      // round r updates chunk (me + r) % nprocs.  Round 0 is the owner
+      // initializing its own chunk (WRITE_ALL); later rounds accumulate
+      // (READ&WRITE_ALL) and are skipped for chunks this node's items never
+      // touch.
+      for (std::uint32_t r = 0; r < nprocs; ++r) {
+        const NodeId c = (me + r) % nprocs;
+        const part::Range chunk = spec.owner_range[c];
+        const bool participate =
+            chunk.size() > 0 && (r == 0 || st.touches[c]);
+        if (participate) {
+          if (optimized_) {
+            self.validate(
+                {core::DescriptorBuilder::array(f, x_layout)
+                     .elements(chunk.begin, chunk.end - 1)
+                     .schedule(kSchedReduceBase + c)
+                     .finish(r == 0 ? core::Access::kWriteAll
+                                    : core::Access::kReadWriteAll)});
+          }
+          if (r == 0) {
+            for (std::int64_t i = chunk.begin; i < chunk.end; ++i) {
+              fp[i] = st.accum[static_cast<std::size_t>(i)];
+            }
+          } else {
+            for (std::int64_t i = chunk.begin; i < chunk.end; ++i) {
+              fp[i] += st.accum[static_cast<std::size_t>(i)];
+            }
+          }
+        }
+        self.barrier();
+      }
+
+      // Owner update of the state from the reduced contributions.
+      if (spec.update) {
+        if (optimized_ && mine.size() > 0) {
+          self.validate({core::DescriptorBuilder::array(f, x_layout)
+                             .elements(mine.begin, mine.end - 1)
+                             .schedule(kSchedUpdateRead)
+                             .read(),
+                         core::DescriptorBuilder::array(x, x_layout)
+                             .elements(mine.begin, mine.end - 1)
+                             .schedule(kSchedUpdateWrite)
+                             .read_write_all()});
+        }
+        spec.update(
+            std::span<T>(xp + mine.begin, static_cast<std::size_t>(mine.size())),
+            std::span<const T>(fp + mine.begin,
+                               static_cast<std::size_t>(mine.size())));
+      }
+      self.barrier();
+    }
+  };
+
+  // Warmup (untimed; one-time costs such as the first Read_indices scan of
+  // a static list land here, as in the paper's first iteration).
+  if (spec.warmup_steps > 0) {
+    rt.run([&](core::DsmNode& self) { body(self, spec.warmup_steps); });
+    steps_done += spec.warmup_steps;
+  }
+  const double warm_scan_s =
+      static_cast<double>(rt.stats().scan_ns.get()) / 1e9;
+  rt.reset_stats();
+
+  const Timer wall;
+  rt.run([&](core::DsmNode& self) {
+    body(self, spec.num_steps);
+    const part::Range mine = spec.owner_range[self.id()];
+    state[self.id()].checksum = spec.checksum(std::span<const T>(
+        self.ptr(x) + mine.begin, static_cast<std::size_t>(mine.size())));
+  });
+
+  KernelResult res;
+  res.backend = backend();
+  res.seconds = wall.elapsed_s();
+  res.messages = rt.total_messages();
+  res.megabytes = rt.total_megabytes();
+  res.overhead_seconds =
+      (warm_scan_s + static_cast<double>(rt.stats().scan_ns.get()) / 1e9) /
+      nprocs;
+  res.rebuilds = state[0].rebuilds;
+  for (const PerNode& st : state) res.checksum += st.checksum;
+  res.tmk.validate_calls = rt.stats().validate_calls.get();
+  res.tmk.validate_recomputes = rt.stats().validate_recomputes.get();
+  res.tmk.read_faults = rt.stats().read_faults.get();
+  res.tmk.pages_prefetched = rt.stats().pages_prefetched.get();
+  res.tmk.twins_created = rt.stats().twins_created.get();
+  res.tmk.whole_pages = rt.stats().whole_pages.get();
+  res.tmk.diff_bytes = rt.stats().diff_bytes.get();
+  return res;
+}
+
+KernelResult TmkBackend::run(const KernelSpec<double>& spec) {
+  return run_impl(spec);
+}
+
+KernelResult TmkBackend::run(const KernelSpec<double3>& spec) {
+  return run_impl(spec);
+}
+
+}  // namespace sdsm::api

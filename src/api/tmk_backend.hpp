@@ -1,0 +1,41 @@
+// TreadMarks-backed execution of irregular kernels, in the paper's two
+// configurations: base (demand paging does all the communication) and
+// optimized (compiler-driven Validate aggregation).
+//
+// In optimized mode the backend does not hand-write its Validate calls for
+// the compute loop: every KernelSpec shares one mini-Fortran shape (K
+// references per item through LIST select the X reads and F reductions),
+// so that generic kernel is run through the real front-end once — parse,
+// section analysis, Validate insertion — and the resulting statement is
+// lowered to runtime descriptors with each node's loop bounds.  This is
+// the paper's Parascope -> TreadMarks tool path, applied uniformly to
+// every workload the API hosts.
+#pragma once
+
+#include "src/api/runtime.hpp"
+
+namespace sdsm::api {
+
+class TmkBackend final : public IrregularRuntime {
+ public:
+  TmkBackend(std::uint32_t num_nodes, bool optimized, BackendOptions options)
+      : num_nodes_(num_nodes), optimized_(optimized), options_(options) {}
+
+  Backend backend() const override {
+    return optimized_ ? Backend::kTmkOptimized : Backend::kTmkBase;
+  }
+  std::uint32_t num_nodes() const override { return num_nodes_; }
+
+  KernelResult run(const KernelSpec<double>& spec) override;
+  KernelResult run(const KernelSpec<double3>& spec) override;
+
+ private:
+  template <typename T>
+  KernelResult run_impl(const KernelSpec<T>& spec);
+
+  std::uint32_t num_nodes_;
+  bool optimized_;
+  BackendOptions options_;
+};
+
+}  // namespace sdsm::api

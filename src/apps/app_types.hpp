@@ -1,39 +1,18 @@
-// Shared types for the evaluation applications (moldyn, nbf).
+// Shared types for the evaluation applications (moldyn, nbf, spmv).
 #pragma once
 
 #include <cmath>
 #include <cstdint>
 
+#include "src/common/vec.hpp"
+
 namespace sdsm::apps {
 
-/// 3-D vector stored inline in shared arrays (24 bytes, trivially
-/// copyable).  Moldyn's coordinate and force arrays are arrays of these.
-struct double3 {
-  double x = 0, y = 0, z = 0;
+using sdsm::double3;
 
-  double3 operator-(const double3& o) const { return {x - o.x, y - o.y, z - o.z}; }
-  double3 operator+(const double3& o) const { return {x + o.x, y + o.y, z + o.z}; }
-  double3& operator+=(const double3& o) {
-    x += o.x;
-    y += o.y;
-    z += o.z;
-    return *this;
-  }
-  double3& operator-=(const double3& o) {
-    x -= o.x;
-    y -= o.y;
-    z -= o.z;
-    return *this;
-  }
-  double3 operator*(double k) const { return {x * k, y * k, z * k}; }
-
-  double norm2() const { return x * x + y * y + z * z; }
-};
-
-static_assert(sizeof(double3) == 24);
-
-/// Result of one application run; the fields mirror the columns the paper
-/// reports plus the checksum used for cross-variant validation.
+/// Result of one sequential reference run; the fields mirror the columns
+/// the paper reports plus the checksum used for cross-variant validation.
+/// Parallel runs through sdsm::api return the richer api::KernelResult.
 struct AppRunResult {
   double checksum = 0;        ///< order-insensitive force/position digest
   double seconds = 0;         ///< timed section (excludes init/partitioning)

@@ -1,0 +1,28 @@
+// Moldyn written once against sdsm::api.
+//
+// The kernel definition (make_kernel) replaces the former per-backend
+// implementations (moldyn_tmk.cpp / moldyn_chaos.cpp): pairs within the
+// cutoff are the work items (arity 2), rebuilt every update_interval steps
+// from the current positions; the pair force accumulates into both
+// endpoints; owners integrate positions.  Each backend executes that
+// description its own way — demand paging, compiler-driven Validate
+// aggregation, or inspector/executor ghost exchange.
+#pragma once
+
+#include "src/api/api.hpp"
+#include "src/apps/moldyn/moldyn_common.hpp"
+
+namespace sdsm::apps::moldyn {
+
+/// The moldyn kernel over `sys` (self-contained: captures copies).
+api::KernelSpec<double3> make_kernel(const Params& p, const System& sys);
+
+/// Backend defaults for moldyn: the paper could not fit a replicated
+/// translation table for moldyn's footprint and used a distributed one.
+api::BackendOptions default_options();
+
+/// Runs moldyn on the given backend.
+api::KernelResult run(api::Backend backend, const Params& p, const System& sys,
+                      const api::BackendOptions& options = default_options());
+
+}  // namespace sdsm::apps::moldyn

@@ -1,0 +1,76 @@
+#include "src/apps/nbf/nbf_kernel.hpp"
+
+#include <algorithm>
+
+namespace sdsm::apps::nbf {
+
+api::KernelSpec<double> make_kernel(const Params& p) {
+  api::KernelSpec<double> spec;
+  spec.name = "nbf";
+  spec.num_elements = p.molecules;
+  spec.owner_range = part::block_partition(p.molecules, p.nprocs);
+  spec.initial_state = initial_coordinates(p);
+  spec.num_steps = p.timed_steps;
+  spec.warmup_steps = p.warmup_steps;
+  spec.update_interval = 0;  // static partner list
+  spec.arity = static_cast<std::size_t>(p.partners) + 1;  // self + partners
+  spec.rebuild_reads_state = false;
+
+  std::int64_t max_block = 0;
+  for (const part::Range& r : spec.owner_range) {
+    max_block = std::max(max_block, r.size());
+  }
+  spec.max_items_per_node = std::max<std::int64_t>(max_block, 1);
+
+  const auto owner_range = spec.owner_range;
+  spec.build_items = [p, owner_range](api::IrregularNode& node,
+                                      std::span<const double> /*all_x*/) {
+    const part::Range mine = owner_range[node.id()];
+    api::WorkItems items;
+    items.refs.reserve(static_cast<std::size_t>(mine.size()) *
+                       (static_cast<std::size_t>(p.partners) + 1));
+    for (std::int64_t i = mine.begin; i < mine.end; ++i) {
+      items.refs.push_back(i);
+      for (int j = 0; j < p.partners; ++j) {
+        items.refs.push_back(partner_of(p, i, j));
+      }
+    }
+    return items;
+  };
+
+  spec.compute = [](api::IrregularNode&, const api::KernelCtx<double>& ctx) {
+    const std::size_t stride = ctx.arity;
+    for (std::size_t i = 0; i < ctx.num_items(); ++i) {
+      const auto li = static_cast<std::size_t>(ctx.refs[i * stride]);
+      const double xi = ctx.x[li];
+      for (std::size_t j = 1; j < stride; ++j) {
+        const auto lq = static_cast<std::size_t>(ctx.refs[i * stride + j]);
+        const double d = pair_force(xi, ctx.x[lq]);
+        ctx.f[li] += d;
+        ctx.f[lq] -= d;
+      }
+    }
+  };
+
+  spec.update = [dt = p.dt](std::span<double> x, std::span<const double> f) {
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] += f[i] * dt;
+  };
+
+  spec.checksum = [](std::span<const double> x) {
+    return coordinate_checksum(x);
+  };
+  return spec;
+}
+
+api::BackendOptions default_options() {
+  api::BackendOptions o;
+  o.table = chaos::TableKind::kReplicated;
+  return o;
+}
+
+api::KernelResult run(api::Backend backend, const Params& p,
+                      const api::BackendOptions& options) {
+  return api::run_kernel(backend, make_kernel(p), options);
+}
+
+}  // namespace sdsm::apps::nbf

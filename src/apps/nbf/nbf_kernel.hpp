@@ -1,0 +1,24 @@
+// NBF written once against sdsm::api.
+//
+// Each owned molecule is one work item referencing itself plus its static
+// partner list (arity = partners + 1).  The structure never changes
+// (update_interval = 0): CHAOS runs its inspector once, the optimized DSM
+// pays one Read_indices scan during the warmup step — the paper's Table 2
+// protocol.  Replaces the former nbf_tmk.cpp / nbf_chaos.cpp pair.
+#pragma once
+
+#include "src/api/api.hpp"
+#include "src/apps/nbf/nbf_common.hpp"
+
+namespace sdsm::apps::nbf {
+
+api::KernelSpec<double> make_kernel(const Params& p);
+
+/// Backend defaults for nbf: the replicated translation table fits (the
+/// paper used the non-replicated variant only for moldyn's footprint).
+api::BackendOptions default_options();
+
+api::KernelResult run(api::Backend backend, const Params& p,
+                      const api::BackendOptions& options = default_options());
+
+}  // namespace sdsm::apps::nbf

@@ -1,0 +1,69 @@
+// SPMV: sparse matrix-vector products over a synthetic power-law graph —
+// the workload that proves the unified API generalizes beyond the paper's
+// two applications.
+//
+// The matrix is the weighted graph Laplacian of a preferential-attachment
+// graph (a few high-degree hubs, a long tail of low-degree vertices — the
+// degree skew of the PGAS irregular-application suites PAPERS.md points
+// at).  Each step computes y = L x edge-wise and relaxes x += y * dt
+// (diffusion toward the weighted mean).  Work items are edges (arity 2)
+// with the edge weight as payload, owned by the owner of the lower
+// endpoint; the structure is static, so CHAOS pays one inspector run and
+// the optimized DSM one Read_indices scan.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/api/api.hpp"
+#include "src/apps/app_types.hpp"
+
+namespace sdsm::apps::spmv {
+
+struct Params {
+  std::int64_t num_rows = 4096;
+  int edges_per_vertex = 4;  ///< preferential-attachment edges per vertex
+  int num_steps = 8;         ///< timed relaxation steps
+  int warmup_steps = 1;      ///< untimed (one-time inspector / list scan)
+  double dt = 1e-2;  ///< relaxation step (stable well below 1/max_degree)
+  std::uint64_t seed = 7;
+  std::uint32_t nprocs = 8;
+};
+
+/// One weighted undirected edge, a < b.
+struct Edge {
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+  double w = 0;
+};
+
+/// Deterministic preferential-attachment graph: vertex t attaches
+/// edges_per_vertex edges to earlier vertices drawn degree-proportionally
+/// (uniform picks from the running endpoint pool).  Sorted by (a, b).
+std::vector<Edge> build_graph(const Params& p);
+
+/// Deterministic initial state in [0, 1).
+std::vector<double> initial_state(const Params& p);
+
+/// Max weighted vertex degree of the graph (stability bound: dt must stay
+/// below 1 / max_degree for the diffusion not to diverge).
+double max_weighted_degree(const Params& p, std::span<const Edge> edges);
+
+/// Order-insensitive digest of the state.
+double state_checksum(std::span<const double> x);
+
+/// Sequential reference (no runtime, no communication).
+AppRunResult run_seq(const Params& p);
+
+/// The spmv kernel for sdsm::api (edges built once and shared).
+api::KernelSpec<double> make_kernel(const Params& p);
+
+/// Backend defaults for spmv: like nbf, one NodeId per row fits a
+/// replicated translation table, sparing the inspector lookup traffic.
+api::BackendOptions default_options();
+
+api::KernelResult run(api::Backend backend, const Params& p,
+                      const api::BackendOptions& options = default_options());
+
+}  // namespace sdsm::apps::spmv

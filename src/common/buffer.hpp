@@ -76,7 +76,9 @@ class Reader {
     const auto n = get<std::uint64_t>();
     SDSM_REQUIRE(pos_ + n * sizeof(T) <= bytes_.size());
     std::vector<T> values(n);
-    std::memcpy(values.data(), bytes_.data() + pos_, n * sizeof(T));
+    if (n > 0) {  // data() may be null on empty vectors/spans (UB in memcpy)
+      std::memcpy(values.data(), bytes_.data() + pos_, n * sizeof(T));
+    }
     pos_ += n * sizeof(T);
     return values;
   }
@@ -89,7 +91,7 @@ class Reader {
   /// Copies n raw bytes into dst (no length prefix).
   void get_raw(void* dst, std::size_t n) {
     SDSM_REQUIRE(pos_ + n <= bytes_.size());
-    std::memcpy(dst, bytes_.data() + pos_, n);
+    if (n > 0) std::memcpy(dst, bytes_.data() + pos_, n);
     pos_ += n;
   }
 

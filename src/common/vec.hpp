@@ -1,0 +1,32 @@
+// Small inline vector types stored in shared arrays.
+#pragma once
+
+namespace sdsm {
+
+/// 3-D vector stored inline in shared arrays (24 bytes, trivially
+/// copyable).  Moldyn's coordinate and force arrays are arrays of these.
+struct double3 {
+  double x = 0, y = 0, z = 0;
+
+  double3 operator-(const double3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  double3 operator+(const double3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  double3& operator+=(const double3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  double3& operator-=(const double3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  double3 operator*(double k) const { return {x * k, y * k, z * k}; }
+
+  double norm2() const { return x * x + y * y + z * z; }
+};
+
+static_assert(sizeof(double3) == 24);
+
+}  // namespace sdsm

@@ -1,0 +1,58 @@
+#include "src/core/descriptor.hpp"
+
+#include "src/common/assert.hpp"
+
+namespace sdsm::core {
+
+DescriptorBuilder DescriptorBuilder::array(GlobalAddr base,
+                                           std::size_t elem_size,
+                                           rsd::ArrayLayout layout) {
+  SDSM_REQUIRE(elem_size > 0);
+  DescriptorBuilder b;
+  b.d_.data_base = base;
+  b.d_.data_elem_size = elem_size;
+  b.d_.data_layout = std::move(layout);
+  return b;
+}
+
+DescriptorBuilder& DescriptorBuilder::section(rsd::RegularSection s) {
+  SDSM_REQUIRE(d_.type == DescType::kDirect);  // via() already called?
+  SDSM_REQUIRE(!have_section_);
+  SDSM_REQUIRE(s.rank() == d_.data_layout.extents.size());
+  d_.section = std::move(s);
+  have_section_ = true;
+  return *this;
+}
+
+DescriptorBuilder& DescriptorBuilder::via(GlobalAddr ind_base,
+                                          rsd::ArrayLayout ind_layout,
+                                          rsd::RegularSection ind_section) {
+  SDSM_REQUIRE(!have_section_);  // direct section and via() are exclusive
+  SDSM_REQUIRE(ind_section.rank() == ind_layout.extents.size());
+  d_.type = DescType::kIndirect;
+  d_.ind_base = ind_base;
+  d_.ind_layout = std::move(ind_layout);
+  d_.section = std::move(ind_section);
+  have_section_ = true;
+  return *this;
+}
+
+DescriptorBuilder& DescriptorBuilder::schedule(std::uint32_t id) {
+  d_.schedule = id;
+  return *this;
+}
+
+AccessDescriptor DescriptorBuilder::finish(Access access) const {
+  SDSM_REQUIRE(have_section_);
+  // Whole-section modes describe coverage of the *data* section; through an
+  // indirection array coverage cannot be proven, so the combination is
+  // rejected rather than silently weakened.
+  if (access == Access::kWriteAll || access == Access::kReadWriteAll) {
+    SDSM_REQUIRE(d_.type == DescType::kDirect);
+  }
+  AccessDescriptor out = d_;
+  out.access = access;
+  return out;
+}
+
+}  // namespace sdsm::core

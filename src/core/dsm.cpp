@@ -582,9 +582,13 @@ void DsmNode::gc_drop() {
   std::lock_guard<std::mutex> g(meta_mu_);
   for (NodeId n = 0; n < num_nodes(); ++n) {
     // The preceding barrier shipped every interval up to the global clock,
-    // so dropping the logs cannot orphan a future lookup.
-    SDSM_ASSERT(table_[n].max_seq() == vc_.get(n));
-    table_[n].drop_all();
+    // so dropping that prefix cannot orphan a future lookup.  The table may
+    // already hold *newer* metas — a fast peer can leave the GC rendezvous,
+    // create intervals, and push them to this node's service thread before
+    // this compute thread reaches gc_drop — so only the covered prefix is
+    // dropped.
+    SDSM_ASSERT(table_[n].max_seq() >= vc_.get(n));
+    table_[n].drop_through(vc_.get(n));
   }
   diff_store_.clear();
   diff_store_bytes_ = 0;

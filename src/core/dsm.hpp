@@ -110,7 +110,10 @@ struct AccessDescriptor {
   rsd::ArrayLayout ind_layout;
 };
 
-/// Builders mirroring the paper's descriptor forms.
+/// Thin shims over core::DescriptorBuilder (src/core/descriptor.hpp), the
+/// fluent typed builder that is now the primary way to assemble
+/// descriptors.  Kept for the compiler lowering path and existing call
+/// sites; prefer the builder in new code.
 AccessDescriptor direct_desc(GlobalAddr base, std::size_t elem_size,
                              rsd::ArrayLayout data_layout,
                              rsd::RegularSection section, Access access,
@@ -167,9 +170,13 @@ struct MetaLog {
     return base + static_cast<std::uint32_t>(v.size());
   }
   void push(IntervalMeta m) { v.push_back(std::move(m)); }
-  void drop_all() {
-    base = max_seq();
-    v.clear();
+  /// Discards entries with seq <= through (GC).  Entries beyond `through`
+  /// are kept: a fast peer may already have raced past the GC rendezvous
+  /// and pushed post-GC metas into this table via the service thread.
+  void drop_through(std::uint32_t through) {
+    SDSM_ASSERT(through >= base && through <= max_seq());
+    v.erase(v.begin(), v.begin() + (through - base));
+    base = through;
   }
 };
 

@@ -21,6 +21,7 @@
 #include <bit>
 
 #include "src/common/timer.hpp"
+#include "src/core/descriptor.hpp"
 #include "src/core/dsm.hpp"
 
 namespace sdsm::core {
@@ -29,31 +30,21 @@ AccessDescriptor direct_desc(GlobalAddr base, std::size_t elem_size,
                              rsd::ArrayLayout data_layout,
                              rsd::RegularSection section, Access access,
                              std::uint32_t schedule) {
-  AccessDescriptor d;
-  d.type = DescType::kDirect;
-  d.access = access;
-  d.schedule = schedule;
-  d.data_base = base;
-  d.data_elem_size = elem_size;
-  d.data_layout = std::move(data_layout);
-  d.section = std::move(section);
-  return d;
+  return DescriptorBuilder::array(base, elem_size, std::move(data_layout))
+      .section(std::move(section))
+      .schedule(schedule)
+      .finish(access);
 }
 
 AccessDescriptor indirect_desc(GlobalAddr data_base, std::size_t data_elem_size,
                                GlobalAddr ind_base, rsd::ArrayLayout ind_layout,
                                rsd::RegularSection ind_section, Access access,
                                std::uint32_t schedule) {
-  AccessDescriptor d;
-  d.type = DescType::kIndirect;
-  d.access = access;
-  d.schedule = schedule;
-  d.data_base = data_base;
-  d.data_elem_size = data_elem_size;
-  d.ind_base = ind_base;
-  d.ind_layout = std::move(ind_layout);
-  d.section = std::move(ind_section);
-  return d;
+  return DescriptorBuilder::array(data_base, data_elem_size,
+                                  rsd::ArrayLayout{})
+      .via(ind_base, std::move(ind_layout), std::move(ind_section))
+      .schedule(schedule)
+      .finish(access);
 }
 
 namespace {

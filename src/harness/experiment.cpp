@@ -1,9 +1,39 @@
 #include "src/harness/experiment.hpp"
 
+#include <fstream>
 #include <iomanip>
 #include <ostream>
 
 namespace sdsm::harness {
+
+namespace {
+
+void json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<int>(c) << std::dec << std::setfill(' ');
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
 
 Table::Table(std::string title, std::vector<std::string> /*extra_columns*/)
     : title_(std::move(title)) {}
@@ -47,6 +77,34 @@ void Table::print_csv(std::ostream& os) const {
        << r.megabytes << ',' << std::setprecision(6) << r.overhead_seconds
        << "\n";
   }
+}
+
+void Table::print_json(std::ostream& os) const {
+  os << "{\n  \"title\": ";
+  json_string(os, title_);
+  os << ",\n  \"rows\": [";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const Row& r = rows_[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"group\": ";
+    json_string(os, r.group);
+    os << ", \"variant\": ";
+    json_string(os, r.variant);
+    os << ", \"seconds\": " << std::fixed << std::setprecision(6) << r.seconds
+       << ", \"speedup\": " << std::setprecision(3) << r.speedup
+       << ", \"messages\": " << r.messages << ", \"megabytes\": "
+       << std::setprecision(3) << r.megabytes << ", \"overhead_seconds\": "
+       << std::setprecision(6) << r.overhead_seconds << ", \"note\": ";
+    json_string(os, r.note);
+    os << "}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+bool Table::write_json(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  print_json(f);
+  return static_cast<bool>(f);
 }
 
 }  // namespace sdsm::harness

@@ -1,6 +1,8 @@
 // Experiment harness: runs application variants and prints rows shaped like
-// the paper's Tables 1 and 2 (time, speedup, messages, data volume), plus a
-// machine-readable CSV line per row for EXPERIMENTS.md bookkeeping.
+// the paper's Tables 1 and 2 (time, speedup, messages, data volume), plus
+// machine-readable forms: a CSV line per row for EXPERIMENTS.md bookkeeping
+// and a JSON document (write_json) so successive PRs can diff benchmark
+// trajectories mechanically.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +36,13 @@ class Table {
 
   /// One CSV line per row (header first), for scripting.
   void print_csv(std::ostream& os) const;
+
+  /// The table as a JSON document: {"title": ..., "rows": [{...}, ...]}.
+  void print_json(std::ostream& os) const;
+
+  /// Writes print_json() to `path` (e.g. BENCH_api.json).  Returns false
+  /// when the file cannot be opened.
+  bool write_json(const std::string& path) const;
 
  private:
   std::string title_;

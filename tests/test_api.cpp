@@ -1,0 +1,165 @@
+// Tests for the backend-agnostic irregular-kernel API: backend parsing,
+// the fluent descriptor builder, and — the core contract — cross-backend
+// checksum parity for kernels written once (moldyn and spmv).
+#include <gtest/gtest.h>
+
+#include "src/api/api.hpp"
+#include "src/apps/moldyn/moldyn_kernel.hpp"
+#include "src/apps/spmv/spmv.hpp"
+
+namespace sdsm::api {
+namespace {
+
+using apps::checksum_close;
+
+TEST(Backend, ParseAndNameRoundTrip) {
+  for (const Backend b : kAllBackends) {
+    const auto parsed = parse_backend(backend_name(b));
+    ASSERT_TRUE(parsed.has_value()) << backend_name(b);
+    EXPECT_EQ(*parsed, b);
+  }
+  EXPECT_EQ(parse_backend("chaos"), Backend::kChaos);
+  EXPECT_EQ(parse_backend("tmk-base"), Backend::kTmkBase);
+  EXPECT_EQ(parse_backend("TMK_OPTIMIZED"), Backend::kTmkOptimized);
+  EXPECT_FALSE(parse_backend("mpi").has_value());
+}
+
+TEST(Backend, OwnerOfContiguousPartition) {
+  const std::vector<part::Range> ranges{{0, 3}, {3, 3}, {3, 10}, {10, 12}};
+  EXPECT_EQ(owner_of(ranges, 0), 0u);
+  EXPECT_EQ(owner_of(ranges, 2), 0u);
+  EXPECT_EQ(owner_of(ranges, 3), 2u);  // node 1 owns an empty range
+  EXPECT_EQ(owner_of(ranges, 9), 2u);
+  EXPECT_EQ(owner_of(ranges, 11), 3u);
+}
+
+TEST(DescriptorBuilder, MatchesDirectShim) {
+  const rsd::ArrayLayout layout{{64}, true};
+  const auto built = core::DescriptorBuilder::array(0x1000, 8, layout)
+                         .elements(4, 31)
+                         .schedule(7)
+                         .read_write();
+  const auto shimmed =
+      core::direct_desc(0x1000, 8, layout, rsd::RegularSection::dense1d(4, 31),
+                        core::Access::kReadWrite, 7);
+  EXPECT_EQ(built.type, shimmed.type);
+  EXPECT_EQ(built.access, shimmed.access);
+  EXPECT_EQ(built.schedule, shimmed.schedule);
+  EXPECT_EQ(built.data_base, shimmed.data_base);
+  EXPECT_EQ(built.data_elem_size, shimmed.data_elem_size);
+  EXPECT_EQ(built.section, shimmed.section);
+}
+
+TEST(DescriptorBuilder, MatchesIndirectShim) {
+  const rsd::ArrayLayout ind_layout{{2, 128}, true};
+  const auto section = rsd::RegularSection({{0, 1, 1}, {16, 47, 1}});
+  const auto built = core::DescriptorBuilder::array(0x2000, 24,
+                                                    rsd::ArrayLayout{})
+                         .via(0x8000, ind_layout, section)
+                         .schedule(3)
+                         .read();
+  const auto shimmed = core::indirect_desc(0x2000, 24, 0x8000, ind_layout,
+                                           section, core::Access::kRead, 3);
+  EXPECT_EQ(built.type, core::DescType::kIndirect);
+  EXPECT_EQ(built.type, shimmed.type);
+  EXPECT_EQ(built.ind_base, shimmed.ind_base);
+  EXPECT_EQ(built.section, shimmed.section);
+  EXPECT_EQ(built.access, shimmed.access);
+}
+
+TEST(SpmvGraph, DeterministicAndPowerLaw) {
+  apps::spmv::Params p;
+  p.num_rows = 2048;
+  p.edges_per_vertex = 4;
+  const auto a = apps::spmv::build_graph(p);
+  const auto b = apps::spmv::build_graph(p);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 97) {
+    EXPECT_EQ(a[i].a, b[i].a);
+    EXPECT_EQ(a[i].b, b[i].b);
+    EXPECT_EQ(a[i].w, b[i].w);
+  }
+  for (const auto& e : a) {
+    EXPECT_LT(e.a, e.b);
+    EXPECT_GE(e.a, 0);
+    EXPECT_LT(e.b, p.num_rows);
+  }
+  // Preferential attachment produces hubs: the max degree must dwarf the
+  // mean (a uniform random graph would stay within a small factor).
+  const double avg = 2.0 * static_cast<double>(a.size()) /
+                     static_cast<double>(p.num_rows);
+  std::vector<int> deg(static_cast<std::size_t>(p.num_rows), 0);
+  for (const auto& e : a) {
+    ++deg[static_cast<std::size_t>(e.a)];
+    ++deg[static_cast<std::size_t>(e.b)];
+  }
+  const int max_deg = *std::max_element(deg.begin(), deg.end());
+  EXPECT_GT(static_cast<double>(max_deg), 5.0 * avg);
+}
+
+TEST(SpmvSeq, DeterministicAndStable) {
+  apps::spmv::Params p;
+  p.num_rows = 1024;
+  p.nprocs = 2;
+  const auto a = apps::spmv::run_seq(p);
+  const auto b = apps::spmv::run_seq(p);
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_NE(a.checksum, 0.0);
+  // Diffusion must not diverge at the default step.
+  const auto edges = apps::spmv::build_graph(p);
+  EXPECT_LT(p.dt * apps::spmv::max_weighted_degree(p, edges), 1.0);
+}
+
+TEST(CrossBackend, SpmvParityOnAllBackends) {
+  apps::spmv::Params p;
+  p.num_rows = 1024;
+  p.edges_per_vertex = 4;
+  p.num_steps = 6;
+  p.nprocs = 4;
+  const auto seq = apps::spmv::run_seq(p);
+  for (const Backend b : kAllBackends) {
+    const auto r = apps::spmv::run(b, p);
+    EXPECT_TRUE(checksum_close(seq.checksum, r.checksum))
+        << backend_name(b) << ": " << seq.checksum << " vs " << r.checksum;
+    EXPECT_GT(r.messages, 0u) << backend_name(b);
+    EXPECT_EQ(r.rebuilds, 1) << backend_name(b);
+  }
+}
+
+TEST(CrossBackend, MoldynParityOnAllBackends) {
+  apps::moldyn::Params p;
+  p.num_molecules = 512;
+  p.num_steps = 6;
+  p.update_interval = 3;
+  p.box = 8.0;
+  p.cutoff = 1.4;
+  p.nprocs = 4;
+  const auto sys = apps::moldyn::make_system(p);
+  const auto seq = apps::moldyn::run_seq(p, sys);
+  api::BackendOptions opts = apps::moldyn::default_options();
+  opts.region_bytes = 8u << 20;
+  for (const Backend b : kAllBackends) {
+    const auto r = apps::moldyn::run(b, p, sys, opts);
+    EXPECT_TRUE(checksum_close(seq.checksum, r.checksum))
+        << backend_name(b) << ": " << seq.checksum << " vs " << r.checksum;
+    EXPECT_EQ(r.rebuilds, 2) << backend_name(b);  // steps=6, interval=3
+  }
+}
+
+TEST(CrossBackend, OptimizedAggregationBeatsDemandPaging) {
+  apps::spmv::Params p;
+  p.num_rows = 8192;
+  p.edges_per_vertex = 4;
+  p.num_steps = 4;
+  p.nprocs = 4;
+  api::BackendOptions opts;
+  opts.region_bytes = 16u << 20;
+  const auto base = apps::spmv::run(Backend::kTmkBase, p, opts);
+  const auto opt = apps::spmv::run(Backend::kTmkOptimized, p, opts);
+  EXPECT_TRUE(checksum_close(base.checksum, opt.checksum));
+  EXPECT_LT(opt.messages, base.messages);
+  EXPECT_GT(opt.tmk.pages_prefetched, 0u);
+}
+
+}  // namespace
+}  // namespace sdsm::api

@@ -45,5 +45,24 @@ TEST(Harness, CsvEmitsOneLinePerRow) {
   EXPECT_NE(text.find("g,v1"), std::string::npos);
 }
 
+TEST(Harness, JsonEmitsTitleAndOneObjectPerRow) {
+  Table t("api bench");
+  t.add(Row{"g", "CHAOS", 1.5, 2.0, 10, 0.5, 0.1, "a \"quoted\" note"});
+  t.add(Row{"g", "Tmk base", 2.5, 1.2, 99, 1.5, 0.0, ""});
+  std::ostringstream os;
+  t.print_json(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("\"title\": \"api bench\""), std::string::npos);
+  EXPECT_NE(text.find("\"variant\": \"CHAOS\""), std::string::npos);
+  EXPECT_NE(text.find("\"messages\": 99"), std::string::npos);
+  EXPECT_NE(text.find("a \\\"quoted\\\" note"), std::string::npos);
+  int objects = 0;
+  for (std::size_t i = 0; text.find("{\"group\"", i) != std::string::npos;
+       i = text.find("{\"group\"", i) + 1) {
+    ++objects;
+  }
+  EXPECT_EQ(objects, 2);
+}
+
 }  // namespace
 }  // namespace sdsm::harness

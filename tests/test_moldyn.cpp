@@ -1,10 +1,12 @@
-// Integration tests for moldyn: every parallel variant (TreadMarks base,
-// TreadMarks optimized, CHAOS) must agree with the sequential reference.
+// Integration tests for moldyn: every backend of the unified API
+// (TreadMarks base, TreadMarks optimized, CHAOS) must agree with the
+// sequential reference.
 #include <gtest/gtest.h>
 
-#include "src/apps/moldyn/moldyn_chaos.hpp"
+#include <set>
+
 #include "src/apps/moldyn/moldyn_common.hpp"
-#include "src/apps/moldyn/moldyn_tmk.hpp"
+#include "src/apps/moldyn/moldyn_kernel.hpp"
 
 namespace sdsm::apps::moldyn {
 namespace {
@@ -20,11 +22,10 @@ Params small_params(std::uint32_t nprocs) {
   return p;
 }
 
-core::DsmConfig dsm_config(std::uint32_t nprocs) {
-  core::DsmConfig cfg;
-  cfg.num_nodes = nprocs;
-  cfg.region_bytes = 8u << 20;
-  return cfg;
+api::BackendOptions small_options() {
+  api::BackendOptions o = default_options();
+  o.region_bytes = 8u << 20;
+  return o;
 }
 
 TEST(MoldynCommon, SystemIsDeterministicAndPartitioned) {
@@ -92,8 +93,7 @@ TEST(MoldynTmk, BaseMatchesSequential) {
   const Params p = small_params(2);
   const System sys = make_system(p);
   const auto seq = run_seq(p, sys);
-  core::DsmRuntime rt(dsm_config(p.nprocs));
-  const auto par = run_tmk(rt, p, sys, /*optimized=*/false);
+  const auto par = run(api::Backend::kTmkBase, p, sys, small_options());
   EXPECT_TRUE(checksum_close(seq.checksum, par.checksum))
       << seq.checksum << " vs " << par.checksum;
   EXPECT_GT(par.messages, 0u);
@@ -103,8 +103,7 @@ TEST(MoldynTmk, OptimizedMatchesSequential) {
   const Params p = small_params(2);
   const System sys = make_system(p);
   const auto seq = run_seq(p, sys);
-  core::DsmRuntime rt(dsm_config(p.nprocs));
-  const auto par = run_tmk(rt, p, sys, /*optimized=*/true);
+  const auto par = run(api::Backend::kTmkOptimized, p, sys, small_options());
   EXPECT_TRUE(checksum_close(seq.checksum, par.checksum))
       << seq.checksum << " vs " << par.checksum;
 }
@@ -113,11 +112,11 @@ TEST(MoldynTmk, FourNodeVariantsMatchSequential) {
   const Params p = small_params(4);
   const System sys = make_system(p);
   const auto seq = run_seq(p, sys);
-  for (const bool optimized : {false, true}) {
-    core::DsmRuntime rt(dsm_config(p.nprocs));
-    const auto par = run_tmk(rt, p, sys, optimized);
+  for (const api::Backend b :
+       {api::Backend::kTmkBase, api::Backend::kTmkOptimized}) {
+    const auto par = run(b, p, sys, small_options());
     EXPECT_TRUE(checksum_close(seq.checksum, par.checksum))
-        << "optimized=" << optimized << ": " << seq.checksum << " vs "
+        << api::backend_name(b) << ": " << seq.checksum << " vs "
         << par.checksum;
   }
 }
@@ -125,10 +124,8 @@ TEST(MoldynTmk, FourNodeVariantsMatchSequential) {
 TEST(MoldynTmk, OptimizedSendsFewerMessagesThanBase) {
   const Params p = small_params(4);
   const System sys = make_system(p);
-  core::DsmRuntime rt_base(dsm_config(p.nprocs));
-  const auto base = run_tmk(rt_base, p, sys, false);
-  core::DsmRuntime rt_opt(dsm_config(p.nprocs));
-  const auto opt = run_tmk(rt_opt, p, sys, true);
+  const auto base = run(api::Backend::kTmkBase, p, sys, small_options());
+  const auto opt = run(api::Backend::kTmkOptimized, p, sys, small_options());
   EXPECT_LT(opt.messages, base.messages);
 }
 
@@ -136,22 +133,21 @@ TEST(MoldynChaos, MatchesSequential) {
   const Params p = small_params(4);
   const System sys = make_system(p);
   const auto seq = run_seq(p, sys);
-  chaos::ChaosRuntime rt(p.nprocs);
-  const auto par = run_chaos(rt, p, sys);
+  const auto par = run(api::Backend::kChaos, p, sys);
   EXPECT_TRUE(checksum_close(seq.checksum, par.checksum))
       << seq.checksum << " vs " << par.checksum;
-  EXPECT_GT(par.inspector_seconds, 0.0);
-  EXPECT_EQ(par.inspector_runs, 2);  // steps=6, interval=3
+  EXPECT_GT(par.overhead_seconds, 0.0);  // inspector time
+  EXPECT_EQ(par.rebuilds, 2);            // steps=6, interval=3
 }
 
 TEST(MoldynChaos, ReplicatedTableAlsoCorrectWithFewerMessages) {
   const Params p = small_params(4);
   const System sys = make_system(p);
   const auto seq = run_seq(p, sys);
-  chaos::ChaosRuntime rt_rep(p.nprocs);
-  const auto rep = run_chaos(rt_rep, p, sys, chaos::TableKind::kReplicated);
-  chaos::ChaosRuntime rt_dist(p.nprocs);
-  const auto dist = run_chaos(rt_dist, p, sys, chaos::TableKind::kDistributed);
+  api::BackendOptions rep_opts = default_options();
+  rep_opts.table = chaos::TableKind::kReplicated;
+  const auto rep = run(api::Backend::kChaos, p, sys, rep_opts);
+  const auto dist = run(api::Backend::kChaos, p, sys);  // distributed default
   EXPECT_TRUE(checksum_close(seq.checksum, rep.checksum));
   EXPECT_TRUE(checksum_close(seq.checksum, dist.checksum));
   // The distributed table pays extra lookup messages in the inspector.

@@ -1,10 +1,9 @@
-// Integration tests for nbf: variants vs the sequential reference, the
+// Integration tests for nbf: backends vs the sequential reference, the
 // static-partner-list fast path, and the false-sharing configuration.
 #include <gtest/gtest.h>
 
-#include "src/apps/nbf/nbf_chaos.hpp"
 #include "src/apps/nbf/nbf_common.hpp"
-#include "src/apps/nbf/nbf_tmk.hpp"
+#include "src/apps/nbf/nbf_kernel.hpp"
 
 namespace sdsm::apps::nbf {
 namespace {
@@ -19,11 +18,10 @@ Params small_params(std::uint32_t nprocs, std::int64_t molecules = 2048) {
   return p;
 }
 
-core::DsmConfig dsm_config(std::uint32_t nprocs) {
-  core::DsmConfig cfg;
-  cfg.num_nodes = nprocs;
-  cfg.region_bytes = 8u << 20;
-  return cfg;
+api::BackendOptions small_options() {
+  api::BackendOptions o = default_options();
+  o.region_bytes = 8u << 20;
+  return o;
 }
 
 TEST(NbfCommon, PartnersAreSpreadAndInRange) {
@@ -63,8 +61,7 @@ TEST(NbfCommon, SequentialDeterministic) {
 TEST(NbfTmk, BaseMatchesSequential) {
   const Params p = small_params(2);
   const auto seq = run_seq(p);
-  core::DsmRuntime rt(dsm_config(p.nprocs));
-  const auto par = run_tmk(rt, p, /*optimized=*/false);
+  const auto par = run(api::Backend::kTmkBase, p, small_options());
   EXPECT_TRUE(checksum_close(seq.checksum, par.checksum))
       << seq.checksum << " vs " << par.checksum;
 }
@@ -72,21 +69,19 @@ TEST(NbfTmk, BaseMatchesSequential) {
 TEST(NbfTmk, OptimizedMatchesSequential) {
   const Params p = small_params(4);
   const auto seq = run_seq(p);
-  core::DsmRuntime rt(dsm_config(p.nprocs));
-  const auto par = run_tmk(rt, p, /*optimized=*/true);
+  const auto par = run(api::Backend::kTmkOptimized, p, small_options());
   EXPECT_TRUE(checksum_close(seq.checksum, par.checksum))
       << seq.checksum << " vs " << par.checksum;
 }
 
 TEST(NbfTmk, StaticListMeansNoRecomputeInTimedSteps) {
   const Params p = small_params(2);
-  core::DsmRuntime rt(dsm_config(p.nprocs));
-  const auto par = run_tmk(rt, p, /*optimized=*/true);
+  const auto par = run(api::Backend::kTmkOptimized, p, small_options());
   // The warmup step paid the one-time Read_indices; the timed steps only
-  // check the (unchanged) write-protected pages.
-  EXPECT_EQ(rt.stats().validate_recomputes.get(), 0u);
-  EXPECT_GT(rt.stats().validate_calls.get(), 0u);
-  (void)par;
+  // check the (unchanged) write-protected pages.  The result's counters
+  // cover the timed steps.
+  EXPECT_EQ(par.tmk.validate_recomputes, 0u);
+  EXPECT_GT(par.tmk.validate_calls, 0u);
 }
 
 TEST(NbfTmk, OptimizedSendsFewerMessagesThanBase) {
@@ -94,10 +89,8 @@ TEST(NbfTmk, OptimizedSendsFewerMessagesThanBase) {
   // page-at-a-time fetching: base pays two messages per fetched page, the
   // optimized version two messages per producer node.
   const Params p = small_params(4, 16384);
-  core::DsmRuntime rt_base(dsm_config(p.nprocs));
-  const auto base = run_tmk(rt_base, p, false);
-  core::DsmRuntime rt_opt(dsm_config(p.nprocs));
-  const auto opt = run_tmk(rt_opt, p, true);
+  const auto base = run(api::Backend::kTmkBase, p, small_options());
+  const auto opt = run(api::Backend::kTmkOptimized, p, small_options());
   EXPECT_LT(opt.messages, base.messages);
 }
 
@@ -106,21 +99,19 @@ TEST(NbfTmk, MisalignedBlockBoundariesStillCorrect) {
   // inside pages (false sharing at every boundary).
   const Params p = small_params(4, 2040);
   const auto seq = run_seq(p);
-  for (const bool optimized : {false, true}) {
-    core::DsmRuntime rt(dsm_config(p.nprocs));
-    const auto par = run_tmk(rt, p, optimized);
+  for (const api::Backend b :
+       {api::Backend::kTmkBase, api::Backend::kTmkOptimized}) {
+    const auto par = run(b, p, small_options());
     EXPECT_TRUE(checksum_close(seq.checksum, par.checksum))
-        << "optimized=" << optimized;
+        << api::backend_name(b);
   }
 }
 
 TEST(NbfTmk, FalseSharingCostsExtraMessages) {
-  const Params aligned = small_params(4, 2048);   // 512 doubles = page-exact
+  const Params aligned = small_params(4, 2048);  // 512 doubles = page-exact
   const Params misaligned = small_params(4, 2040);
-  core::DsmRuntime rt_a(dsm_config(4));
-  const auto a = run_tmk(rt_a, aligned, true);
-  core::DsmRuntime rt_m(dsm_config(4));
-  const auto m = run_tmk(rt_m, misaligned, true);
+  const auto a = run(api::Backend::kTmkOptimized, aligned, small_options());
+  const auto m = run(api::Backend::kTmkOptimized, misaligned, small_options());
   // Fewer molecules but more traffic: boundary pages ping-pong.
   EXPECT_GT(m.messages, a.messages);
 }
@@ -128,11 +119,11 @@ TEST(NbfTmk, FalseSharingCostsExtraMessages) {
 TEST(NbfChaos, MatchesSequential) {
   const Params p = small_params(4);
   const auto seq = run_seq(p);
-  chaos::ChaosRuntime rt(p.nprocs);
-  const auto par = run_chaos(rt, p);
+  const auto par = run(api::Backend::kChaos, p);
   EXPECT_TRUE(checksum_close(seq.checksum, par.checksum))
       << seq.checksum << " vs " << par.checksum;
-  EXPECT_GT(par.inspector_seconds, 0.0);
+  EXPECT_GT(par.overhead_seconds, 0.0);  // one-time inspector
+  EXPECT_EQ(par.rebuilds, 1);
 }
 
 TEST(NbfChaos, MessageCountFollowsScheduleStructure) {
@@ -140,8 +131,7 @@ TEST(NbfChaos, MessageCountFollowsScheduleStructure) {
   // barrier.  With every pair of nodes active that is at most
   // 2 * P*(P-1) + 2*(P-1) messages per step.
   const Params p = small_params(4);
-  chaos::ChaosRuntime rt(p.nprocs);
-  const auto par = run_chaos(rt, p);
+  const auto par = run(api::Backend::kChaos, p);
   const std::uint64_t per_step_max = 2u * 4 * 3 + 2 * 3;
   EXPECT_LE(par.messages,
             per_step_max * static_cast<std::uint64_t>(p.timed_steps));
@@ -150,10 +140,8 @@ TEST(NbfChaos, MessageCountFollowsScheduleStructure) {
 
 TEST(NbfChaos, ChecksumAgreesWithTmkVariants) {
   const Params p = small_params(2);
-  chaos::ChaosRuntime crt(p.nprocs);
-  const auto ch = run_chaos(crt, p);
-  core::DsmRuntime drt(dsm_config(p.nprocs));
-  const auto tk = run_tmk(drt, p, true);
+  const auto ch = run(api::Backend::kChaos, p);
+  const auto tk = run(api::Backend::kTmkOptimized, p, small_options());
   EXPECT_TRUE(checksum_close(ch.checksum, tk.checksum));
 }
 
