@@ -1,7 +1,13 @@
 // The unified-API bench: every workload (moldyn, nbf, spmv) on every
 // backend through sdsm::api, one row per (workload, backend).  Alongside
 // the human table and CSV it writes BENCH_api.json — the machine-readable
-// perf trajectory successive PRs diff against.
+// perf trajectory successive PRs diff against (see bench/compare_bench.py).
+//
+// `--transport=inproc|socket` selects the fabric: the default in-process
+// channels keep the committed baseline comparable; the socket fabric
+// carries the same traffic over real TCP so wire cost is measured.  The
+// socket run writes BENCH_api_socket.json so the two trajectories never
+// overwrite each other.
 #include <cstdio>
 #include <iostream>
 
@@ -10,6 +16,7 @@
 #include "src/apps/nbf/nbf_kernel.hpp"
 #include "src/apps/spmv/spmv.hpp"
 #include "src/harness/experiment.hpp"
+#include "src/net/transport_flag.hpp"
 
 namespace {
 
@@ -27,15 +34,19 @@ void add_rows(harness::Table& table, const char* group, double seq_seconds,
                   static_cast<long long>(r.rebuilds));
     table.add(harness::Row{group, api::backend_name(b), r.seconds,
                            harness::speedup(seq_seconds, r.seconds),
-                           r.messages, r.megabytes, r.overhead_seconds, note});
+                           r.messages, r.megabytes, r.overhead_seconds, note,
+                           seq_seconds});
   }
 }
 
 }  // namespace
 
-int main() {
-  std::printf("sdsm::api backend sweep: 3 workloads x 3 backends, %u nodes.\n\n",
-              bench::kNodes);
+int main(int argc, char** argv) {
+  const net::TransportKind transport = net::transport_from_args(argc, argv);
+  std::printf(
+      "sdsm::api backend sweep: 3 workloads x 3 backends, %u nodes, "
+      "%s transport.\n\n",
+      bench::kNodes, net::transport_name(transport));
   harness::Table table("Unified API - all workloads x all backends");
 
   {
@@ -46,8 +57,10 @@ int main() {
     p.nprocs = bench::kNodes;
     const auto sys = moldyn::make_system(p);
     const auto seq = moldyn::run_seq(p, sys);
+    api::BackendOptions opts = moldyn::default_options();
+    opts.transport = transport;
     add_rows(table, "moldyn 4096x24", seq.seconds, seq.checksum,
-             [&](api::Backend b) { return moldyn::run(b, p, sys); });
+             [&](api::Backend b) { return moldyn::run(b, p, sys, opts); });
   }
   {
     nbf::Params p;
@@ -56,8 +69,10 @@ int main() {
     p.timed_steps = 10;
     p.nprocs = bench::kNodes;
     const auto seq = nbf::run_seq(p);
+    api::BackendOptions opts = nbf::default_options();
+    opts.transport = transport;
     add_rows(table, "nbf 16384x32", seq.seconds, seq.checksum,
-             [&](api::Backend b) { return nbf::run(b, p); });
+             [&](api::Backend b) { return nbf::run(b, p, opts); });
   }
   {
     spmv::Params p;
@@ -66,16 +81,21 @@ int main() {
     p.num_steps = 16;
     p.nprocs = bench::kNodes;
     const auto seq = spmv::run_seq(p);
+    api::BackendOptions opts = spmv::default_options();
+    opts.transport = transport;
     add_rows(table, "spmv 16384x8", seq.seconds, seq.checksum,
-             [&](api::Backend b) { return spmv::run(b, p); });
+             [&](api::Backend b) { return spmv::run(b, p, opts); });
   }
 
   table.print(std::cout);
   table.print_csv(std::cout);
-  if (table.write_json("BENCH_api.json")) {
-    std::printf("wrote BENCH_api.json\n");
+  const char* json = transport == net::TransportKind::kSocket
+                         ? "BENCH_api_socket.json"
+                         : "BENCH_api.json";
+  if (table.write_json(json)) {
+    std::printf("wrote %s\n", json);
   } else {
-    std::printf("could not write BENCH_api.json\n");
+    std::printf("could not write %s\n", json);
   }
   return 0;
 }

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Diff two bench JSONs (e.g. BENCH_api.json) and flag perf regressions.
+
+Usage:
+    python3 bench/compare_bench.py BASELINE.json CANDIDATE.json [--threshold 0.10]
+
+Rows are matched by (group, variant).  For each matched row the script
+reports the relative change in wall-clock seconds, messages, and data
+volume, and flags any metric that regressed (grew) by more than the
+threshold (default 10%).  Exit status: 0 when clean, 1 when any metric
+regressed past the threshold — suitable as a CI gate or a review aid.
+
+Timing rows are noisy on shared runners; messages and bytes are exact and
+deterministic, so `--exact` ignores timing entirely and instead fails on
+ANY messages/megabytes difference (growth or shrinkage — an unexplained
+decrease signals a traffic-accounting bug just as loudly).  CI runs the
+script twice: once plain for the human-readable diff, once with --exact
+as the gate.
+"""
+
+import argparse
+import json
+import sys
+
+
+METRICS = [
+    # (key, pretty name, regression means the value grew)
+    ("seconds", "time", True),
+    ("messages", "messages", True),
+    ("megabytes", "data", True),
+]
+
+
+def load_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {(r["group"], r["variant"]): r for r in doc.get("rows", [])}
+
+
+def fmt_delta(base, cand):
+    if base == 0:
+        return "n/a" if cand == 0 else "+inf"
+    return f"{(cand - base) / base:+.1%}"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="relative growth that counts as a regression (default 0.10)",
+    )
+    ap.add_argument(
+        "--exact",
+        action="store_true",
+        help="gate mode: ignore timing, fail on any messages/megabytes "
+        "difference in either direction",
+    )
+    args = ap.parse_args()
+
+    base = load_rows(args.baseline)
+    cand = load_rows(args.candidate)
+
+    regressions = []
+    width = max((len(f"{g} / {v}") for g, v in cand), default=20)
+    header = f"{'row':<{width}}  {'time':>8}  {'messages':>9}  {'data':>8}"
+    print(header)
+    print("-" * len(header))
+    for key in sorted(cand):
+        if key not in base:
+            print(f"{key[0]} / {key[1]:<{width - len(key[0]) - 3}}  (new row)")
+            if args.exact:
+                regressions.append(
+                    f"{key[0]} / {key[1]}: row not in baseline"
+                )
+            continue
+        b, c = base[key], cand[key]
+        cells = []
+        for metric, name, _ in METRICS:
+            bv, cv = b.get(metric, 0), c.get(metric, 0)
+            cells.append(fmt_delta(bv, cv))
+            if args.exact:
+                if metric != "seconds" and bv != cv:
+                    regressions.append(
+                        f"{key[0]} / {key[1]}: {name} must be exact, "
+                        f"{bv} -> {cv}"
+                    )
+            elif bv > 0 and (cv - bv) / bv > args.threshold:
+                regressions.append(
+                    f"{key[0]} / {key[1]}: {name} {fmt_delta(bv, cv)} "
+                    f"({bv} -> {cv})"
+                )
+        print(f"{f'{key[0]} / {key[1]}':<{width}}  "
+              f"{cells[0]:>8}  {cells[1]:>9}  {cells[2]:>8}")
+    for key in sorted(base.keys() - cand.keys()):
+        print(f"{key[0]} / {key[1]}: row disappeared")
+        if args.exact:
+            # A vanished row is as much a traffic change as a changed count:
+            # the gate must not go green on the surviving intersection.
+            regressions.append(f"{key[0]} / {key[1]}: row disappeared")
+
+    if regressions:
+        label = "exact-metric mismatches" if args.exact else \
+            f"REGRESSIONS (>{args.threshold:.0%})"
+        print(f"\n{label}:", file=sys.stderr)
+        for r in regressions:
+            print(f"  {r}", file=sys.stderr)
+        return 1
+    print("\nclean" if args.exact
+          else f"\nno regressions past {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,17 +3,18 @@
 // motivates (CHARMM-style non-bonded force computation with a periodically
 // rebuilt interaction list), written once and swept over backends.
 //
-// Build & run:   ./build/moldyn_app
+// Build & run:   ./build/moldyn_app [--transport=inproc|socket]
 #include <cstdio>
 #include <iostream>
 
 #include "src/apps/moldyn/moldyn_kernel.hpp"
 #include "src/harness/experiment.hpp"
+#include "src/net/transport_flag.hpp"
 
 using namespace sdsm;
 using namespace sdsm::apps;
 
-int main() {
+int main(int argc, char** argv) {
   moldyn::Params p;
   p.num_molecules = 2048;
   p.num_steps = 12;
@@ -33,6 +34,7 @@ int main() {
   harness::Table table("moldyn variants");
   api::BackendOptions opts = moldyn::default_options();
   opts.region_bytes = 16u << 20;
+  opts.transport = net::transport_from_args(argc, argv);
 
   for (const api::Backend b : api::kAllBackends) {
     const auto r = moldyn::run(b, p, sys, opts);
@@ -40,7 +42,8 @@ int main() {
                 checksum_close(r.checksum, seq.checksum) ? "OK" : "MISMATCH");
     table.add(harness::Row{"2048 molecules", api::backend_name(b), r.seconds,
                            harness::speedup(seq.seconds, r.seconds),
-                           r.messages, r.megabytes, r.overhead_seconds, ""});
+                           r.messages, r.megabytes, r.overhead_seconds, "",
+                           seq.seconds});
   }
 
   std::printf("\n");

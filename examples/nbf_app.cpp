@@ -2,17 +2,18 @@
 // lists, across all sdsm::api backends, including the false-sharing
 // configuration (the misaligned molecule count).
 //
-// Build & run:   ./build/nbf_app
+// Build & run:   ./build/nbf_app [--transport=inproc|socket]
 #include <cstdio>
 #include <iostream>
 
 #include "src/apps/nbf/nbf_kernel.hpp"
 #include "src/harness/experiment.hpp"
+#include "src/net/transport_flag.hpp"
 
 using namespace sdsm;
 using namespace sdsm::apps;
 
-int main() {
+int main(int argc, char** argv) {
   for (const std::int64_t molecules : {8192, 8000}) {
     nbf::Params p;
     p.molecules = molecules;
@@ -31,6 +32,7 @@ int main() {
 
     api::BackendOptions opts = nbf::default_options();
     opts.region_bytes = 16u << 20;
+    opts.transport = net::transport_from_args(argc, argv);
     for (const api::Backend b : api::kAllBackends) {
       const auto r = nbf::run(b, p, opts);
       table.add(harness::Row{
@@ -38,7 +40,8 @@ int main() {
           harness::speedup(seq.seconds, r.seconds), r.messages, r.megabytes,
           r.overhead_seconds,
           checksum_close(r.checksum, seq.checksum) ? "checksum OK"
-                                                   : "CHECKSUM MISMATCH"});
+                                                   : "CHECKSUM MISMATCH",
+          seq.seconds});
     }
     table.print(std::cout);
   }

@@ -9,14 +9,18 @@
 // compiler-driven Validate aggregation), and the message counts stay
 // comparable because every backend shares one network fabric.
 //
-// Build & run:   ./build/quickstart
+// Build & run:   ./build/quickstart [--transport=inproc|socket]
 #include <cstdio>
 
 #include "src/api/api.hpp"
+#include "src/net/transport_flag.hpp"
 
 using namespace sdsm;
 
-int main() {
+int main(int argc, char** argv) {
+  api::BackendOptions options;
+  options.transport = net::transport_from_args(argc, argv);
+
   constexpr std::int64_t kN = 4096;        // elements
   constexpr std::uint32_t kNodes = 4;
   constexpr std::size_t kNeighbors = 4;    // refs per work item
@@ -78,7 +82,7 @@ int main() {
   std::printf("%-14s %12s %10s %10s %12s\n", "backend", "checksum",
               "messages", "data(MB)", "overhead(s)");
   for (const api::Backend b : api::kAllBackends) {
-    const api::KernelResult r = api::run_kernel(b, spec);
+    const api::KernelResult r = api::run_kernel(b, spec, options);
     std::printf("%-14s %12.3f %10llu %10.3f %12.6f\n", api::backend_name(b),
                 r.checksum, static_cast<unsigned long long>(r.messages),
                 r.megabytes, r.overhead_seconds);

@@ -13,7 +13,7 @@
 #include <string_view>
 
 #include "src/chaos/translation_table.hpp"
-#include "src/net/network.hpp"
+#include "src/net/transport.hpp"
 
 namespace sdsm::api {
 
@@ -37,8 +37,12 @@ std::optional<Backend> parse_backend(std::string_view name);
 /// Per-run tuning knobs that are about the *execution substrate*, not the
 /// kernel.  Each backend reads the subset that applies to it.
 struct BackendOptions {
-  /// Simulated interconnect cost model (all backends share the fabric, so
-  /// message/byte counts stay comparable — the paper's premise).
+  /// Which fabric carries the traffic (all backends share it, so
+  /// message/byte counts stay comparable — the paper's premise):
+  /// in-process channels with the simulated `wire` cost below, or real
+  /// TCP sockets over localhost where wire cost is measured instead.
+  net::TransportKind transport = net::TransportKind::kInProc;
+  /// Simulated interconnect cost model (in-process transport only).
   net::WireModel wire{};
 
   // --- TreadMarks backends --------------------------------------------------

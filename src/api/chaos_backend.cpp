@@ -43,7 +43,7 @@ KernelResult ChaosBackend::run_impl(const KernelSpec<T>& spec) {
   const auto table =
       chaos::TranslationTable::build(owner, nprocs, options_.table);
 
-  chaos::ChaosRuntime rt(nprocs, options_.wire);
+  chaos::ChaosRuntime rt(nprocs, options_.wire, options_.transport);
 
   std::vector<double> inspector_seconds(nprocs, 0.0);
   std::vector<std::int64_t> rebuilds(nprocs, 0);

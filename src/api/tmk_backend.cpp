@@ -80,6 +80,7 @@ KernelResult TmkBackend::run_impl(const KernelSpec<T>& spec) {
   core::DsmConfig cfg;
   cfg.num_nodes = nprocs;
   cfg.region_bytes = options_.region_bytes;
+  cfg.transport = options_.transport;
   cfg.wire = options_.wire;
   cfg.gc_threshold_bytes = options_.gc_threshold_bytes;
   cfg.write_all_enabled = options_.write_all_enabled;

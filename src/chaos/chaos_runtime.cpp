@@ -16,20 +16,6 @@ ChaosNode::ChaosNode(ChaosRuntime& rt, NodeId id)
 
 std::uint32_t ChaosNode::num_nodes() const { return rt_.num_nodes(); }
 
-std::vector<std::uint8_t> ChaosNode::recv_data_from(NodeId p) {
-  for (;;) {
-    if (!stash_[p].empty()) {
-      auto payload = std::move(stash_[p].front());
-      stash_[p].pop_front();
-      return payload;
-    }
-    net::Message m = rt_.net_.recv(net::Port::kService, id_);
-    SDSM_ASSERT(m.type == kData);
-    if (m.src == p) return std::move(m.payload);
-    stash_[m.src].push_back(std::move(m.payload));
-  }
-}
-
 std::vector<std::vector<std::uint8_t>> ChaosNode::all_to_all(
     std::vector<std::vector<std::uint8_t>> to_peers) {
   std::vector<bool> recv_from(num_nodes(), true);
@@ -48,6 +34,8 @@ std::vector<std::vector<std::uint8_t>> ChaosNode::exchange(
     const std::vector<bool>& recv_from, bool send_empty) {
   SDSM_REQUIRE(to_peers.size() == num_nodes());
   SDSM_REQUIRE(recv_from.size() == num_nodes());
+  // Split phase: every per-owner payload goes on the wire before any
+  // reply is drained, so all peers' service work overlaps.
   for (NodeId p = 0; p < num_nodes(); ++p) {
     if (p == id_) continue;
     // Whether to send is decided by *my* payload (the peer's receive mask
@@ -59,12 +47,37 @@ std::vector<std::vector<std::uint8_t>> ChaosNode::exchange(
     m.src = id_;
     m.dst = p;
     m.payload = std::move(to_peers[p]);
-    rt_.net_.send(net::Port::kService, std::move(m));
+    rt_.net_->send(net::Port::kService, std::move(m));
   }
 
+  // Drain in arrival order, so a slow peer never delays consuming the
+  // fast peers' payloads.  Per-peer FIFO still holds: at most one payload
+  // per peer belongs to this exchange; anything beyond that (a fast
+  // peer's next-phase traffic) is stashed for the next call, and the
+  // stash is always served before the wire.
   std::vector<std::vector<std::uint8_t>> from_peers(num_nodes());
+  std::vector<bool> expected(num_nodes(), false);
+  std::uint32_t need = 0;
   for (NodeId p = 0; p < num_nodes(); ++p) {
-    if (p != id_ && recv_from[p]) from_peers[p] = recv_data_from(p);
+    if (p == id_ || !recv_from[p]) continue;
+    if (!stash_[p].empty()) {
+      from_peers[p] = std::move(stash_[p].front());
+      stash_[p].pop_front();
+    } else {
+      expected[p] = true;
+      ++need;
+    }
+  }
+  while (need > 0) {
+    net::Message m = rt_.net_->recv(net::Port::kService, id_);
+    SDSM_ASSERT(m.type == kData);
+    if (expected[m.src]) {
+      from_peers[m.src] = std::move(m.payload);
+      expected[m.src] = false;
+      --need;
+    } else {
+      stash_[m.src].push_back(std::move(m.payload));
+    }
   }
   return from_peers;
 }
@@ -74,7 +87,7 @@ void ChaosNode::barrier(const std::function<void()>& at_master) {
   // exchanges in flight on the service port are undisturbed.
   if (id_ == 0) {
     for (std::uint32_t i = 1; i < num_nodes(); ++i) {
-      net::Message m = rt_.net_.recv(net::Port::kReply, 0);
+      net::Message m = rt_.net_->recv(net::Port::kReply, 0);
       SDSM_ASSERT(m.type == kBarrierArrive);
     }
     if (at_master) at_master();
@@ -83,15 +96,15 @@ void ChaosNode::barrier(const std::function<void()>& at_master) {
       go.type = kBarrierGo;
       go.src = 0;
       go.dst = p;
-      rt_.net_.send(net::Port::kReply, std::move(go));
+      rt_.net_->send(net::Port::kReply, std::move(go));
     }
   } else {
     net::Message m;
     m.type = kBarrierArrive;
     m.src = id_;
     m.dst = 0;
-    rt_.net_.send(net::Port::kReply, std::move(m));
-    net::Message go = rt_.net_.recv(net::Port::kReply, id_);
+    rt_.net_->send(net::Port::kReply, std::move(m));
+    net::Message go = rt_.net_->recv(net::Port::kReply, id_);
     SDSM_ASSERT(go.type == kBarrierGo);
   }
 }

@@ -2,9 +2,10 @@
 //
 // Unlike the DSM runtime, there is no shared memory here: each node owns
 // plain local arrays (its partition of the data, after remapping, plus a
-// ghost region).  Nodes communicate through the same net::Network fabric the
-// DSM uses, so message and byte counts are directly comparable — which is
-// exactly the comparison Tables 1 and 2 make.
+// ghost region).  Nodes communicate through the same net::Transport fabric
+// the DSM uses (in-process or socket, per the runtime's TransportKind), so
+// message and byte counts are directly comparable — which is exactly the
+// comparison Tables 1 and 2 make.
 #pragma once
 
 #include <cstdint>
@@ -17,7 +18,7 @@
 #include "src/common/assert.hpp"
 #include "src/common/buffer.hpp"
 #include "src/common/types.hpp"
-#include "src/net/network.hpp"
+#include "src/net/transport.hpp"
 
 namespace sdsm::chaos {
 
@@ -57,11 +58,6 @@ class ChaosNode {
       std::vector<std::vector<std::uint8_t>> to_peers,
       const std::vector<bool>& recv_from, bool send_empty);
 
-  /// Next data payload from peer p, preserving per-peer FIFO order even when
-  /// a fast peer's next-phase message arrives before a slow peer's
-  /// current-phase one (payloads from other peers are stashed meanwhile).
-  std::vector<std::uint8_t> recv_data_from(NodeId p);
-
   ChaosRuntime& rt_;
   const NodeId id_;
   std::vector<std::deque<std::vector<std::uint8_t>>> stash_;
@@ -69,22 +65,24 @@ class ChaosNode {
 
 class ChaosRuntime {
  public:
-  explicit ChaosRuntime(std::uint32_t num_nodes, net::WireModel wire = {})
-      : net_(num_nodes, wire) {}
+  explicit ChaosRuntime(
+      std::uint32_t num_nodes, net::WireModel wire = {},
+      net::TransportKind transport = net::TransportKind::kInProc)
+      : net_(net::make_transport(transport, num_nodes, wire)) {}
 
-  std::uint32_t num_nodes() const { return net_.num_nodes(); }
-  net::Network& network() { return net_; }
+  std::uint32_t num_nodes() const { return net_->num_nodes(); }
+  net::Transport& network() { return *net_; }
 
-  std::uint64_t total_messages() { return net_.stats().messages.get(); }
-  double total_megabytes() { return net_.stats().megabytes(); }
-  void reset_stats() { net_.stats().reset(); }
+  std::uint64_t total_messages() { return net_->stats().messages(); }
+  double total_megabytes() { return net_->stats().megabytes(); }
+  void reset_stats() { net_->stats().reset(); }
 
   /// Runs `body` on one thread per node and joins.
   void run(const std::function<void(ChaosNode&)>& body);
 
  private:
   friend class ChaosNode;
-  net::Network net_;
+  std::unique_ptr<net::Transport> net_;
 };
 
 }  // namespace sdsm::chaos

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <span>
 
 #include "src/common/timer.hpp"
 
@@ -227,33 +228,51 @@ std::map<NodeId, std::vector<DsmNode::FetchItem>> DsmNode::plan_fetch(
 }
 
 void DsmNode::fetch_pages(const std::vector<PageId>& pages) {
-  if (pages.empty()) return;
-  const Timer phase;
-  auto plan = plan_fetch(pages);
+  std::vector<PageId> sorted(pages);
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  complete_fetch(post_fetch(std::move(sorted)));
+}
 
-  // One aggregated request per target node.
-  std::vector<std::uint64_t> rids;
-  rids.reserve(plan.size());
-  for (const auto& [target, items] : plan) {
-    Writer w;
-    w.put<std::uint32_t>(static_cast<std::uint32_t>(items.size()));
-    for (const FetchItem& it : items) {
-      w.put<std::uint32_t>(it.page);
-      w.put<std::uint32_t>(static_cast<std::uint32_t>(it.ivals.size()));
-      for (const IntervalId ival : it.ivals) {
-        w.put<std::uint32_t>(ival.node);
-        w.put<std::uint32_t>(ival.seq);
-      }
+net::Ticket DsmNode::post_get_diffs(NodeId target,
+                                    const std::vector<FetchItem>& items) {
+  Writer w;
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(items.size()));
+  for (const FetchItem& it : items) {
+    w.put<std::uint32_t>(it.page);
+    w.put<std::uint32_t>(static_cast<std::uint32_t>(it.ivals.size()));
+    for (const IntervalId ival : it.ivals) {
+      w.put<std::uint32_t>(ival.node);
+      w.put<std::uint32_t>(ival.seq);
     }
-    net::Message msg;
-    msg.type = kGetDiffs;
-    msg.src = id_;
-    msg.dst = target;
-    msg.request_id = rt_.net_.next_request_id(id_);
-    msg.payload = w.take();
-    rids.push_back(msg.request_id);
-    rt_.net_.send(net::Port::kService, std::move(msg));
   }
+  net::Message msg;
+  msg.type = kGetDiffs;
+  msg.src = id_;
+  msg.dst = target;
+  msg.payload = w.take();
+  return rt_.net_->post(std::move(msg));
+}
+
+DsmNode::PendingFetch DsmNode::post_fetch(std::vector<PageId> pages) {
+  PendingFetch pf;
+  if (pages.empty()) return pf;
+  const Timer phase;
+  pf.pages = std::move(pages);
+  // One aggregated request per target node, each on the wire as soon as
+  // it is planned.
+  auto plan = plan_fetch(pf.pages);
+  pf.tickets.reserve(plan.size());
+  for (const auto& [target, items] : plan) {
+    pf.tickets.push_back(post_get_diffs(target, items));
+  }
+  pf.plan_ns = static_cast<std::uint64_t>(phase.elapsed_s() * 1e9);
+  return pf;
+}
+
+void DsmNode::complete_fetch(PendingFetch pf) {
+  if (pf.empty()) return;
+  const Timer phase;
 
   // Collect contributions from all replies.
   struct Contribution {
@@ -263,10 +282,9 @@ void DsmNode::fetch_pages(const std::vector<PageId>& pages) {
   std::map<PageId, std::vector<Contribution>> got;
   std::map<NodeId, std::vector<FetchItem>> retry;  // misses -> creators
   const Timer wait_timer;
-  const auto drain_replies = [&](const std::vector<std::uint64_t>& ids,
+  const auto drain_replies = [&](std::span<const net::Ticket> tickets,
                                  bool allow_miss) {
-    for (const std::uint64_t rid : ids) {
-      net::Message reply = rt_.net_.recv_reply(id_, rid);
+    for (net::Message& reply : rt_.net_->wait_all(tickets)) {
       SDSM_ASSERT(reply.type == kDiffsReply);
       Reader r(reply.payload);
       const auto npages = r.get<std::uint32_t>();
@@ -300,31 +318,14 @@ void DsmNode::fetch_pages(const std::vector<PageId>& pages) {
       }
     }
   };
-  drain_replies(rids, /*allow_miss=*/true);
+  drain_replies(pf.tickets, /*allow_miss=*/true);
   if (!retry.empty()) {
-    std::vector<std::uint64_t> retry_rids;
-    retry_rids.reserve(retry.size());
+    std::vector<net::Ticket> retry_tickets;
+    retry_tickets.reserve(retry.size());
     for (const auto& [target, items] : retry) {
-      Writer w;
-      w.put<std::uint32_t>(static_cast<std::uint32_t>(items.size()));
-      for (const FetchItem& it : items) {
-        w.put<std::uint32_t>(it.page);
-        w.put<std::uint32_t>(static_cast<std::uint32_t>(it.ivals.size()));
-        for (const IntervalId ival : it.ivals) {
-          w.put<std::uint32_t>(ival.node);
-          w.put<std::uint32_t>(ival.seq);
-        }
-      }
-      net::Message msg;
-      msg.type = kGetDiffs;
-      msg.src = id_;
-      msg.dst = target;
-      msg.request_id = rt_.net_.next_request_id(id_);
-      msg.payload = w.take();
-      retry_rids.push_back(msg.request_id);
-      rt_.net_.send(net::Port::kService, std::move(msg));
+      retry_tickets.push_back(post_get_diffs(target, items));
     }
-    drain_replies(retry_rids, /*allow_miss=*/false);
+    drain_replies(retry_tickets, /*allow_miss=*/false);
   }
 
   stats().t_wait_ns.add(static_cast<std::uint64_t>(wait_timer.elapsed_s() * 1e9));
@@ -387,14 +388,15 @@ void DsmNode::fetch_pages(const std::vector<PageId>& pages) {
     }
   }
 
-  stats().t_fetch_ns.add(static_cast<std::uint64_t>(phase.elapsed_s() * 1e9));
+  stats().t_fetch_ns.add(pf.plan_ns +
+                         static_cast<std::uint64_t>(phase.elapsed_s() * 1e9));
 
   // Pages whose every pending interval was superseded out of the plan can
   // still be sitting invalid with pending notices that nobody will send:
   // that only happens when the *entire* page plan collapsed, which the
   // supersede rule never produces (it always keeps at least the whole-page
   // interval itself).  Assert the invariant.
-  for (const PageId page : pages) {
+  for (const PageId page : pf.pages) {
     SDSM_ASSERT(pages_[page].state != PageState::kInvalid);
   }
 }
@@ -632,7 +634,7 @@ std::vector<IntervalMeta> DsmNode::metas_not_covered_locked(
 
 void DsmNode::service_loop() {
   for (;;) {
-    net::Message msg = rt_.net_.recv(net::Port::kService, id_);
+    net::Message msg = rt_.net_->recv(net::Port::kService, id_);
     switch (msg.type) {
       case net::kControlStop:
         return;
@@ -700,7 +702,7 @@ void DsmNode::serve_get_diffs(const net::Message& msg) {
   reply.dst = msg.src;
   reply.request_id = msg.request_id;
   reply.payload = w.take();
-  rt_.net_.send(net::Port::kReply, std::move(reply));
+  rt_.net_->send(net::Port::kReply, std::move(reply));
 }
 
 // ---------------------------------------------------------------------------
@@ -709,7 +711,8 @@ void DsmNode::serve_get_diffs(const net::Message& msg) {
 
 DsmRuntime::DsmRuntime(DsmConfig config)
     : config_(config),
-      net_(config.num_nodes, config.wire),
+      net_(net::make_transport(config.transport, config.num_nodes,
+                               config.wire)),
       heap_(config.region_bytes, vm::system_page_size()) {
   SDSM_REQUIRE(config.num_nodes >= 1);
   nodes_.reserve(config.num_nodes);
@@ -719,7 +722,7 @@ DsmRuntime::DsmRuntime(DsmConfig config)
 }
 
 DsmRuntime::~DsmRuntime() {
-  net_.stop_all_services();
+  net_->stop_all_services();
   for (auto& node : nodes_) {
     if (node->service_thread_.joinable()) node->service_thread_.join();
   }
@@ -736,7 +739,7 @@ void DsmRuntime::run(const std::function<void(DsmNode&)>& body) {
 
 void DsmRuntime::reset_stats() {
   stats_.reset();
-  net_.stats().reset();
+  net_->stats().reset();
 }
 
 }  // namespace sdsm::core

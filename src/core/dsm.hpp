@@ -20,6 +20,7 @@
 // construction.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -36,7 +37,7 @@
 #include "src/core/interval.hpp"
 #include "src/core/shmalloc.hpp"
 #include "src/core/vector_clock.hpp"
-#include "src/net/network.hpp"
+#include "src/net/transport.hpp"
 #include "src/rsd/regular_section.hpp"
 #include "src/vm/fault_dispatcher.hpp"
 #include "src/vm/page_region.hpp"
@@ -46,6 +47,10 @@ namespace sdsm::core {
 struct DsmConfig {
   std::uint32_t num_nodes = 8;
   std::size_t region_bytes = 64u << 20;
+  /// Fabric selection: in-process channels (wire cost simulated by `wire`)
+  /// or real TCP sockets over localhost (wire cost measured, `wire`
+  /// ignored).
+  net::TransportKind transport = net::TransportKind::kInProc;
   net::WireModel wire{};
   /// Diff-store garbage collection: when a node's stored diffs exceed this
   /// many bytes it requests a GC at the next barrier.  The barrier then
@@ -268,8 +273,35 @@ class DsmNode {
   std::map<NodeId, std::vector<FetchItem>> plan_fetch(
       const std::vector<PageId>& pages);
 
-  /// Sends one kGetDiffs per creator, waits for all replies, applies diffs
-  /// in HB order, marks pages kReadOnly.
+  /// One in-flight aggregated diff fetch: the requests are on the wire,
+  /// the pages are still kInvalid until complete_fetch applies the
+  /// replies.  Between post and complete the compute thread may do any
+  /// work that does not touch the named pages (Validate overlaps its
+  /// descriptor bookkeeping and later fetch planning here).
+  struct PendingFetch {
+    std::vector<net::Ticket> tickets;
+    std::vector<PageId> pages;  ///< sorted, deduplicated
+    std::uint64_t plan_ns = 0;  ///< time spent planning/posting
+
+    bool empty() const { return pages.empty(); }
+    /// True when `page` is named by this in-flight fetch.
+    bool covers(PageId page) const {
+      return std::binary_search(pages.begin(), pages.end(), page);
+    }
+  };
+
+  /// Split-phase fetch, phase 1: plans the aggregated requests (one
+  /// kGetDiffs per target, see plan_fetch) and posts them all.  `pages`
+  /// must be sorted, deduplicated, and kInvalid.
+  PendingFetch post_fetch(std::vector<PageId> pages);
+  /// Split-phase fetch, phase 2: waits for all replies (handling holder
+  /// misses with a retry round), applies diffs in HB order, marks pages
+  /// kReadOnly.
+  void complete_fetch(PendingFetch pf);
+  /// Encodes and posts one target's request batch.
+  net::Ticket post_get_diffs(NodeId target, const std::vector<FetchItem>& items);
+
+  /// Blocking wrapper: post_fetch + complete_fetch.
   void fetch_pages(const std::vector<PageId>& pages);
 
   /// Creates a twin (or enters whole-page mode) and marks the page dirty.
@@ -404,12 +436,12 @@ class DsmRuntime {
   void run(const std::function<void(DsmNode&)>& body);
 
   DsmNode& node(NodeId n) { return *nodes_[n]; }
-  net::Network& network() { return net_; }
+  net::Transport& network() { return *net_; }
   DsmStats& stats() { return stats_; }
 
   /// Total messages / payload bytes on the fabric (the paper's metrics).
-  std::uint64_t total_messages() { return net_.stats().messages.get(); }
-  double total_megabytes() { return net_.stats().megabytes(); }
+  std::uint64_t total_messages() { return net_->stats().messages(); }
+  double total_megabytes() { return net_->stats().megabytes(); }
 
   void reset_stats();
 
@@ -417,7 +449,7 @@ class DsmRuntime {
   friend class DsmNode;
 
   DsmConfig config_;
-  net::Network net_;
+  std::unique_ptr<net::Transport> net_;
   DsmStats stats_;
   SharedHeap heap_;
   std::vector<std::unique_ptr<DsmNode>> nodes_;

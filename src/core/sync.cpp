@@ -10,8 +10,13 @@
 // Barriers: centralized manager on node 0.  Arrivals close the arriver's
 // interval and carry its new interval metas; the release broadcast carries
 // the global clock and, per node, exactly the metas it lacks.  A node's
-// message to itself is a local operation and is not counted (see
-// net::Network::send).
+// message to itself is a local operation and is not counted (see the
+// loopback rule in the transport's accounting).
+//
+// Both round trips use the transport's split-phase post/wait pair: the
+// request is on the wire before wait blocks, which matters because wait
+// is where remote metas overlap with local close_interval work on the
+// manager side.
 #include <algorithm>
 
 #include "src/common/timer.hpp"
@@ -41,12 +46,10 @@ void DsmNode::lock_acquire(LockId lock) {
   msg.type = kLockAcquire;
   msg.src = id_;
   msg.dst = home;
-  msg.request_id = rt_.net_.next_request_id(id_);
   msg.payload = w.take();
-  const auto rid = msg.request_id;
-  rt_.net_.send(net::Port::kService, std::move(msg));
+  const net::Ticket ticket = rt_.net_->post(std::move(msg));
 
-  net::Message grant = rt_.net_.recv_reply(id_, rid);
+  net::Message grant = rt_.net_->wait(ticket);
   SDSM_ASSERT(grant.type == kLockGrant);
   Reader r(grant.payload);
   VectorClock release_vc = VectorClock::deserialize(r);
@@ -73,7 +76,7 @@ void DsmNode::lock_release(LockId lock) {
   msg.dst = home;
   msg.request_id = 0;  // one-way
   msg.payload = w.take();
-  rt_.net_.send(net::Port::kService, std::move(msg));
+  rt_.net_->send(net::Port::kService, std::move(msg));
 }
 
 // ---------------------------------------------------------------------------
@@ -92,7 +95,7 @@ void DsmNode::grant_lock_locked(LockId lock, const LockHome::Waiter& to) {
   grant.dst = to.node;
   grant.request_id = to.request_id;
   grant.payload = w.take();
-  rt_.net_.send(net::Port::kReply, std::move(grant));
+  rt_.net_->send(net::Port::kReply, std::move(grant));
 }
 
 void DsmNode::serve_lock_acquire(const net::Message& msg) {
@@ -170,12 +173,10 @@ void DsmNode::barrier_round(bool allow_gc) {
   msg.type = kBarrierArrive;
   msg.src = id_;
   msg.dst = kBarrierManager;
-  msg.request_id = rt_.net_.next_request_id(id_);
   msg.payload = w.take();
-  const auto rid = msg.request_id;
-  rt_.net_.send(net::Port::kService, std::move(msg));
+  const net::Ticket ticket = rt_.net_->post(std::move(msg));
 
-  net::Message release = rt_.net_.recv_reply(id_, rid);
+  net::Message release = rt_.net_->wait(ticket);
   SDSM_ASSERT(release.type == kBarrierRelease);
   Reader r(release.payload);
   VectorClock global_vc = VectorClock::deserialize(r);
@@ -233,7 +234,7 @@ void DsmNode::serve_barrier_arrive(const net::Message& msg) {
     release.dst = a.node;
     release.request_id = a.request_id;
     release.payload = w.take();
-    rt_.net_.send(net::Port::kReply, std::move(release));
+    rt_.net_->send(net::Port::kReply, std::move(release));
   }
   barrier_mgr_.arrivals.clear();
   barrier_mgr_.want_gc = false;

@@ -159,76 +159,133 @@ void DsmNode::validate(const std::vector<AccessDescriptor>& descs) {
   std::vector<std::vector<PageId>> desc_pages(descs.size());
   std::vector<std::vector<PageId>> full_pages(descs.size());
 
-  auto collect_round = [&](DescType round) {
-    std::vector<PageId> fetch;
-    for (std::size_t i = 0; i < descs.size(); ++i) {
-      const AccessDescriptor& desc = descs[i];
-      if (desc.type != round) continue;
-
-      if (desc.type == DescType::kIndirect) {
-        ScheduleState& sch = schedules_[desc.schedule];
-        if (!sch.valid || sch.indirection_changed) {
-          // modified(section) returned true: recompute pages[sch] and
-          // re-write-protect the indirection array.
-          stats().validate_recomputes.add(1);
-          sch.pages = read_indices(desc);
-          watch_indirection_pages(desc, desc.schedule);
-          sch.valid = true;
-          sch.indirection_changed = false;
-        }
-        desc_pages[i] = sch.pages;
-      } else {
-        desc_pages[i] = direct_pages(desc);
-      }
-
-      // Split WRITE_ALL-style sections into fully and partially covered
-      // pages; fully covered pages need no twin, and for kWriteAll (no
-      // read) they need no fetch either.
-      const bool wall = whole_section_write(desc.access) &&
-                        config().write_all_enabled;
-      std::optional<DenseRange> range =
-          wall ? dense_range(desc) : std::nullopt;
-      if (range) {
-        for (const PageId page : desc_pages[i]) {
-          if (page_fully_covered(page, *range, region_.page_size())) {
-            full_pages[i].push_back(page);
-          }
-        }
-      }
-
+  // Per-descriptor collection: computes the WRITE_ALL coverage split
+  // (fully covered pages need no twin, and for kWriteAll no fetch either)
+  // and appends the descriptor's invalid pages to `fetch`.  Pages already
+  // named by an in-flight fetch are skipped — they will be valid by the
+  // time anyone touches them, exactly as pages fetched by an earlier
+  // round used to be.
+  auto collect_desc = [&](std::size_t i, std::vector<PageId>& fetch,
+                          const PendingFetch* in_flight) {
+    const AccessDescriptor& desc = descs[i];
+    const bool wall = whole_section_write(desc.access) &&
+                      config().write_all_enabled;
+    std::optional<DenseRange> range = wall ? dense_range(desc) : std::nullopt;
+    if (range) {
       for (const PageId page : desc_pages[i]) {
-        if (pages_[page].state != PageState::kInvalid) continue;
-        if (desc.access == Access::kWriteAll &&
-            std::binary_search(full_pages[i].begin(), full_pages[i].end(),
-                               page)) {
-          // The executor rewrites the whole page: discard the pending
-          // notices instead of fetching dead data.  No protection change:
-          // Create_twins below makes the page writable.
-          PageMeta& pm = pages_[page];
-          pm.pending.clear();
-          pm.state = PageState::kReadOnly;
-          continue;
+        if (page_fully_covered(page, *range, region_.page_size())) {
+          full_pages[i].push_back(page);
         }
-        fetch.push_back(page);
       }
     }
-    std::sort(fetch.begin(), fetch.end());
-    fetch.erase(std::unique(fetch.begin(), fetch.end()), fetch.end());
-    // Re-check state: an earlier descriptor in this round may have fetched
-    // the page already (desc page lists overlap).
-    std::erase_if(fetch, [&](PageId p) {
-      return pages_[p].state != PageState::kInvalid;
-    });
-    if (!fetch.empty()) {
-      fetch_pages(fetch);
-      stats().pages_prefetched.add(fetch.size());
+
+    for (const PageId page : desc_pages[i]) {
+      if (pages_[page].state != PageState::kInvalid) continue;
+      if (in_flight != nullptr && in_flight->covers(page)) continue;
+      if (desc.access == Access::kWriteAll &&
+          std::binary_search(full_pages[i].begin(), full_pages[i].end(),
+                             page)) {
+        // The executor rewrites the whole page: discard the pending
+        // notices instead of fetching dead data.  No protection change:
+        // Create_twins below makes the page writable.
+        PageMeta& pm = pages_[page];
+        pm.pending.clear();
+        pm.state = PageState::kReadOnly;
+        continue;
+      }
+      fetch.push_back(page);
     }
   };
 
-  // DIRECT first so that indirection arrays named by DIRECT READ
-  // descriptors are local before Read_indices scans them.
-  collect_round(DescType::kDirect);
-  collect_round(DescType::kIndirect);
+  auto finalize = [&](std::vector<PageId>& fetch) {
+    std::sort(fetch.begin(), fetch.end());
+    fetch.erase(std::unique(fetch.begin(), fetch.end()), fetch.end());
+    // Re-check state: an earlier descriptor may have discarded the page
+    // out of the fetch set (desc page lists overlap).
+    std::erase_if(fetch, [&](PageId p) {
+      return pages_[p].state != PageState::kInvalid;
+    });
+  };
+
+  // DIRECT descriptors go on the wire first — and *only* on the wire:
+  // their diff requests are posted split-phase, then serviced remotely
+  // while this thread keeps working.  (DIRECT before INDIRECT also lets a
+  // program list the indirection array itself as a DIRECT READ descriptor
+  // so that Read_indices scans locally valid pages instead of
+  // demand-faulting them one at a time.)
+  std::vector<PageId> direct_fetch;
+  for (std::size_t i = 0; i < descs.size(); ++i) {
+    if (descs[i].type != DescType::kDirect) continue;
+    desc_pages[i] = direct_pages(descs[i]);
+    collect_desc(i, direct_fetch, nullptr);
+  }
+  finalize(direct_fetch);
+  stats().pages_prefetched.add(direct_fetch.size());
+  PendingFetch pending = post_fetch(std::move(direct_fetch));
+
+  // INDIRECT descriptors whose cached page set is still valid need no
+  // Read_indices scan, so their fetch set is known right now.
+  std::vector<std::size_t> stale;
+  bool any_ready_fetch = false;
+  for (std::size_t i = 0; i < descs.size(); ++i) {
+    if (descs[i].type != DescType::kIndirect) continue;
+    const auto it = schedules_.find(descs[i].schedule);
+    if (it == schedules_.end() || !it->second.valid ||
+        it->second.indirection_changed) {
+      stale.push_back(i);
+    } else {
+      any_ready_fetch = true;
+    }
+  }
+
+  if (stale.empty()) {
+    // Steady state (the common per-step Validate): every diff request —
+    // direct and indirect — is posted before anything blocks; the
+    // indirect planning below overlaps the direct requests' flight time,
+    // and the waits land at first use, in Apply_diffs order.
+    std::vector<PageId> ind_fetch;
+    if (any_ready_fetch) {
+      for (std::size_t i = 0; i < descs.size(); ++i) {
+        if (descs[i].type != DescType::kIndirect) continue;
+        desc_pages[i] = schedules_[descs[i].schedule].pages;
+        collect_desc(i, ind_fetch, &pending);
+      }
+      finalize(ind_fetch);
+      stats().pages_prefetched.add(ind_fetch.size());
+    }
+    PendingFetch ind_pending = post_fetch(std::move(ind_fetch));
+    complete_fetch(std::move(pending));
+    complete_fetch(std::move(ind_pending));
+  } else {
+    // Some schedule was modified: Read_indices must run, and it may touch
+    // pages the direct round is fetching, so the in-flight requests are
+    // consumed here (their first use).  The stale schedules' page sets
+    // are only known after the scans; their fetch goes out as one
+    // aggregated round, exactly as before.
+    complete_fetch(std::move(pending));
+    std::vector<PageId> fetch;
+    for (std::size_t i = 0; i < descs.size(); ++i) {
+      const AccessDescriptor& desc = descs[i];
+      if (desc.type != DescType::kIndirect) continue;
+      ScheduleState& sch = schedules_[desc.schedule];
+      if (!sch.valid || sch.indirection_changed) {
+        // modified(section) returned true: recompute pages[sch] and
+        // re-write-protect the indirection array.
+        stats().validate_recomputes.add(1);
+        sch.pages = read_indices(desc);
+        watch_indirection_pages(desc, desc.schedule);
+        sch.valid = true;
+        sch.indirection_changed = false;
+      }
+      desc_pages[i] = sch.pages;
+      collect_desc(i, fetch, nullptr);
+    }
+    finalize(fetch);
+    if (!fetch.empty()) {
+      stats().pages_prefetched.add(fetch.size());
+      fetch_pages(fetch);
+    }
+  }
 
   // Create_twins: preemptive write preparation, eliminating both the write
   // fault and (for whole-section writes) the twin copy.  Protection

@@ -68,14 +68,14 @@ void Table::print(std::ostream& os) const {
 }
 
 void Table::print_csv(std::ostream& os) const {
-  os << "# csv: group,variant,seconds,speedup,messages,megabytes,"
-        "overhead_seconds\n";
+  os << "# csv: group,variant,seconds,speedup,seq_seconds,messages,"
+        "megabytes,overhead_seconds\n";
   for (const Row& r : rows_) {
     os << "# csv: " << r.group << ',' << r.variant << ',' << std::fixed
        << std::setprecision(6) << r.seconds << ',' << std::setprecision(3)
-       << r.speedup << ',' << r.messages << ',' << std::setprecision(3)
-       << r.megabytes << ',' << std::setprecision(6) << r.overhead_seconds
-       << "\n";
+       << r.speedup << ',' << std::setprecision(6) << r.seq_seconds << ','
+       << r.messages << ',' << std::setprecision(3) << r.megabytes << ','
+       << std::setprecision(6) << r.overhead_seconds << "\n";
   }
 }
 
@@ -91,6 +91,7 @@ void Table::print_json(std::ostream& os) const {
     json_string(os, r.variant);
     os << ", \"seconds\": " << std::fixed << std::setprecision(6) << r.seconds
        << ", \"speedup\": " << std::setprecision(3) << r.speedup
+       << ", \"seq_seconds\": " << std::setprecision(6) << r.seq_seconds
        << ", \"messages\": " << r.messages << ", \"megabytes\": "
        << std::setprecision(3) << r.megabytes << ", \"overhead_seconds\": "
        << std::setprecision(6) << r.overhead_seconds << ", \"note\": ";

@@ -22,6 +22,11 @@ struct Row {
   /// Inspector time (CHAOS) or indirection-scan time (Tmk), per node.
   double overhead_seconds = 0;
   std::string note;
+  /// The sequential baseline that `speedup` was computed against
+  /// (speedup = seq_seconds / seconds).  Recorded per row so the
+  /// denominator of every speedup in a bench JSON is auditable instead of
+  /// implied.  Last field so existing positional initializers stay valid.
+  double seq_seconds = 0;
 };
 
 class Table {

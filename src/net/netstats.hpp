@@ -1,0 +1,80 @@
+// Aggregate traffic statistics shared by all transports.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/assert.hpp"
+#include "src/common/stats.hpp"
+#include "src/common/types.hpp"
+
+namespace sdsm::net {
+
+/// Aggregate traffic statistics, attributed to the *sending* node.
+///
+/// Every node's send path bumps its own per-node counters concurrently,
+/// so each node's pair lives on its own cache line: with the counters
+/// packed densely (the former vector-of-Counter layout) eight senders
+/// would ping-pong the same line on every send — false sharing on the
+/// hottest fabric path.  A node's `messages` and `bytes` are always
+/// bumped together by the same thread, so sharing one line between them
+/// is free.  The fabric-wide totals are *derived* (summed in the getter)
+/// rather than stored: a shared total counter would put every sender
+/// back on one contended line, and totals are only read at quiescent
+/// points (bench snapshots, test asserts).
+class NetStats {
+ public:
+  explicit NetStats(std::uint32_t nodes) : per_node_(nodes) {}
+
+  Counter& node_messages(NodeId n) { return at(n).messages; }
+  Counter& node_bytes(NodeId n) { return at(n).bytes; }
+
+  /// Fabric-wide totals: each request and each reply counts as one
+  /// message (loopback and control traffic excluded at the send site).
+  std::uint64_t messages() const {
+    std::uint64_t sum = 0;
+    for (const auto& c : per_node_) sum += c.messages.get();
+    return sum;
+  }
+  std::uint64_t bytes() const {
+    std::uint64_t sum = 0;
+    for (const auto& c : per_node_) sum += c.bytes.get();
+    return sum;
+  }
+
+  std::uint32_t num_nodes() const {
+    return static_cast<std::uint32_t>(per_node_.size());
+  }
+
+  void reset() {
+    for (auto& c : per_node_) {
+      c.messages.reset();
+      c.bytes.reset();
+    }
+  }
+
+  double megabytes() const { return static_cast<double>(bytes()) / 1e6; }
+
+ private:
+  /// 64 bytes is the destructive interference size on every platform this
+  /// runs on (x86-64, aarch64); std::hardware_destructive_interference_size
+  /// is avoided because GCC makes its use in headers an ABI warning.
+  struct alignas(64) NodeCounters {
+    Counter messages;
+    Counter bytes;
+  };
+  static_assert(sizeof(NodeCounters) == 64);
+
+  NodeCounters& at(NodeId n) {
+    SDSM_ASSERT(n < per_node_.size());
+    return per_node_[n];
+  }
+  const NodeCounters& at(NodeId n) const {
+    SDSM_ASSERT(n < per_node_.size());
+    return per_node_[n];
+  }
+
+  std::vector<NodeCounters> per_node_;
+};
+
+}  // namespace sdsm::net

@@ -1,47 +1,12 @@
 #include "src/net/network.hpp"
 
-#include <atomic>
-
-#if defined(__x86_64__)
-#include <immintrin.h>
-#endif
-
 namespace sdsm::net {
 
-namespace {
+InProcTransport::InProcTransport(std::uint32_t num_nodes, WireModel wire)
+    : ChannelTransport(num_nodes, wire), jitter_state_(wire.jitter_seed) {}
 
-inline void cpu_pause() {
-#if defined(__x86_64__)
-  _mm_pause();
-#endif
-}
-
-/// Spin budget before blocking (~30-60us of pause loops).
-constexpr int kSpinIters = 100000;
-
-}  // namespace
-
-Network::Network(std::uint32_t num_nodes, WireModel wire)
-    : num_nodes_(num_nodes), wire_(wire), stats_(num_nodes),
-      jitter_state_(wire.jitter_seed) {
-  SDSM_REQUIRE(num_nodes >= 1);
-  channels_.reserve(static_cast<std::size_t>(num_nodes) * kNumPorts);
-  next_request_.reserve(num_nodes);
-  for (std::uint32_t n = 0; n < num_nodes; ++n) {
-    for (int p = 0; p < kNumPorts; ++p) {
-      channels_.push_back(std::make_unique<Channel>());
-    }
-    next_request_.push_back(std::make_unique<std::atomic<std::uint64_t>>(1));
-  }
-}
-
-Network::Channel& Network::channel(Port port, NodeId node) {
-  SDSM_REQUIRE(node < num_nodes_);
-  return *channels_[static_cast<std::size_t>(node) * kNumPorts +
-                    static_cast<std::size_t>(port)];
-}
-
-Network::Clock::time_point Network::deliver_time(std::size_t payload_bytes) {
+InProcTransport::Clock::time_point InProcTransport::deliver_time(
+    std::size_t payload_bytes) {
   if (!wire_.enabled()) return Clock::now();
   double jitter01 = 0.0;
   if (wire_.jitter_us > 0) {
@@ -56,106 +21,11 @@ Network::Clock::time_point Network::deliver_time(std::size_t payload_bytes) {
   return Clock::now() + wire_.cost(payload_bytes, jitter01);
 }
 
-void Network::send(Port port, Message msg) {
-  SDSM_REQUIRE(msg.dst < num_nodes_);
-  // Loopback traffic is not counted: on the real system a node's request to
-  // itself is a local function call, not a message on the switch.
-  if (msg.type != kControlStop && msg.src != msg.dst) {
-    stats_.messages.add(1);
-    stats_.bytes.add(msg.size_bytes());
-    stats_.node_messages[msg.src]->add(1);
-    stats_.node_bytes[msg.src]->add(msg.size_bytes());
-  }
-  Channel& ch = channel(port, msg.dst);
+void InProcTransport::send(Port port, Message msg) {
+  SDSM_REQUIRE(msg.dst < num_nodes());
+  count_send(msg);
   const auto at = deliver_time(msg.size_bytes());
-  {
-    std::lock_guard<std::mutex> g(ch.mu);
-    ch.q.push_back(Channel::Entry{std::move(msg), at});
-    ch.size.store(static_cast<std::uint32_t>(ch.q.size()),
-                  std::memory_order_release);
-  }
-  ch.cv.notify_all();
-}
-
-Message Network::recv(Port port, NodeId node) {
-  Channel& ch = channel(port, node);
-  for (int i = 0; i < kSpinIters; ++i) {
-    if (ch.size.load(std::memory_order_acquire) != 0) break;
-    cpu_pause();
-  }
-  std::unique_lock<std::mutex> lk(ch.mu);
-  for (;;) {
-    if (!ch.q.empty()) {
-      const auto now = Clock::now();
-      auto& front = ch.q.front();
-      if (front.deliver_at <= now) {
-        Message m = std::move(front.msg);
-        ch.q.pop_front();
-        ch.size.store(static_cast<std::uint32_t>(ch.q.size()),
-                      std::memory_order_release);
-        return m;
-      }
-      ch.cv.wait_until(lk, front.deliver_at);
-    } else {
-      ch.cv.wait(lk);
-    }
-  }
-}
-
-std::optional<Message> Network::try_recv(Port port, NodeId node) {
-  Channel& ch = channel(port, node);
-  std::lock_guard<std::mutex> g(ch.mu);
-  if (ch.q.empty() || ch.q.front().deliver_at > Clock::now()) return std::nullopt;
-  Message m = std::move(ch.q.front().msg);
-  ch.q.pop_front();
-  ch.size.store(static_cast<std::uint32_t>(ch.q.size()),
-                std::memory_order_release);
-  return m;
-}
-
-Message Network::recv_reply(NodeId node, std::uint64_t request_id) {
-  Channel& ch = channel(Port::kReply, node);
-  for (int i = 0; i < kSpinIters; ++i) {
-    if (ch.size.load(std::memory_order_acquire) != 0) break;
-    cpu_pause();
-  }
-  std::unique_lock<std::mutex> lk(ch.mu);
-  for (;;) {
-    const auto now = Clock::now();
-    std::optional<Clock::time_point> earliest_pending;
-    for (auto it = ch.q.begin(); it != ch.q.end(); ++it) {
-      if (it->msg.request_id != request_id) continue;
-      if (it->deliver_at <= now) {
-        Message m = std::move(it->msg);
-        ch.q.erase(it);
-        ch.size.store(static_cast<std::uint32_t>(ch.q.size()),
-                      std::memory_order_release);
-        return m;
-      }
-      earliest_pending = it->deliver_at;
-      break;  // entries for one request id arrive in order; wait for this one
-    }
-    if (earliest_pending) {
-      ch.cv.wait_until(lk, *earliest_pending);
-    } else {
-      ch.cv.wait(lk);
-    }
-  }
-}
-
-std::uint64_t Network::next_request_id(NodeId node) {
-  SDSM_REQUIRE(node < num_nodes_);
-  return next_request_[node]->fetch_add(1, std::memory_order_relaxed);
-}
-
-void Network::stop_all_services() {
-  for (std::uint32_t n = 0; n < num_nodes_; ++n) {
-    Message stop;
-    stop.type = kControlStop;
-    stop.src = n;
-    stop.dst = n;
-    send(Port::kService, std::move(stop));
-  }
+  deliver(port, std::move(msg), at);
 }
 
 }  // namespace sdsm::net

@@ -1,146 +1,48 @@
-// In-process message-passing fabric connecting the simulated nodes.
+// In-process message-passing fabric connecting the simulated nodes — the
+// default net::Transport implementation (TransportKind::kInProc).
 //
 // This substrate replaces the paper's UDP-over-SP2-switch transport.  It
 // provides:
 //   - reliable delivery with per-channel FIFO ordering,
-//   - blocking receive and predicate receive (for reply matching),
+//   - the split-phase post/wait/poll request path plus blocking receive
+//     and reply matching (see src/net/transport.hpp for the completion
+//     contract: who may call wait, single-consumer reply ports, and why
+//     send/post/wait stay safe inside the DSM's SIGSEGV handler),
 //   - exact message/byte accounting (each request and each reply counts as
 //     one message, matching the "Messages" columns of Tables 1 and 2),
 //   - an optional wire-cost model (fixed per-message latency plus per-KB
 //     cost) so that scaled-down runs retain SP2-like communication/compute
 //     ratios, and
 //   - optional seeded delivery jitter for concurrency stress tests.
+//
+// The sibling SocketTransport (src/net/socket_transport.hpp) carries the
+// same traffic over real TCP sockets; select between them with
+// net::make_transport, api::BackendOptions::transport, or the --transport
+// flag of the benches and examples.
 #pragma once
 
-#include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
-#include <functional>
-#include <memory>
 #include <mutex>
-#include <optional>
-#include <vector>
 
-#include "src/common/assert.hpp"
-#include "src/common/stats.hpp"
-#include "src/common/types.hpp"
-#include "src/net/message.hpp"
+#include "src/net/channel_transport.hpp"
 
 namespace sdsm::net {
 
-/// Communication cost model.  With both fields zero (the default, used by
-/// unit tests) messages are delivered immediately.  Bench configurations
-/// enable it to restore a realistic latency/bandwidth ratio; see
-/// EXPERIMENTS.md for the calibration used for the paper tables.
-struct WireModel {
-  double latency_us = 0.0;  ///< fixed cost per message
-  double us_per_kb = 0.0;   ///< serialization cost per 1024 payload bytes
-  /// Upper bound of additional uniformly distributed random delay, used by
-  /// stress tests to perturb interleavings.  0 disables jitter.
-  double jitter_us = 0.0;
-  std::uint64_t jitter_seed = 1;
-
-  bool enabled() const { return latency_us > 0 || us_per_kb > 0 || jitter_us > 0; }
-
-  std::chrono::nanoseconds cost(std::size_t payload_bytes, double jitter01) const {
-    const double us = latency_us +
-                      us_per_kb * (static_cast<double>(payload_bytes) / 1024.0) +
-                      jitter_us * jitter01;
-    return std::chrono::nanoseconds(static_cast<std::int64_t>(us * 1e3));
-  }
-};
-
-/// Aggregate traffic statistics.  `messages`/`bytes` are fabric-wide; the
-/// per-node vectors attribute traffic to the *sending* node.
-struct NetStats {
-  Counter messages;
-  Counter bytes;
-  std::vector<std::unique_ptr<Counter>> node_messages;
-  std::vector<std::unique_ptr<Counter>> node_bytes;
-
-  explicit NetStats(std::uint32_t nodes) {
-    node_messages.reserve(nodes);
-    node_bytes.reserve(nodes);
-    for (std::uint32_t i = 0; i < nodes; ++i) {
-      node_messages.push_back(std::make_unique<Counter>());
-      node_bytes.push_back(std::make_unique<Counter>());
-    }
-  }
-
-  void reset() {
-    messages.reset();
-    bytes.reset();
-    for (auto& c : node_messages) c->reset();
-    for (auto& c : node_bytes) c->reset();
-  }
-
-  double megabytes() const { return static_cast<double>(bytes.get()) / 1e6; }
-};
-
-class Network {
+class InProcTransport final : public ChannelTransport {
  public:
-  Network(std::uint32_t num_nodes, WireModel wire = {});
+  explicit InProcTransport(std::uint32_t num_nodes, WireModel wire = {});
 
-  Network(const Network&) = delete;
-  Network& operator=(const Network&) = delete;
-
-  std::uint32_t num_nodes() const { return num_nodes_; }
-
-  /// Sends `msg` to msg.dst on `port`.  Counts one message.  Thread-safe;
-  /// also callable from a SIGSEGV handler (the fault always originates in
-  /// application compute code, never inside the fabric itself).
-  void send(Port port, Message msg);
-
-  /// Blocking receive of the next delivered message for (node, port).
-  Message recv(Port port, NodeId node);
-
-  /// Non-blocking variant; returns nullopt when nothing has been delivered.
-  std::optional<Message> try_recv(Port port, NodeId node);
-
-  /// Blocking receive of the first delivered message on the reply port of
-  /// `node` whose request_id equals `request_id`.  Other messages remain
-  /// queued.  Only the owning compute thread may call this.
-  Message recv_reply(NodeId node, std::uint64_t request_id);
-
-  /// Allocates a request id unique within `node`.
-  std::uint64_t next_request_id(NodeId node);
-
-  /// Sends kControlStop to every service port (used at shutdown).
-  void stop_all_services();
-
-  NetStats& stats() { return stats_; }
-  const WireModel& wire() const { return wire_; }
+  void send(Port port, Message msg) override;
 
  private:
-  using Clock = std::chrono::steady_clock;
-
-  struct Channel {
-    std::mutex mu;
-    std::condition_variable cv;
-    struct Entry {
-      Message msg;
-      Clock::time_point deliver_at;
-    };
-    std::deque<Entry> q;
-    /// Lock-free arrival count, used by the spin phase of the receive
-    /// paths.  Thread wake-ups cost O(100us) on virtualized hosts, so
-    /// receivers spin briefly before blocking; this keeps the request/
-    /// response round trip in the tens of microseconds — the regime the
-    /// protocol was designed for.
-    std::atomic<std::uint32_t> size{0};
-  };
-
-  Channel& channel(Port port, NodeId node);
   Clock::time_point deliver_time(std::size_t payload_bytes);
 
-  const std::uint32_t num_nodes_;
-  const WireModel wire_;
-  NetStats stats_;
-  std::vector<std::unique_ptr<Channel>> channels_;  // [node * kNumPorts + port]
-  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> next_request_;
   std::mutex jitter_mu_;
   std::uint64_t jitter_state_;
 };
+
+/// Historical name of the in-process fabric, kept for existing call sites;
+/// new code should hold a net::Transport and use make_transport.
+using Network = InProcTransport;
 
 }  // namespace sdsm::net

@@ -1,0 +1,57 @@
+// Real-socket net::Transport: TCP over localhost with length-prefixed
+// framing (TransportKind::kSocket).
+//
+// Topology mirrors the paper's SP2 switch: every node holds one TCP
+// connection to a switch thread, which forwards frames to the destination
+// node's connection; a per-node demux thread parses inbound frames and
+// hands them to the shared channel machinery, so the receive-side
+// semantics (FIFO per channel, reply matching, split-phase wait/poll) are
+// identical to the in-process fabric.  What changes is the cost: every
+// message pays real syscall, loopback-TCP, and scheduling latency, so the
+// wire cost is *measured* rather than simulated — the WireModel passed at
+// construction is deliberately ignored.
+//
+// Frame layout (native byte order; all nodes share one architecture, as
+// on the SP2):
+//   u32 frame_len   bytes that follow this field (24 + payload size)
+//   u32 type | u32 src | u32 dst | u32 port | u64 request_id
+//   u8  payload[frame_len - 24]
+//
+// Thread/safety contract: identical to the interface contract in
+// transport.hpp.  send() performs a mutexed write on the sending node's
+// socket; the SIGSEGV-handler argument holds because a compute thread
+// never faults while inside fabric code, so it can never observe its own
+// send mutex held.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/net/channel_transport.hpp"
+
+namespace sdsm::net {
+
+class SocketTransport final : public ChannelTransport {
+ public:
+  /// Establishes the localhost TCP mesh (one connection per node to the
+  /// switch) and starts the switch + demux threads.  `wire` is accepted
+  /// for interface uniformity and ignored: socket wire cost is real.
+  explicit SocketTransport(std::uint32_t num_nodes, WireModel wire = {});
+  ~SocketTransport() override;
+
+  void send(Port port, Message msg) override;
+
+ private:
+  void switch_loop();
+  void demux_loop(NodeId node);
+
+  std::vector<int> node_fd_;    ///< node side of each connection
+  std::vector<int> switch_fd_;  ///< switch side of each connection
+  std::vector<std::unique_ptr<std::mutex>> send_mu_;  ///< per node_fd_ writes
+  std::thread switch_thread_;
+  std::vector<std::thread> demux_threads_;
+};
+
+}  // namespace sdsm::net

@@ -1,0 +1,41 @@
+// Tiny argv helper so every bench and example exposes the same
+// `--transport=inproc|socket` flag (see src/net/transport.hpp).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+#include "src/net/transport.hpp"
+
+namespace sdsm::net {
+
+/// Extracts `--transport=KIND` (or `--transport KIND`) from argv;
+/// `fallback` when the flag is absent.  Exits with a usage message on an
+/// unrecognized value, so a typo cannot silently bench the wrong fabric.
+inline TransportKind transport_from_args(
+    int argc, char** argv, TransportKind fallback = TransportKind::kInProc) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    std::string_view value;
+    if (arg.rfind("--transport=", 0) == 0) {
+      value = arg.substr(sizeof("--transport=") - 1);
+    } else if (arg == "--transport") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--transport needs a value (inproc|socket)\n");
+        std::exit(2);
+      }
+      value = argv[++i];
+    } else {
+      continue;
+    }
+    if (const auto kind = parse_transport(value)) return *kind;
+    std::fprintf(stderr,
+                 "unknown --transport value '%.*s' (expected inproc|socket)\n",
+                 static_cast<int>(value.size()), value.data());
+    std::exit(2);
+  }
+  return fallback;
+}
+
+}  // namespace sdsm::net

@@ -110,15 +110,30 @@ TEST(SpmvSeq, DeterministicAndStable) {
   EXPECT_LT(p.dt * apps::spmv::max_weighted_degree(p, edges), 1.0);
 }
 
-TEST(CrossBackend, SpmvParityOnAllBackends) {
+// The cross-backend parity suite runs under BOTH fabrics: identical
+// checksums and identical message counts whether the traffic rides the
+// in-process channels or real TCP sockets (the transports differ only in
+// what a message costs, never in what it carries).
+class CrossBackend : public ::testing::TestWithParam<net::TransportKind> {};
+
+INSTANTIATE_TEST_SUITE_P(BothTransports, CrossBackend,
+                         ::testing::Values(net::TransportKind::kInProc,
+                                           net::TransportKind::kSocket),
+                         [](const auto& info) {
+                           return std::string(net::transport_name(info.param));
+                         });
+
+TEST_P(CrossBackend, SpmvParityOnAllBackends) {
   apps::spmv::Params p;
   p.num_rows = 1024;
   p.edges_per_vertex = 4;
   p.num_steps = 6;
   p.nprocs = 4;
   const auto seq = apps::spmv::run_seq(p);
+  api::BackendOptions opts = apps::spmv::default_options();
+  opts.transport = GetParam();
   for (const Backend b : kAllBackends) {
-    const auto r = apps::spmv::run(b, p);
+    const auto r = apps::spmv::run(b, p, opts);
     EXPECT_TRUE(checksum_close(seq.checksum, r.checksum))
         << backend_name(b) << ": " << seq.checksum << " vs " << r.checksum;
     EXPECT_GT(r.messages, 0u) << backend_name(b);
@@ -126,7 +141,7 @@ TEST(CrossBackend, SpmvParityOnAllBackends) {
   }
 }
 
-TEST(CrossBackend, MoldynParityOnAllBackends) {
+TEST_P(CrossBackend, MoldynParityOnAllBackends) {
   apps::moldyn::Params p;
   p.num_molecules = 512;
   p.num_steps = 6;
@@ -138,11 +153,33 @@ TEST(CrossBackend, MoldynParityOnAllBackends) {
   const auto seq = apps::moldyn::run_seq(p, sys);
   api::BackendOptions opts = apps::moldyn::default_options();
   opts.region_bytes = 8u << 20;
+  opts.transport = GetParam();
   for (const Backend b : kAllBackends) {
     const auto r = apps::moldyn::run(b, p, sys, opts);
     EXPECT_TRUE(checksum_close(seq.checksum, r.checksum))
         << backend_name(b) << ": " << seq.checksum << " vs " << r.checksum;
     EXPECT_EQ(r.rebuilds, 2) << backend_name(b);  // steps=6, interval=3
+  }
+}
+
+TEST(CrossBackend, MessageCountsAgreeAcrossTransports) {
+  // Same kernel, same backend, both fabrics: the traffic must be
+  // identical message for message and byte for byte.
+  apps::spmv::Params p;
+  p.num_rows = 1024;
+  p.edges_per_vertex = 4;
+  p.num_steps = 4;
+  p.nprocs = 4;
+  for (const Backend b : kAllBackends) {
+    api::BackendOptions inproc = apps::spmv::default_options();
+    inproc.transport = net::TransportKind::kInProc;
+    api::BackendOptions socket = apps::spmv::default_options();
+    socket.transport = net::TransportKind::kSocket;
+    const auto ri = apps::spmv::run(b, p, inproc);
+    const auto rs = apps::spmv::run(b, p, socket);
+    EXPECT_EQ(ri.messages, rs.messages) << backend_name(b);
+    EXPECT_EQ(ri.megabytes, rs.megabytes) << backend_name(b);
+    EXPECT_TRUE(checksum_close(ri.checksum, rs.checksum)) << backend_name(b);
   }
 }
 
