@@ -1,7 +1,18 @@
-// The unified-API bench: every workload (moldyn, nbf, spmv) on every
-// backend through sdsm::api, one row per (workload, backend).  Alongside
-// the human table and CSV it writes BENCH_api.json — the machine-readable
-// perf trajectory successive PRs diff against (see bench/compare_bench.py).
+// The unified-API bench: every workload (moldyn, nbf, spmv, pagerank) on
+// every backend through sdsm::api, one row per (workload, backend).
+// Alongside the human table and CSV it writes BENCH_api.json — the
+// machine-readable perf trajectory successive PRs diff against (see
+// bench/compare_bench.py).  Rows carry the CSR shape columns (refs,
+// max_row) so degree skew — and what padding it would cost — is auditable
+// from the JSON alone.
+//
+// Two nbf groups quantify the variable-arity redesign: "nbf-var" runs the
+// deterministic variable-degree partner lists unpadded, "nbf-var padded"
+// runs the same physics the only way the former fixed-arity API allowed —
+// every row padded to the maximum with self references.  Both count their
+// one-time list costs (warmup_steps = 0), so the padded index array's
+// extra pages are visible in the message/byte columns, not hidden in an
+// untimed warmup.
 //
 // `--transport=inproc|socket` selects the fabric: the default in-process
 // channels keep the committed baseline comparable; the socket fabric
@@ -14,6 +25,7 @@
 #include "bench/bench_params.hpp"
 #include "src/apps/moldyn/moldyn_kernel.hpp"
 #include "src/apps/nbf/nbf_kernel.hpp"
+#include "src/apps/pagerank/pagerank.hpp"
 #include "src/apps/spmv/spmv.hpp"
 #include "src/harness/experiment.hpp"
 #include "src/net/transport_flag.hpp"
@@ -35,7 +47,7 @@ void add_rows(harness::Table& table, const char* group, double seq_seconds,
     table.add(harness::Row{group, api::backend_name(b), r.seconds,
                            harness::speedup(seq_seconds, r.seconds),
                            r.messages, r.megabytes, r.overhead_seconds, note,
-                           seq_seconds});
+                           seq_seconds, r.refs, r.max_row});
   }
 }
 
@@ -44,8 +56,8 @@ void add_rows(harness::Table& table, const char* group, double seq_seconds,
 int main(int argc, char** argv) {
   const net::TransportKind transport = net::transport_from_args(argc, argv);
   std::printf(
-      "sdsm::api backend sweep: 3 workloads x 3 backends, %u nodes, "
-      "%s transport.\n\n",
+      "sdsm::api backend sweep: 4 workloads (+ the nbf padded-vs-CSR "
+      "comparison) x 3 backends, %u nodes, %s transport.\n\n",
       bench::kNodes, net::transport_name(transport));
   harness::Table table("Unified API - all workloads x all backends");
 
@@ -75,6 +87,28 @@ int main(int argc, char** argv) {
              [&](api::Backend b) { return nbf::run(b, p, opts); });
   }
   {
+    // The variable-arity comparison: per-molecule partner counts in
+    // [8, 32], one-time list costs counted (warmup_steps = 0).
+    nbf::Params p;
+    p.molecules = 16384;
+    p.partners = 32;
+    p.min_partners = 8;
+    p.timed_steps = 10;
+    p.warmup_steps = 0;
+    p.nprocs = bench::kNodes;
+    const auto seq = nbf::run_seq(p);
+    api::BackendOptions opts = nbf::default_options();
+    opts.transport = transport;
+    add_rows(table, "nbf-var 16384x8..32", seq.seconds, seq.checksum,
+             [&](api::Backend b) {
+               return api::run_kernel(b, nbf::make_kernel(p), opts);
+             });
+    add_rows(table, "nbf-var 16384x8..32 padded", seq.seconds, seq.checksum,
+             [&](api::Backend b) {
+               return api::run_kernel(b, nbf::make_padded_kernel(p), opts);
+             });
+  }
+  {
     spmv::Params p;
     p.num_rows = 16384;
     p.edges_per_vertex = 8;
@@ -85,6 +119,18 @@ int main(int argc, char** argv) {
     opts.transport = transport;
     add_rows(table, "spmv 16384x8", seq.seconds, seq.checksum,
              [&](api::Backend b) { return spmv::run(b, p, opts); });
+  }
+  {
+    pagerank::Params p;
+    p.num_vertices = 16384;
+    p.edges_per_vertex = 8;
+    p.num_steps = 16;
+    p.nprocs = bench::kNodes;
+    const auto seq = pagerank::run_seq(p);
+    api::BackendOptions opts = pagerank::default_options();
+    opts.transport = transport;
+    add_rows(table, "pagerank 16384x8", seq.seconds, seq.checksum,
+             [&](api::Backend b) { return pagerank::run(b, p, opts); });
   }
 
   table.print(std::cout);

@@ -37,11 +37,13 @@ int main(int argc, char** argv) {
   spec.num_steps = 8;
   spec.warmup_steps = 1;     // one-time inspector / list scan lands here
   spec.update_interval = 0;  // static neighbour structure
-  spec.arity = kNeighbors;
   spec.max_items_per_node = kN / kNodes;
+  spec.max_refs_per_node = static_cast<std::int64_t>(kNeighbors) * kN / kNodes;
 
-  // Each owned element is one work item: itself plus three scattered
-  // neighbours (an irregular, statically known access pattern).
+  // Each owned element is one work item: a CSR row naming itself plus
+  // three scattered neighbours (an irregular, statically known access
+  // pattern).  Rows may be any length; this kernel's happen to be uniform,
+  // so finish_uniform derives the offsets.
   spec.build_items = [](api::IrregularNode& node, std::span<const double>) {
     const part::Range mine = part::block_partition(kN, kNodes)[node.id()];
     api::WorkItems items;
@@ -51,6 +53,7 @@ int main(int argc, char** argv) {
       items.refs.push_back((i * 13 + 5) % kN);
       items.refs.push_back((i + kN / 2) % kN);
     }
+    items.finish_uniform(kNeighbors);
     return items;
   };
 
@@ -58,9 +61,10 @@ int main(int argc, char** argv) {
   // each neighbour.  Indices are already localized by the backend.
   spec.compute = [](api::IrregularNode&, const api::KernelCtx<double>& ctx) {
     for (std::size_t k = 0; k < ctx.num_items(); ++k) {
-      const auto self = static_cast<std::size_t>(ctx.refs[k * ctx.arity]);
-      for (std::size_t j = 1; j < ctx.arity; ++j) {
-        const auto nb = static_cast<std::size_t>(ctx.refs[k * ctx.arity + j]);
+      const auto row = ctx.refs_of(k);
+      const auto self = static_cast<std::size_t>(row[0]);
+      for (std::size_t j = 1; j < row.size(); ++j) {
+        const auto nb = static_cast<std::size_t>(row[j]);
         const double d = 0.125 * (ctx.x[self] - ctx.x[nb]);
         ctx.f[self] -= d;
         ctx.f[nb] += d;

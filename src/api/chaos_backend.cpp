@@ -47,6 +47,8 @@ KernelResult ChaosBackend::run_impl(const KernelSpec<T>& spec) {
 
   std::vector<double> inspector_seconds(nprocs, 0.0);
   std::vector<std::int64_t> rebuilds(nprocs, 0);
+  std::vector<std::size_t> refs_built(nprocs, 0);
+  std::vector<std::size_t> max_row(nprocs, 0);
   std::vector<double> timed_seconds(nprocs, 0.0);
   std::vector<double> partial(nprocs, 0.0);
   std::atomic<std::uint64_t> msgs_start{0}, msgs_end{0};
@@ -66,6 +68,7 @@ KernelResult ChaosBackend::run_impl(const KernelSpec<T>& spec) {
 
     chaos::Schedule sched;
     std::vector<std::int32_t> localized;
+    std::vector<std::int64_t> row_offsets;
     std::vector<double> payload;
     std::vector<T> all_state;
 
@@ -101,17 +104,18 @@ KernelResult ChaosBackend::run_impl(const KernelSpec<T>& spec) {
       }
 
       WorkItems items = spec.build_items(node, view);
-      SDSM_REQUIRE(items.refs.size() % spec.arity == 0);
-      const std::size_t num_items = items.refs.size() / spec.arity;
-      // Same capacity contract the Tmk backends enforce: a spec must not
-      // pass on one backend and abort on another.
-      SDSM_REQUIRE(num_items <=
-                   static_cast<std::size_t>(spec.max_items_per_node));
-      SDSM_REQUIRE(items.payload.empty() ||
-                   items.payload.size() == num_items);
+      // Same CSR + capacity contract the Tmk backends enforce: a spec must
+      // not pass on one backend and abort on another.
+      const ItemsShape shape = spec.require_valid_items(items);
+      refs_built[me] = shape.num_refs;
+      max_row[me] = shape.max_row;
       payload = std::move(items.payload);
+      row_offsets = std::move(items.row_offsets);
 
-      // Inspector: schedule + localization from the referenced globals.
+      // Inspector: schedule + localization from the flattened row
+      // references — rows of any length land in the same duplicate
+      // elimination, translation lookups, and ghost-slot assignment, so
+      // variable-arity rows localize exactly like fixed-arity ones.
       chaos::InspectorStats istats;
       sched = chaos::build_schedule(cn, items.refs, table, &istats);
       inspector_seconds[me] += istats.seconds;
@@ -130,11 +134,11 @@ KernelResult ChaosBackend::run_impl(const KernelSpec<T>& spec) {
                        std::span<T>(x_all.data() + local_n, ghosts));
       std::fill(f_all.begin(), f_all.end(), T{});
       KernelCtx<T> ctx;
+      ctx.row_offsets = row_offsets;
       ctx.refs = localized;
       ctx.payload = payload;
       ctx.x = x_all;
       ctx.f = f_all;
-      ctx.arity = spec.arity;
       spec.compute(node, ctx);
       chaos::scatter<T>(cn, sched, std::span<T>(f_all.data(), local_n),
                         std::span<const T>(f_all.data() + local_n, ghosts),
@@ -180,6 +184,10 @@ KernelResult ChaosBackend::run_impl(const KernelSpec<T>& spec) {
   for (const double s : inspector_seconds) insp += s;
   res.overhead_seconds = insp / nprocs;
   res.rebuilds = rebuilds[0];
+  for (const std::size_t r : refs_built) res.refs += r;
+  for (const std::size_t m : max_row) {
+    res.max_row = std::max<std::uint64_t>(res.max_row, m);
+  }
   return res;
 }
 

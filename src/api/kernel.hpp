@@ -5,10 +5,18 @@
 //   x : T[num_elements]    state array, block-partitioned over the nodes
 //   f : T[num_elements]    per-step contribution (reduction) array
 //   items                  this node's slice of the indirection structure:
-//                          each item names `arity` global element indices
+//                          CSR rows — item i names the element indices
+//                          refs[row_offsets[i] .. row_offsets[i+1])
 //   compute                the per-step loop body: reads x at the item
 //                          references, accumulates into f at the same
 //   update                 the owner update x[i] op= f[i] after reduction
+//
+// Items are variable-arity: each row may name any number of element
+// references (a molecule's partner list, a vertex's out-edges, an edge's two
+// endpoints).  Fixed arity survives only as the degenerate uniform-offsets
+// case (WorkItems::finish_uniform), so edge-shaped kernels stay one-liners
+// while CSR workloads — per-vertex adjacency rows, variable-length partner
+// lists — need no padding.
 //
 // A KernelSpec describes that structure once; each backend executes it its
 // own way — demand paging (Tmk base), compiler-style Validate prefetch and
@@ -16,11 +24,14 @@
 // gather/scatter over ghost regions (CHAOS).  The body is written against
 // *localized* int32 references: global indices on the DSM backends, local +
 // ghost offsets on CHAOS — the remapping CHAOS performs is invisible to the
-// kernel author.
+// kernel author.  Row offsets are node-local positions into the refs span
+// and are identical on every backend.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <initializer_list>
 #include <span>
 #include <string>
 #include <vector>
@@ -44,25 +55,85 @@ class IrregularNode {
   virtual void barrier() = 0;
 };
 
-/// One node's work items, as produced by KernelSpec::build_items: a
-/// flattened item-major list of global element references (`arity` per
-/// item) plus an optional per-item scalar payload (e.g. an edge weight).
+/// One node's work items, as produced by KernelSpec::build_items: a CSR
+/// structure.  Row i references the global elements
+/// refs[row_offsets[i] .. row_offsets[i+1]), and may carry one scalar
+/// payload (e.g. an edge weight).  `row_offsets` has num_items()+1 entries
+/// starting at 0 and ending at refs.size(); an entirely empty WorkItems
+/// (both vectors empty) means zero items.
 struct WorkItems {
+  std::vector<std::int64_t> row_offsets;
   std::vector<std::int64_t> refs;
-  std::vector<double> payload;
+  std::vector<double> payload;  ///< optional, one entry per item
+
+  std::size_t num_items() const {
+    return row_offsets.size() <= 1 ? 0 : row_offsets.size() - 1;
+  }
+
+  /// Closes the current row: everything appended to `refs` since the last
+  /// end_row() (or since the start) becomes one item.  Rows may be empty.
+  void end_row() {
+    if (row_offsets.empty()) row_offsets.push_back(0);
+    row_offsets.push_back(static_cast<std::int64_t>(refs.size()));
+  }
+
+  /// Appends one complete row.
+  void push_row(std::span<const std::int64_t> row) {
+    refs.insert(refs.end(), row.begin(), row.end());
+    end_row();
+  }
+  void push_row(std::initializer_list<std::int64_t> row) {
+    push_row(std::span<const std::int64_t>(row.begin(), row.size()));
+  }
+
+  /// The degenerate fixed-arity case: `refs` was filled item-major with
+  /// exactly `arity` references per item; derive the uniform offsets.
+  /// Exclusive with push_row/end_row — mixing the two would silently
+  /// recompute the explicit rows' boundaries.
+  void finish_uniform(std::size_t arity) {
+    SDSM_REQUIRE_MSG(row_offsets.empty(),
+                     "WorkItems.finish_uniform: row_offsets already built");
+    SDSM_REQUIRE_MSG(arity > 0 && refs.size() % arity == 0,
+                     "WorkItems.finish_uniform: refs not a multiple of arity");
+    const std::size_t items = refs.size() / arity;
+    row_offsets.resize(items + 1);
+    for (std::size_t i = 0; i <= items; ++i) {
+      row_offsets[i] = static_cast<std::int64_t>(i * arity);
+    }
+  }
+};
+
+/// Shape summary of a validated WorkItems (see
+/// KernelSpec::require_valid_items).
+struct ItemsShape {
+  std::size_t num_items = 0;
+  std::size_t num_refs = 0;
+  std::size_t max_row = 0;  ///< longest row, in references
 };
 
 /// Everything the per-step body sees.  All references are localized by the
-/// backend; the body must index `x` and `f` only through `refs`.
+/// backend; the body must index `x` and `f` only through `refs` /
+/// `refs_of`.  Row offsets are positions into `refs` and are
+/// backend-independent.
 template <typename T>
 struct KernelCtx {
-  std::span<const std::int32_t> refs;  ///< localized, item-major
-  std::span<const double> payload;     ///< per-item payload (may be empty)
-  std::span<const T> x;                ///< state, indexed by localized ref
-  std::span<T> f;                      ///< accumulator, same indexing
-  std::size_t arity = 0;
+  std::span<const std::int64_t> row_offsets;  ///< num_items()+1 entries
+  std::span<const std::int32_t> refs;         ///< localized, row-major
+  std::span<const double> payload;  ///< per-item payload (may be empty)
+  std::span<const T> x;             ///< state, indexed by localized ref
+  std::span<T> f;                   ///< accumulator, same indexing
 
-  std::size_t num_items() const { return arity == 0 ? 0 : refs.size() / arity; }
+  std::size_t num_items() const {
+    return row_offsets.size() <= 1 ? 0 : row_offsets.size() - 1;
+  }
+  std::size_t row_size(std::size_t i) const {
+    return static_cast<std::size_t>(row_offsets[i + 1] - row_offsets[i]);
+  }
+  /// The localized references of item i.
+  std::span<const std::int32_t> refs_of(std::size_t i) const {
+    return refs.subspan(static_cast<std::size_t>(row_offsets[i]),
+                        row_size(i));
+  }
 };
 
 /// The kernel description — the single thing an application writes.
@@ -83,8 +154,8 @@ struct KernelSpec {
   /// structure is static and built once before the first step.
   int update_interval = 0;
 
-  std::size_t arity = 0;                ///< global references per item
-  std::int64_t max_items_per_node = 0;  ///< capacity bound for the backends
+  std::int64_t max_items_per_node = 0;  ///< row-count bound for the backends
+  std::int64_t max_refs_per_node = 0;   ///< flattened-reference bound
   /// True when build_items reads the current state (all_x): the backends
   /// then materialize a coherent global view first (Validate prefetch /
   /// allgather).  Static structures leave it false.
@@ -118,7 +189,10 @@ struct KernelSpec {
     SDSM_REQUIRE(owner_range.size() == nprocs);
     SDSM_REQUIRE(initial_state.size() ==
                  static_cast<std::size_t>(num_elements));
-    SDSM_REQUIRE(arity > 0 && max_items_per_node > 0);
+    SDSM_REQUIRE_MSG(max_items_per_node > 0,
+                     "KernelSpec.max_items_per_node: must be positive");
+    SDSM_REQUIRE_MSG(max_refs_per_node > 0,
+                     "KernelSpec.max_refs_per_node: must be positive");
     SDSM_REQUIRE(num_elements < INT32_MAX);  // refs localize to int32
     SDSM_REQUIRE(build_items && compute && checksum);
     std::int64_t covered = 0;
@@ -127,6 +201,55 @@ struct KernelSpec {
       covered = r.end;
     }
     SDSM_REQUIRE(covered == num_elements);
+  }
+
+  /// Validates one node's WorkItems against the CSR invariants and this
+  /// spec's capacity contract, naming the violating field on failure.
+  /// Every backend calls this on every build_items result, so a spec that
+  /// passes on one backend can never abort on another.  Normalizes the
+  /// zero-item case: empty row_offsets (legal only with empty refs)
+  /// becomes {0}, so downstream KernelCtx spans always carry
+  /// num_items()+1 entries.
+  ItemsShape require_valid_items(WorkItems& items) const {
+    ItemsShape shape;
+    shape.num_refs = items.refs.size();
+    if (items.row_offsets.empty()) {
+      SDSM_REQUIRE_MSG(items.refs.empty(),
+                       "WorkItems.row_offsets: empty but refs is not");
+      SDSM_REQUIRE_MSG(items.payload.empty(),
+                       "WorkItems.payload: must be empty or one entry per "
+                       "item (not per ref)");
+      items.row_offsets.push_back(0);
+      return shape;
+    }
+    SDSM_REQUIRE_MSG(items.row_offsets.front() == 0,
+                     "WorkItems.row_offsets: must start at 0");
+    SDSM_REQUIRE_MSG(items.row_offsets.back() ==
+                         static_cast<std::int64_t>(items.refs.size()),
+                     "WorkItems.row_offsets: must end at refs.size()");
+    shape.num_items = items.row_offsets.size() - 1;
+    for (std::size_t i = 0; i < shape.num_items; ++i) {
+      SDSM_REQUIRE_MSG(items.row_offsets[i] <= items.row_offsets[i + 1],
+                       "WorkItems.row_offsets: not monotone");
+      shape.max_row = std::max(
+          shape.max_row, static_cast<std::size_t>(items.row_offsets[i + 1] -
+                                                  items.row_offsets[i]));
+    }
+    SDSM_REQUIRE_MSG(
+        shape.num_items <= static_cast<std::size_t>(max_items_per_node),
+        "WorkItems.row_offsets: more items than max_items_per_node");
+    SDSM_REQUIRE_MSG(
+        shape.num_refs <= static_cast<std::size_t>(max_refs_per_node),
+        "WorkItems.refs: more references than max_refs_per_node");
+    SDSM_REQUIRE_MSG(
+        items.payload.empty() || items.payload.size() == shape.num_items,
+        "WorkItems.payload: must be empty or one entry per item (not per "
+        "ref)");
+    for (const std::int64_t g : items.refs) {
+      SDSM_REQUIRE_MSG(g >= 0 && g < num_elements,
+                       "WorkItems.refs: reference outside [0, num_elements)");
+    }
+    return shape;
   }
 };
 
@@ -153,12 +276,19 @@ struct KernelResult {
   /// inspector time on CHAOS, Read_indices scan time on Tmk.
   double overhead_seconds = 0;
   std::int64_t rebuilds = 0;  ///< item-list rebuilds (= inspector runs)
+  /// Shape of the last-built structure, summed/maxed over nodes: total
+  /// flattened references and the longest row — the degree-skew audit
+  /// trail for CSR workloads.
+  std::uint64_t refs = 0;
+  std::uint64_t max_row = 0;
   TmkCounters tmk;
 };
 
 /// Owner of global element g under a contiguous partition (binary search).
 inline NodeId owner_of(const std::vector<part::Range>& owner_range,
                        std::int64_t g) {
+  SDSM_REQUIRE_MSG(!owner_range.empty(),
+                   "owner_of: empty owner_range has no owner");
   std::size_t lo = 0, hi = owner_range.size() - 1;
   while (lo < hi) {
     const std::size_t mid = (lo + hi) / 2;

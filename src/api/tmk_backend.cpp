@@ -25,24 +25,26 @@ constexpr std::uint32_t kSchedUpdateRead = 2000;
 constexpr std::uint32_t kSchedUpdateWrite = 2001;
 
 // The generic irregular kernel in the repository's mini-Fortran.  Every
-// KernelSpec has this shape: per item (column I of LIST), K references
-// select the X elements read and the F elements reduced into.  Running it
-// through the real front-end — parse, section analysis, reduction
-// privatization, Validate insertion — reproduces the paper's tool path for
-// every workload; only the bindings (array addresses, K, per-node bounds)
-// differ per kernel and per node.
+// KernelSpec has this shape: the node's CSR rows are concatenated into its
+// slice of the shared flat index array LIST, so one offset-driven scan
+// J = MY_REF_START .. MY_REF_END walks every reference of every row —
+// rows of any length, no K stride, no padding.  Running it through the
+// real front-end — parse, section analysis, reduction privatization,
+// Validate insertion — reproduces the paper's tool path for every
+// workload; only the bindings (array addresses, per-node ref bounds)
+// differ per kernel and per node.  Row boundaries are irrelevant to the
+// communication set (they partition the same references), so they stay in
+// the node-private row_offsets the C++ body receives.
 constexpr const char* kIrregularKernelSource =
     "SUBROUTINE IRREGULARKERNEL\n"
     "  SHARED REAL X(N), F(N)\n"
-    "  SHARED INTEGER LIST(K, M)\n"
-    "  INTEGER I, J, Q\n"
+    "  SHARED INTEGER LIST(L)\n"
+    "  INTEGER J, Q\n"
     "  REAL D\n"
-    "DO I = MY_START, MY_END\n"
-    "  DO J = 1, K\n"
-    "    Q = LIST(J, I)\n"
-    "    D = X(Q)\n"
-    "    F(Q) = F(Q) + D\n"
-    "  ENDDO\n"
+    "DO J = MY_REF_START, MY_REF_END\n"
+    "  Q = LIST(J)\n"
+    "  D = X(Q)\n"
+    "  F(Q) = F(Q) + D\n"
     "ENDDO\n"
     "END\n";
 
@@ -89,38 +91,34 @@ KernelResult TmkBackend::run_impl(const KernelSpec<T>& spec) {
   auto x = rt.alloc_global<T>(n);
   auto f = rt.alloc_global<T>(n);
 
-  // Per-node slice of the shared indirection list: int32 refs, item-major.
-  // Page-aligned so one node's WRITE_ALL rebuild never ships a page
-  // carrying a neighbour's items, and a whole number of items per slice so
-  // the compiled LIST(K, M) binding sees every slice start on an item
-  // column.
+  // Per-node slice of the shared flat index array: int32 refs, each node's
+  // CSR rows concatenated.  Page-aligned so one node's WRITE_ALL rebuild
+  // never ships a page carrying a neighbour's references; sized by the
+  // declared reference capacity, not items * max-arity — the unpadded CSR
+  // footprint is exactly what variable-length rows save.
   const std::size_t page_ints = rt.node(0).page_size() / sizeof(std::int32_t);
-  std::size_t slice_ints =
-      (spec.arity * static_cast<std::size_t>(spec.max_items_per_node) +
-       page_ints - 1) /
+  const std::size_t slice_ints =
+      (static_cast<std::size_t>(spec.max_refs_per_node) + page_ints - 1) /
       page_ints * page_ints;
-  while (slice_ints % spec.arity != 0) slice_ints += page_ints;
-  const std::size_t slice_items = slice_ints / spec.arity;
   auto list = rt.alloc_global<std::int32_t>(slice_ints * nprocs);
 
   const rsd::ArrayLayout x_layout{{spec.num_elements}, true};
-  const rsd::ArrayLayout list_flat{
+  const rsd::ArrayLayout list_layout{
       {static_cast<std::int64_t>(slice_ints * nprocs)}, true};
   compiler::Bindings bindings;
   bindings["X"] = compiler::ArrayBinding{x.addr, sizeof(T), x_layout};
   bindings["F"] = compiler::ArrayBinding{f.addr, sizeof(T), x_layout};
-  bindings["LIST"] = compiler::ArrayBinding{
-      list.addr, sizeof(std::int32_t),
-      rsd::ArrayLayout{{static_cast<std::int64_t>(spec.arity),
-                        static_cast<std::int64_t>(slice_items * nprocs)},
-                       true}};
+  bindings["LIST"] =
+      compiler::ArrayBinding{list.addr, sizeof(std::int32_t), list_layout};
 
   struct PerNode {
     std::vector<T> accum;  ///< private full-size reduction array (the
                            ///< memory cost the paper notes for Tmk)
+    std::vector<std::int64_t> row_offsets;
     std::vector<double> payload;
     std::vector<bool> touches;  ///< chunks this node's items reference
-    std::size_t items = 0;
+    std::size_t refs = 0;       ///< flattened references this rebuild
+    std::size_t max_row = 0;
     std::int64_t rebuilds = 0;
     double checksum = 0;
   };
@@ -146,8 +144,8 @@ KernelResult TmkBackend::run_impl(const KernelSpec<T>& spec) {
     st.accum.resize(n);
     st.touches.resize(nprocs);
     TmkIrregularNode node(self);
-    const std::int64_t my_col0 =
-        static_cast<std::int64_t>(me) * static_cast<std::int64_t>(slice_items);
+    const std::int64_t my_ref0 =
+        static_cast<std::int64_t>(me) * static_cast<std::int64_t>(slice_ints);
 
     for (int s = 0; s < steps; ++s) {
       const int global_step = steps_done + s;
@@ -161,18 +159,15 @@ KernelResult TmkBackend::run_impl(const KernelSpec<T>& spec) {
                              .read()});
         }
         WorkItems items = spec.build_items(node, std::span<const T>(xp, n));
-        SDSM_REQUIRE(items.refs.size() % spec.arity == 0);
-        st.items = items.refs.size() / spec.arity;
-        // The declared capacity, not the page-rounded slice_items: the
-        // contract must bind identically on every backend.
-        SDSM_REQUIRE(st.items <=
-                     static_cast<std::size_t>(spec.max_items_per_node));
-        SDSM_REQUIRE(items.payload.empty() ||
-                     items.payload.size() == st.items);
+        const ItemsShape shape = spec.require_valid_items(items);
+        st.refs = shape.num_refs;
+        st.max_row = shape.max_row;
         if (optimized_) {
           // The whole slice is rewritten: whole-page shipping, no twins.
+          // Declaring the write also notifies any schedule watching these
+          // indirection pages, exactly as a faulting write would.
           self.validate(
-              {core::DescriptorBuilder::array(list, list_flat)
+              {core::DescriptorBuilder::array(list, list_layout)
                    .elements(static_cast<std::int64_t>(me * slice_ints),
                              static_cast<std::int64_t>((me + 1) * slice_ints) -
                                  1)
@@ -182,10 +177,10 @@ KernelResult TmkBackend::run_impl(const KernelSpec<T>& spec) {
         std::fill(st.touches.begin(), st.touches.end(), false);
         for (std::size_t k = 0; k < items.refs.size(); ++k) {
           const std::int64_t g = items.refs[k];
-          SDSM_ASSERT(g >= 0 && g < spec.num_elements);
           lp[k] = static_cast<std::int32_t>(g);
           st.touches[owner_of(spec.owner_range, g)] = true;
         }
+        st.row_offsets = std::move(items.row_offsets);
         st.payload = std::move(items.payload);
         ++st.rebuilds;
         self.barrier();
@@ -194,20 +189,22 @@ KernelResult TmkBackend::run_impl(const KernelSpec<T>& spec) {
       // The compute loop (the compiled kernel), accumulating privately.
       std::fill(st.accum.begin(), st.accum.end(), T{});
       if (optimized_) {
+        // Offset-driven bounds: this node's rows occupy the flat range
+        // [my_ref0, my_ref0 + refs) of LIST, whatever their lengths
+        // (1-based inclusive in the mini-Fortran; empty when refs == 0).
         const compiler::Env env{
-            {"K", static_cast<long long>(spec.arity)},
-            {"MY_START", static_cast<long long>(my_col0) + 1},
-            {"MY_END", static_cast<long long>(my_col0) +
-                           static_cast<long long>(st.items)}};
+            {"MY_REF_START", static_cast<long long>(my_ref0) + 1},
+            {"MY_REF_END", static_cast<long long>(my_ref0) +
+                               static_cast<long long>(st.refs)}};
         self.validate(
             compiler::lower_validate(compiled_validate_stmt(), bindings, env));
       }
       KernelCtx<T> ctx;
-      ctx.refs = std::span<const std::int32_t>(lp, spec.arity * st.items);
+      ctx.row_offsets = std::span<const std::int64_t>(st.row_offsets);
+      ctx.refs = std::span<const std::int32_t>(lp, st.refs);
       ctx.payload = std::span<const double>(st.payload);
       ctx.x = std::span<const T>(xp, n);
       ctx.f = std::span<T>(st.accum);
-      ctx.arity = spec.arity;
       spec.compute(node, ctx);
 
       // Pipelined update of the shared reduction array in nprocs rounds:
@@ -290,7 +287,11 @@ KernelResult TmkBackend::run_impl(const KernelSpec<T>& spec) {
       (warm_scan_s + static_cast<double>(rt.stats().scan_ns.get()) / 1e9) /
       nprocs;
   res.rebuilds = state[0].rebuilds;
-  for (const PerNode& st : state) res.checksum += st.checksum;
+  for (const PerNode& st : state) {
+    res.checksum += st.checksum;
+    res.refs += st.refs;
+    res.max_row = std::max<std::uint64_t>(res.max_row, st.max_row);
+  }
   res.tmk.validate_calls = rt.stats().validate_calls.get();
   res.tmk.validate_recomputes = rt.stats().validate_recomputes.get();
   res.tmk.read_faults = rt.stats().read_faults.get();

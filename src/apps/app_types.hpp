@@ -1,14 +1,34 @@
-// Shared types for the evaluation applications (moldyn, nbf, spmv).
+// Shared types for the evaluation applications (moldyn, nbf, spmv,
+// pagerank).
 #pragma once
 
 #include <cmath>
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "src/common/vec.hpp"
 
 namespace sdsm::apps {
 
 using sdsm::double3;
+
+/// A CSR structure over int32 element ids: row i's values are
+/// values[offsets[i] .. offsets[i+1]).  The one shape every variable-arity
+/// application structure shares (nbf partner lists, pagerank adjacency).
+struct Csr {
+  std::vector<std::int64_t> offsets;  ///< rows() + 1 entries
+  std::vector<std::int32_t> values;
+
+  std::size_t rows() const {
+    return offsets.size() <= 1 ? 0 : offsets.size() - 1;
+  }
+  std::span<const std::int32_t> row(std::size_t i) const {
+    const auto lo = static_cast<std::size_t>(offsets[i]);
+    return std::span<const std::int32_t>(values).subspan(
+        lo, static_cast<std::size_t>(offsets[i + 1]) - lo);
+  }
+};
 
 /// Result of one sequential reference run; the fields mirror the columns
 /// the paper reports plus the checksum used for cross-variant validation.

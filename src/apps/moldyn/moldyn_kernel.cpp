@@ -13,16 +13,18 @@ api::KernelSpec<double3> make_kernel(const Params& p, const System& sys) {
   spec.num_steps = p.num_steps;
   spec.warmup_steps = 0;  // the paper times the rebuilds too (Table 1)
   spec.update_interval = p.update_interval;
-  spec.arity = 2;
   spec.rebuild_reads_state = true;  // pairs come from current positions
 
   // Capacity: the initial interaction list plus 25% headroom for drift.
+  // Pairs are uniform two-reference rows, so the ref bound is 2x the item
+  // bound.
   {
     const auto groups = build_pairs(p, sys, sys.pos0);
     std::size_t max_pairs = 16;
     for (const auto& g : groups) max_pairs = std::max(max_pairs, g.size());
     spec.max_items_per_node =
         static_cast<std::int64_t>(max_pairs + max_pairs / 4);
+    spec.max_refs_per_node = 2 * spec.max_items_per_node;
   }
 
   spec.build_items = [p, sys](api::IrregularNode& node,
@@ -35,13 +37,15 @@ api::KernelSpec<double3> make_kernel(const Params& p, const System& sys) {
       items.refs.push_back(pr.a);
       items.refs.push_back(pr.b);
     }
+    items.finish_uniform(2);
     return items;
   };
 
   spec.compute = [](api::IrregularNode&, const api::KernelCtx<double3>& ctx) {
     for (std::size_t k = 0; k < ctx.num_items(); ++k) {
-      const auto a = static_cast<std::size_t>(ctx.refs[2 * k]);
-      const auto b = static_cast<std::size_t>(ctx.refs[2 * k + 1]);
+      const auto pair = ctx.refs_of(k);
+      const auto a = static_cast<std::size_t>(pair[0]);
+      const auto b = static_cast<std::size_t>(pair[1]);
       const double3 fk = pair_force(ctx.x[a], ctx.x[b]);
       ctx.f[a] += fk;
       ctx.f[b] -= fk;

@@ -22,13 +22,27 @@ std::int32_t partner_of(const Params& p, std::int64_t i, int j) {
   return static_cast<std::int32_t>((i + offset) % p.molecules);
 }
 
-std::vector<std::int32_t> build_partner_list(const Params& p) {
-  std::vector<std::int32_t> list(
-      static_cast<std::size_t>(p.molecules) * p.partners);
+int partner_count(const Params& p, std::int64_t i) {
+  SDSM_REQUIRE(p.min_partners < 0 ||
+               (p.min_partners >= 1 && p.min_partners <= p.partners));
+  if (p.min_partners < 0 || p.min_partners == p.partners) return p.partners;
+  // Deterministic per-molecule degree, decorrelated from the index so
+  // block partitions see the full spread.
+  SplitMix64 sm(static_cast<std::uint64_t>(i) * 0x9e3779b97f4a7c15ull + 1);
+  const auto span = static_cast<std::uint64_t>(p.partners - p.min_partners + 1);
+  return p.min_partners + static_cast<int>(sm.next() % span);
+}
+
+PartnerList build_partner_list(const Params& p) {
+  PartnerList list;
+  list.offsets.reserve(static_cast<std::size_t>(p.molecules) + 1);
+  list.offsets.push_back(0);
   for (std::int64_t i = 0; i < p.molecules; ++i) {
-    for (int j = 0; j < p.partners; ++j) {
-      list[static_cast<std::size_t>(i) * p.partners + j] = partner_of(p, i, j);
+    const int count = partner_count(p, i);
+    for (int j = 0; j < count; ++j) {
+      list.values.push_back(partner_of(p, i, j));
     }
+    list.offsets.push_back(static_cast<std::int64_t>(list.values.size()));
   }
   return list;
 }
@@ -54,17 +68,35 @@ AppRunResult run_seq(const Params& p) {
   std::vector<double> forces(x.size());
   const auto list = build_partner_list(p);
 
+  // The uniform configuration keeps the dense i*partners+j indexing: the
+  // compiler vectorizes it, and the sequential baseline is the denominator
+  // of every reported speedup, so it must not regress when the structure
+  // happens to be regular.  Variable-degree lists walk the CSR rows.
+  const bool uniform = p.min_partners < 0 || p.min_partners == p.partners;
+  auto apply_pair = [&](std::size_t i, std::size_t q) {
+    // The GROMOS kernel shape: update both the molecule and its partner
+    // from their separation.
+    const double d = pair_force(x[i], x[q]);
+    forces[i] += d;
+    forces[q] -= d;
+  };
   auto step_fn = [&] {
     std::fill(forces.begin(), forces.end(), 0.0);
-    for (std::int64_t i = 0; i < p.molecules; ++i) {
-      for (int j = 0; j < p.partners; ++j) {
-        const auto q = static_cast<std::size_t>(
-            list[static_cast<std::size_t>(i) * p.partners + j]);
-        // The GROMOS kernel shape: update both the molecule and its
-        // partner from their separation.
-        const double d = pair_force(x[static_cast<std::size_t>(i)], x[q]);
-        forces[static_cast<std::size_t>(i)] += d;
-        forces[q] -= d;
+    if (uniform) {
+      for (std::int64_t i = 0; i < p.molecules; ++i) {
+        for (int j = 0; j < p.partners; ++j) {
+          apply_pair(static_cast<std::size_t>(i),
+                     static_cast<std::size_t>(
+                         list.values[static_cast<std::size_t>(i) * p.partners +
+                                     j]));
+        }
+      }
+    } else {
+      for (std::int64_t i = 0; i < p.molecules; ++i) {
+        for (const std::int32_t q : list.row(static_cast<std::size_t>(i))) {
+          apply_pair(static_cast<std::size_t>(i),
+                     static_cast<std::size_t>(q));
+        }
       }
     }
     for (std::size_t i = 0; i < x.size(); ++i) x[i] += forces[i] * p.dt;

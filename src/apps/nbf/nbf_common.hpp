@@ -2,10 +2,13 @@
 // of the paper).
 //
 // Unlike moldyn, each molecule keeps a *static* list of partners,
-// concatenated per molecule (partners(j, i) = j-th partner of molecule i).
-// Each molecule is a single double; each has the same number of partners,
-// spread evenly over about 2/3 of the index space with ~4% spacing — the
-// structural parameters the paper states.  A BLOCK partition balances the
+// concatenated per molecule in CSR form.  Each molecule is a single
+// double; partners are spread evenly over about 2/3 of the index space
+// with ~4% spacing — the structural parameters the paper states.  The
+// paper's configuration gives every molecule the same number of partners
+// (the default here); `min_partners` opts into deterministic per-molecule
+// counts in [min_partners, partners], the variable-length rows real
+// GROMOS neighbour lists have.  A BLOCK partition balances the
 // load.  The paper's 64x1000 configuration misaligns the partition
 // boundaries with page boundaries to induce false sharing; the `molecules`
 // parameter controls that here the same way.
@@ -23,7 +26,14 @@ namespace sdsm::apps::nbf {
 
 struct Params {
   std::int64_t molecules = 16384;
-  int partners = 32;          ///< partners per molecule (paper: 100)
+  int partners = 32;          ///< max partners per molecule (paper: 100)
+  /// Minimum partners per molecule.  Negative (the default) means every
+  /// molecule keeps exactly `partners` partners — the paper's uniform
+  /// configuration.  A value in [1, partners] makes the per-molecule count
+  /// vary deterministically over [min_partners, partners]: the
+  /// variable-length partner lists that a fixed-arity item shape could
+  /// only express by padding every row to the maximum.
+  int min_partners = -1;
   double spread = 2.0 / 3.0;  ///< fraction of index space partners span
   int timed_steps = 10;       ///< paper: last 10 of 11 iterations timed
   int warmup_steps = 1;
@@ -45,8 +55,15 @@ inline double pair_force(double xi, double xq) {
 /// j-th partner of molecule i (0-based): deterministic, evenly spread.
 std::int32_t partner_of(const Params& p, std::int64_t i, int j);
 
-/// The full concatenated partner list, column-major [partners, molecules].
-std::vector<std::int32_t> build_partner_list(const Params& p);
+/// Number of partners molecule i keeps: `partners` in the uniform
+/// configuration, otherwise deterministic in [min_partners, partners].
+int partner_count(const Params& p, std::int64_t i);
+
+/// The concatenated partner lists in CSR form: molecule i's partners are
+/// the values of row i.  Uniform configurations yield uniform offsets
+/// (offsets[i] = i * partners).
+using PartnerList = Csr;
+PartnerList build_partner_list(const Params& p);
 
 /// Deterministic initial coordinates.
 std::vector<double> initial_coordinates(const Params& p);

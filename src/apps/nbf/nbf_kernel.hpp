@@ -1,10 +1,18 @@
 // NBF written once against sdsm::api.
 //
-// Each owned molecule is one work item referencing itself plus its static
-// partner list (arity = partners + 1).  The structure never changes
-// (update_interval = 0): CHAOS runs its inspector once, the optimized DSM
-// pays one Read_indices scan during the warmup step — the paper's Table 2
-// protocol.  Replaces the former nbf_tmk.cpp / nbf_chaos.cpp pair.
+// Each owned molecule is one work item: a CSR row referencing itself plus
+// its static partner list (1 + partner_count(i) references, unpadded).
+// The structure never changes (update_interval = 0): CHAOS runs its
+// inspector once, the optimized DSM pays one Read_indices scan during the
+// warmup step — the paper's Table 2 protocol.  Replaces the former
+// nbf_tmk.cpp / nbf_chaos.cpp pair.
+//
+// make_padded_kernel is the regression baseline for the CSR redesign: the
+// same physics expressed the only way the former fixed-arity API allowed —
+// every row padded to the maximum length with self-references (which
+// contribute exactly zero force, pair_force(x, x) == 0).  Checksums are
+// identical; the shared index array, and with it the one-time list traffic
+// on the DSM backends, is what padding costs.
 #pragma once
 
 #include "src/api/api.hpp"
@@ -13,6 +21,10 @@
 namespace sdsm::apps::nbf {
 
 api::KernelSpec<double> make_kernel(const Params& p);
+
+/// The fixed-arity emulation: rows padded to 1 + partners with
+/// self-references.  Same checksum as make_kernel; larger index footprint.
+api::KernelSpec<double> make_padded_kernel(const Params& p);
 
 /// Backend defaults for nbf: the replicated translation table fits (the
 /// paper used the non-replicated variant only for moldyn's footprint).

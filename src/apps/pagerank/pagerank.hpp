@@ -1,0 +1,68 @@
+// PageRank (push variant) over the synthetic power-law graph — the first
+// workload that *requires* variable-arity work items.
+//
+// Each vertex is one work item: a CSR row naming itself and its neighbours
+// in the preferential-attachment graph spmv builds (edges taken in both
+// directions).  Per step, vertex v pushes x[v] / degree(v) to every
+// neighbour; owners then apply the damped update
+// x[v] = (1 - d)/N + d * f[v].  Degrees follow a power law — a few hubs
+// with hundreds of neighbours, a long tail of degree-m vertices — so a
+// fixed-arity item shape would pad every row to the hub degree.  The
+// out-degree is recovered from the row length itself (row_size - 1): no
+// payload, no padding, no per-vertex metadata.
+//
+// This is the PGAS-style graph kernel of Rolinger et al.
+// (arXiv:2303.13954) expressed as one KernelSpec; the structure is static,
+// so CHAOS pays one inspector run and the optimized DSM one Read_indices
+// scan.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/api/api.hpp"
+#include "src/apps/app_types.hpp"
+#include "src/apps/spmv/spmv.hpp"
+
+namespace sdsm::apps::pagerank {
+
+struct Params {
+  std::int64_t num_vertices = 4096;
+  int edges_per_vertex = 4;  ///< preferential-attachment edges per vertex
+  int num_steps = 8;         ///< timed power iterations
+  int warmup_steps = 1;      ///< untimed (one-time inspector / list scan)
+  double damping = 0.85;
+  std::uint64_t seed = 7;
+  std::uint32_t nprocs = 8;
+};
+
+/// The undirected adjacency of the power-law graph in CSR form:
+/// neighbours of v are the values of row v.
+using Adjacency = Csr;
+Adjacency build_adjacency(const Params& p);
+
+/// Uniform initial mass 1/N per vertex.
+std::vector<double> initial_ranks(const Params& p);
+
+/// Order-insensitive digest of the rank vector.
+double rank_checksum(std::span<const double> x);
+
+/// Sequential reference (no runtime, no communication).
+AppRunResult run_seq(const Params& p);
+
+/// The rank vector run_seq ends with (warmup + timed steps), exposed for
+/// property tests (mass conservation, skew).
+std::vector<double> seq_ranks(const Params& p);
+
+/// The pagerank kernel for sdsm::api (adjacency built once and shared).
+api::KernelSpec<double> make_kernel(const Params& p);
+
+/// Backend defaults: one NodeId per vertex fits a replicated translation
+/// table, sparing the inspector lookup traffic.
+api::BackendOptions default_options();
+
+api::KernelResult run(api::Backend backend, const Params& p,
+                      const api::BackendOptions& options = default_options());
+
+}  // namespace sdsm::apps::pagerank

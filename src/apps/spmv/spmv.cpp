@@ -138,7 +138,6 @@ api::KernelSpec<double> make_kernel(const Params& p) {
   spec.num_steps = p.num_steps;
   spec.warmup_steps = p.warmup_steps;
   spec.update_interval = 0;
-  spec.arity = 2;
   spec.rebuild_reads_state = false;
 
   const auto owner_range = spec.owner_range;
@@ -151,6 +150,7 @@ api::KernelSpec<double> make_kernel(const Params& p) {
     for (const std::int64_t c : per_node) max_items = std::max(max_items, c);
   }
   spec.max_items_per_node = max_items;
+  spec.max_refs_per_node = 2 * max_items;  // uniform edge rows
 
   spec.build_items = [edges, owner_range](api::IrregularNode& node,
                                           std::span<const double>) {
@@ -161,13 +161,15 @@ api::KernelSpec<double> make_kernel(const Params& p) {
       items.refs.push_back(e.b);
       items.payload.push_back(e.w);
     }
+    items.finish_uniform(2);
     return items;
   };
 
   spec.compute = [](api::IrregularNode&, const api::KernelCtx<double>& ctx) {
     for (std::size_t k = 0; k < ctx.num_items(); ++k) {
-      const auto a = static_cast<std::size_t>(ctx.refs[2 * k]);
-      const auto b = static_cast<std::size_t>(ctx.refs[2 * k + 1]);
+      const auto edge = ctx.refs_of(k);
+      const auto a = static_cast<std::size_t>(edge[0]);
+      const auto b = static_cast<std::size_t>(edge[1]);
       apply_edge(ctx.payload[k], ctx.x[a], ctx.x[b], ctx.f[a], ctx.f[b]);
     }
   };

@@ -31,6 +31,14 @@ namespace sdsm {
   ((expr) ? static_cast<void>(0)                                          \
           : ::sdsm::assert_fail("precondition", #expr, __FILE__, __LINE__))
 
+// Precondition with a caller-supplied diagnosis.  `msg` must be a string
+// literal; it leads the failure output so the violated contract (e.g. which
+// WorkItems field is malformed) is readable without consulting the source.
+#define SDSM_REQUIRE_MSG(expr, msg)                                     \
+  ((expr) ? static_cast<void>(0)                                        \
+          : ::sdsm::assert_fail("precondition", msg " [" #expr "]",     \
+                                __FILE__, __LINE__))
+
 #define SDSM_ENSURE(expr)                                                  \
   ((expr) ? static_cast<void>(0)                                           \
           : ::sdsm::assert_fail("postcondition", #expr, __FILE__, __LINE__))

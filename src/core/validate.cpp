@@ -290,11 +290,21 @@ void DsmNode::validate(const std::vector<AccessDescriptor>& descs) {
   // Create_twins: preemptive write preparation, eliminating both the write
   // fault and (for whole-section writes) the twin copy.  Protection
   // upgrades are batched: one mprotect per run of contiguous pages.
+  // Declaring a write through Validate must behave like performing one: a
+  // watched indirection-array page flags its schedules here, because the
+  // protection upgrade below means the write itself will never trap (the
+  // modified(section) check of Figure 3 would otherwise miss rebuilds that
+  // rewrite the index array under a WRITE_ALL descriptor).
   std::vector<PageId> writable;
   for (std::size_t i = 0; i < descs.size(); ++i) {
     const AccessDescriptor& desc = descs[i];
     if (!writes(desc.access)) continue;
     for (const PageId page : desc_pages[i]) {
+      PageMeta& pm = pages_[page];
+      if (!pm.watchers.empty()) {
+        notice_watched_page(page);
+        pm.watchers.clear();
+      }
       const bool whole =
           whole_section_write(desc.access) &&
           std::binary_search(full_pages[i].begin(), full_pages[i].end(), page);

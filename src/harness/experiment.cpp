@@ -69,13 +69,14 @@ void Table::print(std::ostream& os) const {
 
 void Table::print_csv(std::ostream& os) const {
   os << "# csv: group,variant,seconds,speedup,seq_seconds,messages,"
-        "megabytes,overhead_seconds\n";
+        "megabytes,overhead_seconds,refs,max_row\n";
   for (const Row& r : rows_) {
     os << "# csv: " << r.group << ',' << r.variant << ',' << std::fixed
        << std::setprecision(6) << r.seconds << ',' << std::setprecision(3)
        << r.speedup << ',' << std::setprecision(6) << r.seq_seconds << ','
        << r.messages << ',' << std::setprecision(3) << r.megabytes << ','
-       << std::setprecision(6) << r.overhead_seconds << "\n";
+       << std::setprecision(6) << r.overhead_seconds << ',' << r.refs << ','
+       << r.max_row << "\n";
   }
 }
 
@@ -94,7 +95,8 @@ void Table::print_json(std::ostream& os) const {
        << ", \"seq_seconds\": " << std::setprecision(6) << r.seq_seconds
        << ", \"messages\": " << r.messages << ", \"megabytes\": "
        << std::setprecision(3) << r.megabytes << ", \"overhead_seconds\": "
-       << std::setprecision(6) << r.overhead_seconds << ", \"note\": ";
+       << std::setprecision(6) << r.overhead_seconds << ", \"refs\": "
+       << r.refs << ", \"max_row\": " << r.max_row << ", \"note\": ";
     json_string(os, r.note);
     os << "}";
   }

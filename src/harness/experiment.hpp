@@ -25,8 +25,15 @@ struct Row {
   /// The sequential baseline that `speedup` was computed against
   /// (speedup = seq_seconds / seconds).  Recorded per row so the
   /// denominator of every speedup in a bench JSON is auditable instead of
-  /// implied.  Last field so existing positional initializers stay valid.
+  /// implied.  Kept after `note` so existing positional initializers stay
+  /// valid.
   double seq_seconds = 0;
+  /// Shape of the workload's indirection structure (CSR rows): total
+  /// flattened references and the longest row.  Zero for rows that are not
+  /// kernel runs.  Recorded so degree skew — and what padding it would
+  /// cost a fixed-arity layout — is auditable from the bench JSON alone.
+  std::uint64_t refs = 0;
+  std::uint64_t max_row = 0;
 };
 
 class Table {

@@ -5,6 +5,7 @@
 
 #include "src/api/api.hpp"
 #include "src/apps/moldyn/moldyn_kernel.hpp"
+#include "src/apps/pagerank/pagerank.hpp"
 #include "src/apps/spmv/spmv.hpp"
 
 namespace sdsm::api {
@@ -141,6 +142,65 @@ TEST_P(CrossBackend, SpmvParityOnAllBackends) {
   }
 }
 
+TEST_P(CrossBackend, PageRankParityOnAllBackends) {
+  // The variable-degree CSR workload: per-vertex adjacency rows over the
+  // power-law graph, out-degree recovered from the row length.  Checksums
+  // must agree with the sequential reference on every backend; the degree
+  // skew must be visible in the audit columns (hub row far above the
+  // mean).
+  apps::pagerank::Params p;
+  p.num_vertices = 1024;
+  p.edges_per_vertex = 4;
+  p.num_steps = 6;
+  p.nprocs = 4;
+  const auto seq = apps::pagerank::run_seq(p);
+  api::BackendOptions opts = apps::pagerank::default_options();
+  opts.transport = GetParam();
+  for (const Backend b : kAllBackends) {
+    const auto r = apps::pagerank::run(b, p, opts);
+    EXPECT_TRUE(checksum_close(seq.checksum, r.checksum))
+        << backend_name(b) << ": " << seq.checksum << " vs " << r.checksum;
+    EXPECT_GT(r.messages, 0u) << backend_name(b);
+    EXPECT_EQ(r.rebuilds, 1) << backend_name(b);
+    // refs = vertices (self refs) + 2 * edges; rows average ~2*m+1 refs
+    // but the hubs are far longer.
+    EXPECT_GT(r.refs, static_cast<std::uint64_t>(p.num_vertices)) << backend_name(b);
+    EXPECT_GT(r.max_row, 5u * (static_cast<std::uint64_t>(p.edges_per_vertex) + 1))
+        << backend_name(b);
+  }
+}
+
+TEST(PageRank, MassIsConservedAndSkewed) {
+  apps::pagerank::Params p;
+  p.num_vertices = 2048;
+  p.nprocs = 2;
+  const auto adj = apps::pagerank::build_adjacency(p);
+  ASSERT_EQ(adj.offsets.size(), static_cast<std::size_t>(p.num_vertices) + 1);
+  EXPECT_EQ(adj.offsets.back(),
+            static_cast<std::int64_t>(adj.values.size()));
+  // Total rank mass stays 1 under the damped update (no sink loss in the
+  // undirected adjacency: every vertex with an edge pushes all its mass).
+  const auto ranks = apps::pagerank::seq_ranks(p);
+  double mass = 0;
+  for (const double r : ranks) mass += r;
+  EXPECT_NEAR(mass, 1.0, 1e-9);
+  // Power-law skew: the hub degree dwarfs the mean degree.
+  std::int64_t max_deg = 0;
+  for (std::int64_t v = 0; v < p.num_vertices; ++v) {
+    max_deg = std::max(max_deg, adj.offsets[static_cast<std::size_t>(v) + 1] -
+                                    adj.offsets[static_cast<std::size_t>(v)]);
+  }
+  const double mean_deg = static_cast<double>(adj.values.size()) /
+                          static_cast<double>(p.num_vertices);
+  EXPECT_GT(static_cast<double>(max_deg), 5.0 * mean_deg);
+  // And the hub's rank outruns the uniform share.
+  EXPECT_GT(*std::max_element(ranks.begin(), ranks.end()),
+            5.0 / static_cast<double>(p.num_vertices));
+  const auto seq_a = apps::pagerank::run_seq(p);
+  const auto seq_b = apps::pagerank::run_seq(p);
+  EXPECT_EQ(seq_a.checksum, seq_b.checksum);  // deterministic
+}
+
 TEST_P(CrossBackend, MoldynParityOnAllBackends) {
   apps::moldyn::Params p;
   p.num_molecules = 512;
@@ -177,6 +237,28 @@ TEST(CrossBackend, MessageCountsAgreeAcrossTransports) {
     socket.transport = net::TransportKind::kSocket;
     const auto ri = apps::spmv::run(b, p, inproc);
     const auto rs = apps::spmv::run(b, p, socket);
+    EXPECT_EQ(ri.messages, rs.messages) << backend_name(b);
+    EXPECT_EQ(ri.megabytes, rs.megabytes) << backend_name(b);
+    EXPECT_TRUE(checksum_close(ri.checksum, rs.checksum)) << backend_name(b);
+  }
+}
+
+TEST(CrossBackend, PageRankMessageCountsAgreeAcrossTransports) {
+  // The same exactness for the variable-degree CSR workload: hub-length
+  // rows and all, the fabric changes what a message costs, never what it
+  // carries.
+  apps::pagerank::Params p;
+  p.num_vertices = 1024;
+  p.edges_per_vertex = 4;
+  p.num_steps = 4;
+  p.nprocs = 4;
+  for (const Backend b : kAllBackends) {
+    api::BackendOptions inproc = apps::pagerank::default_options();
+    inproc.transport = net::TransportKind::kInProc;
+    api::BackendOptions socket = apps::pagerank::default_options();
+    socket.transport = net::TransportKind::kSocket;
+    const auto ri = apps::pagerank::run(b, p, inproc);
+    const auto rs = apps::pagerank::run(b, p, socket);
     EXPECT_EQ(ri.messages, rs.messages) << backend_name(b);
     EXPECT_EQ(ri.megabytes, rs.megabytes) << backend_name(b);
     EXPECT_TRUE(checksum_close(ri.checksum, rs.checksum)) << backend_name(b);

@@ -47,7 +47,8 @@ TEST(Harness, CsvEmitsOneLinePerRow) {
 
 TEST(Harness, JsonEmitsTitleAndOneObjectPerRow) {
   Table t("api bench");
-  t.add(Row{"g", "CHAOS", 1.5, 2.0, 10, 0.5, 0.1, "a \"quoted\" note"});
+  t.add(Row{"g", "CHAOS", 1.5, 2.0, 10, 0.5, 0.1, "a \"quoted\" note", 0.0,
+            123456, 777});
   t.add(Row{"g", "Tmk base", 2.5, 1.2, 99, 1.5, 0.0, ""});
   std::ostringstream os;
   t.print_json(os);
@@ -56,6 +57,10 @@ TEST(Harness, JsonEmitsTitleAndOneObjectPerRow) {
   EXPECT_NE(text.find("\"variant\": \"CHAOS\""), std::string::npos);
   EXPECT_NE(text.find("\"messages\": 99"), std::string::npos);
   EXPECT_NE(text.find("a \\\"quoted\\\" note"), std::string::npos);
+  // The CSR shape audit columns ride along (default 0 when not set).
+  EXPECT_NE(text.find("\"refs\": 123456"), std::string::npos);
+  EXPECT_NE(text.find("\"max_row\": 777"), std::string::npos);
+  EXPECT_NE(text.find("\"refs\": 0"), std::string::npos);
   int objects = 0;
   for (std::size_t i = 0; text.find("{\"group\"", i) != std::string::npos;
        i = text.find("{\"group\"", i) + 1) {

@@ -44,13 +44,38 @@ TEST(NbfCommon, PartnersAreSpreadAndInRange) {
 TEST(NbfCommon, PartnerListMatchesPartnerOf) {
   const Params p = small_params(2, 256);
   const auto list = build_partner_list(p);
-  ASSERT_EQ(list.size(), static_cast<std::size_t>(p.molecules) * p.partners);
+  // Uniform configuration: uniform offsets, dense layout preserved.
+  ASSERT_EQ(list.offsets.size(), static_cast<std::size_t>(p.molecules) + 1);
+  ASSERT_EQ(list.values.size(),
+            static_cast<std::size_t>(p.molecules) * p.partners);
   for (std::int64_t i = 0; i < p.molecules; i += 37) {
+    EXPECT_EQ(list.offsets[static_cast<std::size_t>(i)],
+              i * p.partners);
     for (int j = 0; j < p.partners; ++j) {
-      EXPECT_EQ(list[static_cast<std::size_t>(i) * p.partners + j],
+      EXPECT_EQ(list.values[static_cast<std::size_t>(i) * p.partners + j],
                 partner_of(p, i, j));
     }
   }
+}
+
+TEST(NbfCommon, VariablePartnerCountsAreDeterministicAndBounded) {
+  Params p = small_params(2, 512);
+  p.min_partners = 3;
+  const auto a = build_partner_list(p);
+  const auto b = build_partner_list(p);
+  EXPECT_EQ(a.offsets, b.offsets);
+  EXPECT_EQ(a.values, b.values);
+  bool any_below_max = false;
+  for (std::int64_t i = 0; i < p.molecules; ++i) {
+    const int c = partner_count(p, i);
+    EXPECT_GE(c, p.min_partners);
+    EXPECT_LE(c, p.partners);
+    EXPECT_EQ(a.offsets[static_cast<std::size_t>(i) + 1] -
+                  a.offsets[static_cast<std::size_t>(i)],
+              c);
+    any_below_max |= c < p.partners;
+  }
+  EXPECT_TRUE(any_below_max);  // the spread is actually used
 }
 
 TEST(NbfCommon, SequentialDeterministic) {
@@ -143,6 +168,58 @@ TEST(NbfChaos, ChecksumAgreesWithTmkVariants) {
   const auto ch = run(api::Backend::kChaos, p);
   const auto tk = run(api::Backend::kTmkOptimized, p, small_options());
   EXPECT_TRUE(checksum_close(ch.checksum, tk.checksum));
+}
+
+// --- Variable-length rows: the CSR port vs the padded fixed-arity baseline
+
+TEST(NbfCsr, VariableRowsMatchSequentialOnAllBackends) {
+  Params p = small_params(4);
+  p.min_partners = 2;  // rows vary over [3, 9] references
+  const auto seq = run_seq(p);
+  for (const api::Backend b : api::kAllBackends) {
+    const auto r = run(b, p, small_options());
+    EXPECT_TRUE(checksum_close(seq.checksum, r.checksum))
+        << api::backend_name(b) << ": " << seq.checksum << " vs "
+        << r.checksum;
+  }
+}
+
+TEST(NbfCsr, PaddedKernelComputesIdenticalChecksum) {
+  // Padding rows with self-references is numerically inert
+  // (pair_force(x, x) == 0): the padded emulation must agree with the
+  // unpadded kernel bit for bit, not just approximately.
+  Params p = small_params(2, 1024);
+  p.min_partners = 2;
+  const auto unpadded =
+      api::run_kernel(api::Backend::kChaos, make_kernel(p), small_options());
+  const auto padded = api::run_kernel(api::Backend::kChaos,
+                                      make_padded_kernel(p), small_options());
+  EXPECT_EQ(unpadded.checksum, padded.checksum);
+  EXPECT_LT(unpadded.refs, padded.refs);
+  EXPECT_EQ(padded.max_row, static_cast<std::uint64_t>(p.partners) + 1);
+  EXPECT_LE(unpadded.max_row, padded.max_row);
+}
+
+TEST(NbfCsr, UnpaddedListCostsNoMoreThanPaddedOnTmk) {
+  // With the one-time list costs in the counted window (warmup_steps = 0),
+  // the padded index array can only cost more: every page of it is written
+  // at the rebuild and scanned by Read_indices.  The x/f traffic is
+  // identical (self-padding adds no remote references), so byte counts
+  // must satisfy unpadded <= padded on both DSM backends.
+  Params p = small_params(4, 4096);
+  p.min_partners = 2;
+  p.warmup_steps = 0;
+  p.timed_steps = 3;
+  for (const api::Backend b :
+       {api::Backend::kTmkBase, api::Backend::kTmkOptimized}) {
+    const auto unpadded = api::run_kernel(b, make_kernel(p), small_options());
+    const auto padded =
+        api::run_kernel(b, make_padded_kernel(p), small_options());
+    EXPECT_TRUE(checksum_close(unpadded.checksum, padded.checksum))
+        << api::backend_name(b);
+    EXPECT_LE(unpadded.megabytes, padded.megabytes) << api::backend_name(b);
+    EXPECT_LE(unpadded.messages, padded.messages) << api::backend_name(b);
+  }
 }
 
 }  // namespace
