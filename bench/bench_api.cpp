@@ -35,19 +35,47 @@ namespace {
 using namespace sdsm;
 using namespace sdsm::apps;
 
-void add_rows(harness::Table& table, const char* group, double seq_seconds,
-              double seq_checksum,
-              const std::function<api::KernelResult(api::Backend)>& run_one) {
+void add_row(harness::Table& table, const char* group, api::Backend b,
+             double seq_seconds, double seq_checksum,
+             const api::BackendOptions& opts, const api::KernelResult& r) {
+  char note[96];
+  std::snprintf(note, sizeof(note), "checksum %s, %lld rebuilds",
+                checksum_close(seq_checksum, r.checksum) ? "OK" : "MISMATCH",
+                static_cast<long long>(r.rebuilds));
+  // The schedule column names the reduction-round engine; CHAOS has no
+  // notion of reduction rounds, so its rows carry "-".
+  const char* schedule = b == api::Backend::kChaos
+                             ? "-"
+                             : api::round_schedule_name(opts.round_schedule);
+  table.add(harness::Row{group, api::backend_name(b), r.seconds,
+                         harness::speedup(seq_seconds, r.seconds), r.messages,
+                         r.megabytes, r.overhead_seconds, note, seq_seconds,
+                         r.refs, r.max_row, schedule, r.barriers_per_step});
+}
+
+void add_rows(
+    harness::Table& table, const char* group, double seq_seconds,
+    double seq_checksum, const api::BackendOptions& opts,
+    const std::function<api::KernelResult(api::Backend)>& run_one) {
   for (const api::Backend b : api::kAllBackends) {
-    const auto r = run_one(b);
-    char note[96];
-    std::snprintf(note, sizeof(note), "checksum %s, %lld rebuilds",
-                  checksum_close(seq_checksum, r.checksum) ? "OK" : "MISMATCH",
-                  static_cast<long long>(r.rebuilds));
-    table.add(harness::Row{group, api::backend_name(b), r.seconds,
-                           harness::speedup(seq_seconds, r.seconds),
-                           r.messages, r.megabytes, r.overhead_seconds, note,
-                           seq_seconds, r.refs, r.max_row});
+    add_row(table, group, b, seq_seconds, seq_checksum, opts, run_one(b));
+  }
+}
+
+/// The tournament-schedule A/B rows: Tmk backends only (CHAOS ignores the
+/// schedule, so rerunning it would duplicate its serial row), cross-step
+/// prefetch on — traffic is provably identical with it off, and the bench
+/// exercises the full fused pipeline the rows exist to measure.
+void add_tournament_rows(
+    harness::Table& table, const char* group, double seq_seconds,
+    double seq_checksum, api::BackendOptions opts,
+    const std::function<api::KernelResult(api::Backend,
+                                          const api::BackendOptions&)>& run_one) {
+  opts.round_schedule = api::RoundSchedule::kTournament;
+  opts.cross_step_prefetch = true;
+  for (const api::Backend b :
+       {api::Backend::kTmkBase, api::Backend::kTmkOptimized}) {
+    add_row(table, group, b, seq_seconds, seq_checksum, opts, run_one(b, opts));
   }
 }
 
@@ -57,7 +85,8 @@ int main(int argc, char** argv) {
   const net::TransportKind transport = net::transport_from_args(argc, argv);
   std::printf(
       "sdsm::api backend sweep: 4 workloads (+ the nbf padded-vs-CSR "
-      "comparison) x 3 backends, %u nodes, %s transport.\n\n",
+      "comparison and the moldyn/pagerank tournament-schedule A/B) x 3 "
+      "backends, %u nodes, %s transport.\n\n",
       bench::kNodes, net::transport_name(transport));
   harness::Table table("Unified API - all workloads x all backends");
 
@@ -71,8 +100,13 @@ int main(int argc, char** argv) {
     const auto seq = moldyn::run_seq(p, sys);
     api::BackendOptions opts = moldyn::default_options();
     opts.transport = transport;
-    add_rows(table, "moldyn 4096x24", seq.seconds, seq.checksum,
+    add_rows(table, "moldyn 4096x24", seq.seconds, seq.checksum, opts,
              [&](api::Backend b) { return moldyn::run(b, p, sys, opts); });
+    add_tournament_rows(table, "moldyn 4096x24 tournament", seq.seconds,
+                        seq.checksum, opts,
+                        [&](api::Backend b, const api::BackendOptions& o) {
+                          return moldyn::run(b, p, sys, o);
+                        });
   }
   {
     nbf::Params p;
@@ -83,7 +117,7 @@ int main(int argc, char** argv) {
     const auto seq = nbf::run_seq(p);
     api::BackendOptions opts = nbf::default_options();
     opts.transport = transport;
-    add_rows(table, "nbf 16384x32", seq.seconds, seq.checksum,
+    add_rows(table, "nbf 16384x32", seq.seconds, seq.checksum, opts,
              [&](api::Backend b) { return nbf::run(b, p, opts); });
   }
   {
@@ -99,12 +133,12 @@ int main(int argc, char** argv) {
     const auto seq = nbf::run_seq(p);
     api::BackendOptions opts = nbf::default_options();
     opts.transport = transport;
-    add_rows(table, "nbf-var 16384x8..32", seq.seconds, seq.checksum,
+    add_rows(table, "nbf-var 16384x8..32", seq.seconds, seq.checksum, opts,
              [&](api::Backend b) {
                return api::run_kernel(b, nbf::make_kernel(p), opts);
              });
     add_rows(table, "nbf-var 16384x8..32 padded", seq.seconds, seq.checksum,
-             [&](api::Backend b) {
+             opts, [&](api::Backend b) {
                return api::run_kernel(b, nbf::make_padded_kernel(p), opts);
              });
   }
@@ -117,7 +151,7 @@ int main(int argc, char** argv) {
     const auto seq = spmv::run_seq(p);
     api::BackendOptions opts = spmv::default_options();
     opts.transport = transport;
-    add_rows(table, "spmv 16384x8", seq.seconds, seq.checksum,
+    add_rows(table, "spmv 16384x8", seq.seconds, seq.checksum, opts,
              [&](api::Backend b) { return spmv::run(b, p, opts); });
   }
   {
@@ -129,8 +163,13 @@ int main(int argc, char** argv) {
     const auto seq = pagerank::run_seq(p);
     api::BackendOptions opts = pagerank::default_options();
     opts.transport = transport;
-    add_rows(table, "pagerank 16384x8", seq.seconds, seq.checksum,
+    add_rows(table, "pagerank 16384x8", seq.seconds, seq.checksum, opts,
              [&](api::Backend b) { return pagerank::run(b, p, opts); });
+    add_tournament_rows(table, "pagerank 16384x8 tournament", seq.seconds,
+                        seq.checksum, opts,
+                        [&](api::Backend b, const api::BackendOptions& o) {
+                          return pagerank::run(b, p, o);
+                        });
   }
 
   table.print(std::cout);

@@ -5,42 +5,98 @@ Usage:
     python3 bench/compare_bench.py BASELINE.json CANDIDATE.json [--threshold 0.10]
 
 Rows are matched by (group, variant).  For each matched row the script
-reports the relative change in wall-clock seconds, messages, and data
-volume, and flags any metric that regressed (grew) by more than the
-threshold (default 10%).  Exit status: 0 when clean, 1 when any metric
-regressed past the threshold — suitable as a CI gate or a review aid.
+reports the relative change in wall-clock seconds, messages, data volume,
+and barriers per step, and flags any metric that regressed (grew) by more
+than the threshold (default 10%).
 
-Timing rows are noisy on shared runners; messages and bytes are exact and
-deterministic, so `--exact` ignores timing entirely and instead fails on
-ANY messages/megabytes difference (growth or shrinkage — an unexplained
-decrease signals a traffic-accounting bug just as loudly).  CI runs the
-script twice: once plain for the human-readable diff, once with --exact
-as the gate.
+Timing rows are noisy on shared runners; messages, bytes, and barrier
+counts are exact and deterministic, so `--exact` ignores timing entirely
+and instead fails on ANY difference in those metrics (growth or shrinkage
+— an unexplained decrease signals a traffic-accounting bug just as
+loudly).  CI runs the script twice: once plain for the human-readable
+diff, once with --exact as the gate.
+
+Exit status distinguishes outcomes so CI can treat the plain pass as
+advisory without swallowing real failures:
+    0  clean
+    1  regression / exact-metric mismatch (advisory in the plain pass)
+    2  the comparison itself failed (missing file, unreadable JSON,
+       malformed rows) — always a CI failure, never advisory
 """
 
 import argparse
 import json
 import sys
 
+EXIT_CLEAN = 0
+EXIT_REGRESSION = 1
+EXIT_ERROR = 2
 
 METRICS = [
-    # (key, pretty name, regression means the value grew)
-    ("seconds", "time", True),
+    # (key, pretty name, exact: deterministic, gated bidirectionally by --exact)
+    ("seconds", "time", False),
     ("messages", "messages", True),
     ("megabytes", "data", True),
+    ("barriers_per_step", "barriers", True),
 ]
 
 
 def load_rows(path):
     with open(path) as f:
         doc = json.load(f)
-    return {(r["group"], r["variant"]): r for r in doc.get("rows", [])}
+    rows = {}
+    for r in doc.get("rows", []):
+        rows[(r["group"], r["variant"])] = r
+    return rows
 
 
 def fmt_delta(base, cand):
     if base == 0:
         return "n/a" if cand == 0 else "+inf"
     return f"{(cand - base) / base:+.1%}"
+
+
+def compare(base, cand, threshold, exact):
+    """Returns (report_lines, regression_lines)."""
+    report = []
+    regressions = []
+    width = max((len(f"{g} / {v}") for g, v in cand), default=20)
+    header = (f"{'row':<{width}}  {'time':>8}  {'messages':>9}  "
+              f"{'data':>8}  {'barriers':>9}")
+    report.append(header)
+    report.append("-" * len(header))
+    for key in sorted(cand):
+        if key not in base:
+            report.append(f"{key[0]} / {key[1]}: (new row)")
+            if exact:
+                regressions.append(f"{key[0]} / {key[1]}: row not in baseline")
+            continue
+        b, c = base[key], cand[key]
+        cells = []
+        for metric, name, is_exact in METRICS:
+            bv, cv = b.get(metric, 0), c.get(metric, 0)
+            cells.append(fmt_delta(bv, cv))
+            if exact:
+                if is_exact and bv != cv:
+                    regressions.append(
+                        f"{key[0]} / {key[1]}: {name} must be exact, "
+                        f"{bv} -> {cv}"
+                    )
+            elif bv > 0 and (cv - bv) / bv > threshold:
+                regressions.append(
+                    f"{key[0]} / {key[1]}: {name} {fmt_delta(bv, cv)} "
+                    f"({bv} -> {cv})"
+                )
+        report.append(f"{f'{key[0]} / {key[1]}':<{width}}  "
+                      f"{cells[0]:>8}  {cells[1]:>9}  {cells[2]:>8}  "
+                      f"{cells[3]:>9}")
+    for key in sorted(base.keys() - cand.keys()):
+        report.append(f"{key[0]} / {key[1]}: row disappeared")
+        if exact:
+            # A vanished row is as much a traffic change as a changed count:
+            # the gate must not go green on the surviving intersection.
+            regressions.append(f"{key[0]} / {key[1]}: row disappeared")
+    return report, regressions
 
 
 def main():
@@ -56,51 +112,34 @@ def main():
     ap.add_argument(
         "--exact",
         action="store_true",
-        help="gate mode: ignore timing, fail on any messages/megabytes "
-        "difference in either direction",
+        help="gate mode: ignore timing, fail on any difference in the "
+        "deterministic metrics (messages/megabytes/barriers) in either "
+        "direction",
     )
     args = ap.parse_args()
 
-    base = load_rows(args.baseline)
-    cand = load_rows(args.candidate)
+    # A comparison that cannot run is not a regression verdict: report it
+    # on stderr and exit 2 so CI never mistakes a crashed gate for a clean
+    # (or merely advisory) one.
+    try:
+        base = load_rows(args.baseline)
+        cand = load_rows(args.candidate)
+        # The comparison itself is inside the guard too: a row with a
+        # null/string metric value raises during arithmetic, and that is a
+        # crashed gate (2), not a regression verdict (1).
+        report, regressions = compare(base, cand, args.threshold, args.exact)
+    except OSError as e:
+        print(f"compare_bench: cannot read input: {e}", file=sys.stderr)
+        return EXIT_ERROR
+    except json.JSONDecodeError as e:
+        print(f"compare_bench: invalid JSON: {e}", file=sys.stderr)
+        return EXIT_ERROR
+    except (KeyError, TypeError, AttributeError, ValueError) as e:
+        print(f"compare_bench: malformed bench document: {e!r}",
+              file=sys.stderr)
+        return EXIT_ERROR
 
-    regressions = []
-    width = max((len(f"{g} / {v}") for g, v in cand), default=20)
-    header = f"{'row':<{width}}  {'time':>8}  {'messages':>9}  {'data':>8}"
-    print(header)
-    print("-" * len(header))
-    for key in sorted(cand):
-        if key not in base:
-            print(f"{key[0]} / {key[1]:<{width - len(key[0]) - 3}}  (new row)")
-            if args.exact:
-                regressions.append(
-                    f"{key[0]} / {key[1]}: row not in baseline"
-                )
-            continue
-        b, c = base[key], cand[key]
-        cells = []
-        for metric, name, _ in METRICS:
-            bv, cv = b.get(metric, 0), c.get(metric, 0)
-            cells.append(fmt_delta(bv, cv))
-            if args.exact:
-                if metric != "seconds" and bv != cv:
-                    regressions.append(
-                        f"{key[0]} / {key[1]}: {name} must be exact, "
-                        f"{bv} -> {cv}"
-                    )
-            elif bv > 0 and (cv - bv) / bv > args.threshold:
-                regressions.append(
-                    f"{key[0]} / {key[1]}: {name} {fmt_delta(bv, cv)} "
-                    f"({bv} -> {cv})"
-                )
-        print(f"{f'{key[0]} / {key[1]}':<{width}}  "
-              f"{cells[0]:>8}  {cells[1]:>9}  {cells[2]:>8}")
-    for key in sorted(base.keys() - cand.keys()):
-        print(f"{key[0]} / {key[1]}: row disappeared")
-        if args.exact:
-            # A vanished row is as much a traffic change as a changed count:
-            # the gate must not go green on the surviving intersection.
-            regressions.append(f"{key[0]} / {key[1]}: row disappeared")
+    print("\n".join(report))
 
     if regressions:
         label = "exact-metric mismatches" if args.exact else \
@@ -108,10 +147,10 @@ def main():
         print(f"\n{label}:", file=sys.stderr)
         for r in regressions:
             print(f"  {r}", file=sys.stderr)
-        return 1
+        return EXIT_REGRESSION
     print("\nclean" if args.exact
           else f"\nno regressions past {args.threshold:.0%}")
-    return 0
+    return EXIT_CLEAN
 
 
 if __name__ == "__main__":

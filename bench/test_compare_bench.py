@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Unit tests for compare_bench.py — the script that gates every merge via
+`--exact` deserves coverage of its own: row matching (missing / added /
+disappeared rows), threshold boundaries, bidirectional exactness, and the
+exit-code contract (0 clean, 1 regression, 2 the comparison itself
+crashed).
+
+Runs under plain `python3 bench/test_compare_bench.py` (unittest only, no
+pytest dependency) and is registered with ctest as test_compare_bench_py.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "compare_bench.py")
+
+
+def row(group, variant, seconds=1.0, messages=100, megabytes=10.0,
+        barriers_per_step=9.0):
+    return {
+        "group": group,
+        "variant": variant,
+        "seconds": seconds,
+        "messages": messages,
+        "megabytes": megabytes,
+        "barriers_per_step": barriers_per_step,
+    }
+
+
+class CompareBenchTest(unittest.TestCase):
+    def setUp(self):
+        self._dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self._dir.cleanup)
+
+    def write(self, name, doc):
+        path = os.path.join(self._dir.name, name)
+        with open(path, "w") as f:
+            if isinstance(doc, str):
+                f.write(doc)
+            else:
+                json.dump(doc, f)
+        return path
+
+    def run_compare(self, baseline, candidate, *flags):
+        return subprocess.run(
+            [sys.executable, SCRIPT, baseline, candidate, *flags],
+            capture_output=True, text=True)
+
+    def compare(self, base_rows, cand_rows, *flags):
+        baseline = self.write("base.json", {"rows": base_rows})
+        candidate = self.write("cand.json", {"rows": cand_rows})
+        return self.run_compare(baseline, candidate, *flags)
+
+    # --- clean runs ---------------------------------------------------------
+
+    def test_identical_is_clean_in_both_modes(self):
+        rows = [row("g", "a"), row("g", "b")]
+        for flags in ([], ["--exact"]):
+            p = self.compare(rows, rows, *flags)
+            self.assertEqual(p.returncode, 0, p.stderr)
+
+    def test_timing_noise_is_ignored_by_exact(self):
+        p = self.compare([row("g", "a", seconds=1.0)],
+                         [row("g", "a", seconds=97.0)], "--exact")
+        self.assertEqual(p.returncode, 0, p.stderr)
+
+    # --- threshold boundaries ----------------------------------------------
+
+    def test_growth_exactly_at_threshold_is_clean(self):
+        # The gate is "> threshold": exactly +10% on a 0.10 threshold passes.
+        p = self.compare([row("g", "a", messages=1000)],
+                         [row("g", "a", messages=1100)])
+        self.assertEqual(p.returncode, 0, p.stderr)
+
+    def test_growth_just_past_threshold_regresses(self):
+        p = self.compare([row("g", "a", messages=1000)],
+                         [row("g", "a", messages=1101)])
+        self.assertEqual(p.returncode, 1)
+        self.assertIn("messages", p.stderr)
+
+    def test_custom_threshold_applies(self):
+        base = [row("g", "a", seconds=1.0)]
+        cand = [row("g", "a", seconds=1.3)]
+        self.assertEqual(self.compare(base, cand, "--threshold", "0.5")
+                         .returncode, 0)
+        self.assertEqual(self.compare(base, cand, "--threshold", "0.2")
+                         .returncode, 1)
+
+    def test_shrinkage_is_clean_in_plain_mode(self):
+        p = self.compare([row("g", "a", messages=1000)],
+                         [row("g", "a", messages=10)])
+        self.assertEqual(p.returncode, 0, p.stderr)
+
+    # --- exact mode ---------------------------------------------------------
+
+    def test_exact_fails_on_any_message_growth(self):
+        p = self.compare([row("g", "a", messages=1000)],
+                         [row("g", "a", messages=1001)], "--exact")
+        self.assertEqual(p.returncode, 1)
+
+    def test_exact_fails_on_message_shrinkage_too(self):
+        # An unexplained decrease is a traffic-accounting bug, not a win.
+        p = self.compare([row("g", "a", messages=1000)],
+                         [row("g", "a", messages=999)], "--exact")
+        self.assertEqual(p.returncode, 1)
+
+    def test_exact_gates_barriers_per_step(self):
+        p = self.compare([row("g", "a", barriers_per_step=9.0)],
+                         [row("g", "a", barriers_per_step=4.0)], "--exact")
+        self.assertEqual(p.returncode, 1)
+        self.assertIn("barriers", p.stderr)
+
+    # --- row-set changes ----------------------------------------------------
+
+    def test_added_row_fails_exact_but_not_plain(self):
+        base = [row("g", "a")]
+        cand = [row("g", "a"), row("g", "b")]
+        self.assertEqual(self.compare(base, cand).returncode, 0)
+        p = self.compare(base, cand, "--exact")
+        self.assertEqual(p.returncode, 1)
+        self.assertIn("not in baseline", p.stderr)
+
+    def test_disappeared_row_fails_exact(self):
+        base = [row("g", "a"), row("g", "b")]
+        cand = [row("g", "a")]
+        p = self.compare(base, cand, "--exact")
+        self.assertEqual(p.returncode, 1)
+        self.assertIn("disappeared", p.stderr)
+
+    def test_missing_metric_key_defaults_to_zero(self):
+        # Old baselines without barriers_per_step compare as 0 and trip the
+        # exact gate against a new candidate — loudly, not silently.
+        old = [{k: v for k, v in row("g", "a").items()
+                if k != "barriers_per_step"}]
+        p = self.compare(old, [row("g", "a")], "--exact")
+        self.assertEqual(p.returncode, 1)
+
+    # --- crash-vs-regression exit codes -------------------------------------
+
+    def test_missing_file_exits_2(self):
+        ok = self.write("ok.json", {"rows": [row("g", "a")]})
+        p = self.run_compare(ok, os.path.join(self._dir.name, "absent.json"))
+        self.assertEqual(p.returncode, 2)
+        self.assertIn("cannot read", p.stderr)
+
+    def test_bad_json_exits_2(self):
+        ok = self.write("ok.json", {"rows": [row("g", "a")]})
+        bad = self.write("bad.json", "{not json")
+        for order in ((bad, ok), (ok, bad)):
+            p = self.run_compare(*order)
+            self.assertEqual(p.returncode, 2)
+            self.assertIn("invalid JSON", p.stderr)
+
+    def test_malformed_rows_exit_2(self):
+        ok = self.write("ok.json", {"rows": [row("g", "a")]})
+        # Rows missing the (group, variant) identity cannot be matched.
+        bad = self.write("noid.json", {"rows": [{"seconds": 1.0}]})
+        p = self.run_compare(ok, bad)
+        self.assertEqual(p.returncode, 2)
+
+    def test_non_numeric_metric_exits_2(self):
+        # A null or string metric crashes the arithmetic mid-comparison;
+        # that must surface as a crashed gate (2), which the CI advisory
+        # pass does NOT tolerate, never as a tolerable regression (1).
+        ok = self.write("ok.json", {"rows": [row("g", "a")]})
+        for value in (None, "lots"):
+            broken = dict(row("g", "a"))
+            broken["messages"] = value
+            bad = self.write("bad_metric.json", {"rows": [broken]})
+            p = self.run_compare(ok, bad)
+            self.assertEqual(p.returncode, 2, p.stderr)
+            self.assertIn("malformed", p.stderr)
+
+    def test_exit_codes_1_and_2_stay_distinct(self):
+        # The CI advisory pass tolerates 1 (timing regression) but must
+        # fail on 2: the distinction is the whole point of the contract.
+        base = [row("g", "a", seconds=1.0)]
+        cand = [row("g", "a", seconds=2.0)]
+        self.assertEqual(self.compare(base, cand).returncode, 1)
+
+
+if __name__ == "__main__":
+    unittest.main()

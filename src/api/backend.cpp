@@ -31,4 +31,24 @@ std::optional<Backend> parse_backend(std::string_view name) {
   return std::nullopt;
 }
 
+const char* round_schedule_name(RoundSchedule s) {
+  switch (s) {
+    case RoundSchedule::kSerial:
+      return "serial";
+    case RoundSchedule::kTournament:
+      return "tournament";
+  }
+  return "?";
+}
+
+std::optional<RoundSchedule> parse_round_schedule(std::string_view name) {
+  std::string s(name);
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  if (s == "serial") return RoundSchedule::kSerial;
+  if (s == "tournament") return RoundSchedule::kTournament;
+  return std::nullopt;
+}
+
 }  // namespace sdsm::api

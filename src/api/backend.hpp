@@ -34,6 +34,34 @@ const char* backend_name(Backend b);
 /// case-insensitively); nullopt when unrecognized.
 std::optional<Backend> parse_backend(std::string_view name);
 
+/// How the Tmk backends order the pipelined update of the shared reduction
+/// array (the f accumulation after each compute step).
+enum class RoundSchedule : std::uint8_t {
+  /// The rotation pipeline: nprocs rounds, round r updates chunk
+  /// (me + r) % nprocs in place, one barrier per round.  Per chunk the
+  /// contributions form a serial read-modify-write chain, which is what
+  /// costs nprocs barriers per step.
+  kSerial,
+  /// The tournament (round-robin pairing) schedule: per chunk, the
+  /// contributing nodes pair off and combine partial sums through a shared
+  /// scratch array, halving the field each fused round, and only the owner
+  /// writes f.  Rounds whose chunk ranges do not conflict share one
+  /// barrier, so the per-step barrier count drops from nprocs to
+  /// ceil(log2(max contributors per chunk)).  Which nodes contribute to
+  /// which chunk is read from a touch matrix the nodes publish through the
+  /// DSM at each rebuild, so every node derives the identical schedule.
+  kTournament,
+};
+
+inline constexpr RoundSchedule kAllSchedules[] = {RoundSchedule::kSerial,
+                                                 RoundSchedule::kTournament};
+
+/// Stable display name: "serial" | "tournament".
+const char* round_schedule_name(RoundSchedule s);
+
+/// Parses "serial" | "tournament" case-insensitively; nullopt otherwise.
+std::optional<RoundSchedule> parse_round_schedule(std::string_view name);
+
 /// Per-run tuning knobs that are about the *execution substrate*, not the
 /// kernel.  Each backend reads the subset that applies to it.
 struct BackendOptions {
@@ -49,6 +77,13 @@ struct BackendOptions {
   std::size_t region_bytes = 256u << 20;        ///< shared-region size
   std::size_t gc_threshold_bytes = 256u << 20;  ///< diff-store GC trigger
   bool write_all_enabled = true;  ///< WRITE_ALL twin elision (ablations)
+  /// Reduction-round engine; serial is the committed-baseline default.
+  RoundSchedule round_schedule = RoundSchedule::kSerial;
+  /// Post the next reduction round's aggregated diff requests from the
+  /// barrier return path (DsmNode::post_validate_prefetch), completing
+  /// them at first use.  Optimized Tmk backend only; traffic is provably
+  /// identical with and without it — only the wait moves.
+  bool cross_step_prefetch = false;
 
   // --- CHAOS backend --------------------------------------------------------
   chaos::TableKind table = chaos::TableKind::kDistributed;

@@ -53,6 +53,7 @@ KernelResult ChaosBackend::run_impl(const KernelSpec<T>& spec) {
   std::vector<double> partial(nprocs, 0.0);
   std::atomic<std::uint64_t> msgs_start{0}, msgs_end{0};
   std::atomic<std::uint64_t> bytes_start{0}, bytes_end{0};
+  std::atomic<std::uint64_t> barr_start{0}, barr_end{0};
 
   rt.reset_stats();
   rt.run([&](chaos::ChaosNode& cn) {
@@ -157,6 +158,7 @@ KernelResult ChaosBackend::run_impl(const KernelSpec<T>& spec) {
     cn.barrier([&] {
       msgs_start = rt.total_messages();
       bytes_start = static_cast<std::uint64_t>(rt.total_megabytes() * 1e6);
+      barr_start = rt.total_barriers();
     });
 
     const Timer timer;
@@ -165,6 +167,7 @@ KernelResult ChaosBackend::run_impl(const KernelSpec<T>& spec) {
     cn.barrier([&] {
       msgs_end = rt.total_messages();
       bytes_end = static_cast<std::uint64_t>(rt.total_megabytes() * 1e6);
+      barr_end = rt.total_barriers();
     });
 
     partial[me] = spec.checksum(std::span<const T>(x_all.data(), local_n));
@@ -179,6 +182,17 @@ KernelResult ChaosBackend::run_impl(const KernelSpec<T>& spec) {
       msgs_end.load() - msgs_start.load() - 2 * (nprocs - 1);
   res.megabytes =
       static_cast<double>(bytes_end.load() - bytes_start.load()) / 1e6;
+  // Barrier arrivals between the snapshots: the timed steps' barriers plus
+  // the end snapshot's own (fully counted at its quiescent point, like the
+  // start's is in barr_start).  Measured, not asserted: CHAOS synchronizes
+  // through its gather/scatter exchanges, so this is normally the one
+  // step-closing barrier — and the bench column will say so the day that
+  // stops being true.
+  if (spec.num_steps > 0) {
+    res.barriers_per_step =
+        static_cast<double>(barr_end.load() - barr_start.load() - nprocs) /
+        nprocs / spec.num_steps;
+  }
   for (const double c : partial) res.checksum += c;
   double insp = 0;
   for (const double s : inspector_seconds) insp += s;

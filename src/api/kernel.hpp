@@ -263,6 +263,7 @@ struct TmkCounters {
   std::uint64_t twins_created = 0;
   std::uint64_t whole_pages = 0;
   std::uint64_t diff_bytes = 0;
+  std::uint64_t cross_prefetch_posts = 0;  ///< barrier-exit prefetches posted
 };
 
 /// Result of one kernel execution, uniform across backends.
@@ -281,6 +282,11 @@ struct KernelResult {
   /// trail for CSR workloads.
   std::uint64_t refs = 0;
   std::uint64_t max_row = 0;
+  /// Global barriers per timed step, per node (deterministic — the metric
+  /// the round schedules are judged by; timing on a shared 1-core box is
+  /// not).  The serial schedule pays nprocs reduction rounds plus the step
+  /// barrier; the tournament schedule ceil(log2(contributors)) rounds.
+  double barriers_per_step = 0;
   TmkCounters tmk;
 };
 

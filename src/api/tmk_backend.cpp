@@ -17,12 +17,17 @@ namespace {
 
 // Hand-issued schedule ids, disjoint from the compiled kernel's (which
 // start at 1) and from each other: rebuild prefetch, list rewrite, the
-// per-chunk pipelined reduction, and the owner-update pair.
+// per-chunk pipelined reduction, the owner-update pair, and the tournament
+// schedule's touch-matrix and scratch traffic.
 constexpr std::uint32_t kSchedRebuildRead = 100;
 constexpr std::uint32_t kSchedListWrite = 101;
-constexpr std::uint32_t kSchedReduceBase = 1000;  // + chunk owner
+constexpr std::uint32_t kSchedTouchWrite = 102;
+constexpr std::uint32_t kSchedTouchRead = 103;
+constexpr std::uint32_t kSchedReduceBase = 1000;   // + chunk owner
 constexpr std::uint32_t kSchedUpdateRead = 2000;
 constexpr std::uint32_t kSchedUpdateWrite = 2001;
+constexpr std::uint32_t kSchedScratchPubBase = 3000;   // + chunk owner
+constexpr std::uint32_t kSchedScratchReadBase = 4000;  // + chunk owner
 
 // The generic irregular kernel in the repository's mini-Fortran.  Every
 // KernelSpec has this shape: the node's CSR rows are concatenated into its
@@ -71,6 +76,76 @@ class TmkIrregularNode final : public IrregularNode {
   core::DsmNode& n_;
 };
 
+// ---------------------------------------------------------------------------
+// Tournament (round-robin pairing) reduction schedule.
+//
+// The serial rotation pipeline orders each chunk's contributions as one
+// read-modify-write chain through the shared f array: nprocs rounds, one
+// barrier each.  The tournament instead pairs a chunk's contributors off
+// and combines partial sums pairwise through per-node scratch slices,
+// halving the field every round; only the chunk's owner ever writes f.
+// Rounds of different chunks never conflict (a node publishes only to its
+// own scratch slice, and each pair reads a distinct loser), so one global
+// barrier fuses every chunk's round k, and the per-step barrier count
+// drops from nprocs to ceil(log2(max contributors per chunk)).
+// ---------------------------------------------------------------------------
+
+/// One node's work in one fused round, for one chunk: publish copies the
+/// private partial for `range` into this node's scratch slice; combine
+/// reads `partner`'s published partial and adds it into the private one.
+struct RoundOp {
+  part::Range range;   ///< the chunk's element range in x/f space
+  NodeId chunk = 0;    ///< chunk owner (names the schedule id)
+  NodeId partner = 0;  ///< combine only: whose scratch slice to read
+};
+
+struct TournamentPlan {
+  int rounds = 0;  ///< global fused-round count (max over chunks)
+  std::vector<std::vector<RoundOp>> publish;  ///< [round] -> losers' copies
+  std::vector<std::vector<RoundOp>> combine;  ///< [round] -> winners' adds
+};
+
+/// Derives node `me`'s bracket from the global touch matrix
+/// (touch[w * nprocs + c] != 0 iff node w's items reference chunk c).
+/// Every node runs this on the identical matrix, so all brackets agree.
+/// Contributors are ordered owner-first, then in the serial schedule's
+/// accumulation order, making the pairing deterministic.
+TournamentPlan build_tournament_plan(NodeId me, std::uint32_t nprocs,
+                                     const std::vector<part::Range>& owner_range,
+                                     const std::vector<std::uint8_t>& touch) {
+  TournamentPlan plan;
+  std::vector<std::vector<NodeId>> contributors(nprocs);
+  for (NodeId c = 0; c < nprocs; ++c) {
+    if (owner_range[c].size() == 0) continue;
+    auto& cs = contributors[c];
+    cs.push_back(c);  // the owner seeds the chunk whether or not it touches
+    for (std::uint32_t d = 1; d < nprocs; ++d) {
+      const NodeId w = (c + nprocs - d) % nprocs;
+      if (touch[w * nprocs + c] != 0) cs.push_back(w);
+    }
+    int r = 0;
+    while ((std::size_t{1} << r) < cs.size()) ++r;
+    plan.rounds = std::max(plan.rounds, r);
+  }
+  plan.publish.resize(static_cast<std::size_t>(plan.rounds));
+  plan.combine.resize(static_cast<std::size_t>(plan.rounds));
+  for (NodeId c = 0; c < nprocs; ++c) {
+    const auto& cs = contributors[c];
+    for (int k = 0; (std::size_t{1} << k) < cs.size(); ++k) {
+      const std::size_t step = std::size_t{1} << k;
+      for (std::size_t j = 0; j + step < cs.size(); j += 2 * step) {
+        if (cs[j + step] == me) {
+          plan.publish[k].push_back(RoundOp{owner_range[c], c, cs[j]});
+        }
+        if (cs[j] == me) {
+          plan.combine[k].push_back(RoundOp{owner_range[c], c, cs[j + step]});
+        }
+      }
+    }
+  }
+  return plan;
+}
+
 }  // namespace
 
 template <typename T>
@@ -102,9 +177,44 @@ KernelResult TmkBackend::run_impl(const KernelSpec<T>& spec) {
       page_ints * page_ints;
   auto list = rt.alloc_global<std::int32_t>(slice_ints * nprocs);
 
+  const bool tournament =
+      options_.round_schedule == RoundSchedule::kTournament;
+  // Cross-step prefetch rides the Validate machinery, so it exists only on
+  // the optimized backend; base demand paging would fetch page-by-page and
+  // the prefetch-vs-not traffic-equality contract could not hold.
+  const bool prefetch = options_.cross_step_prefetch && optimized_;
+
+  // Tournament state, absent in serial mode so the serial schedule's heap
+  // layout and traffic stay bit-identical to the committed baseline: each
+  // node's touch-matrix row (published at every rebuild so all nodes
+  // derive the same pairing) and its scratch slice (where losers publish
+  // partial sums for winners to combine).  Separate page-aligned
+  // allocations, so no slice ever shares a page with a neighbour's.
+  // Footprint: the slices add nprocs * n * sizeof(T) of shared region —
+  // the same full-size-per-node memory/latency trade the paper notes for
+  // Tmk's private reduction arrays, paid again in shared space; a run
+  // near region_bytes under the serial schedule needs a larger region
+  // before flipping the tournament on.  (A node can publish up to every
+  // chunk it contributes to, so per-slice demand is only bounded by n;
+  // packing touched chunks would need a per-rebuild layout + remap.)
+  std::vector<core::GlobalArray<std::uint8_t>> touch_rows;
+  std::vector<core::GlobalArray<T>> scratch;
+  if (tournament) {
+    touch_rows.reserve(nprocs);
+    scratch.reserve(nprocs);
+    for (std::uint32_t q = 0; q < nprocs; ++q) {
+      touch_rows.push_back(rt.alloc_global<std::uint8_t>(nprocs));
+    }
+    for (std::uint32_t q = 0; q < nprocs; ++q) {
+      scratch.push_back(rt.alloc_global<T>(n));
+    }
+  }
+
   const rsd::ArrayLayout x_layout{{spec.num_elements}, true};
   const rsd::ArrayLayout list_layout{
       {static_cast<std::int64_t>(slice_ints * nprocs)}, true};
+  const rsd::ArrayLayout touch_layout{{static_cast<std::int64_t>(nprocs)},
+                                      true};
   compiler::Bindings bindings;
   bindings["X"] = compiler::ArrayBinding{x.addr, sizeof(T), x_layout};
   bindings["F"] = compiler::ArrayBinding{f.addr, sizeof(T), x_layout};
@@ -117,6 +227,7 @@ KernelResult TmkBackend::run_impl(const KernelSpec<T>& spec) {
     std::vector<std::int64_t> row_offsets;
     std::vector<double> payload;
     std::vector<bool> touches;  ///< chunks this node's items reference
+    TournamentPlan plan;        ///< this node's bracket (tournament mode)
     std::size_t refs = 0;       ///< flattened references this rebuild
     std::size_t max_row = 0;
     std::int64_t rebuilds = 0;
@@ -183,7 +294,48 @@ KernelResult TmkBackend::run_impl(const KernelSpec<T>& spec) {
         st.row_offsets = std::move(items.row_offsets);
         st.payload = std::move(items.payload);
         ++st.rebuilds;
+        if (tournament) {
+          // Publish this node's touch-matrix row; the rebuild barrier
+          // below makes every row visible to every node.
+          if (optimized_) {
+            self.validate({core::DescriptorBuilder::array(touch_rows[me],
+                                                          touch_layout)
+                               .elements(0, nprocs - 1)
+                               .schedule(kSchedTouchWrite)
+                               .write()});
+          }
+          std::uint8_t* tp = self.ptr(touch_rows[me]);
+          for (std::uint32_t q = 0; q < nprocs; ++q) {
+            tp[q] = st.touches[q] ? 1 : 0;
+          }
+        }
         self.barrier();
+        if (tournament) {
+          // Read the full matrix (one aggregated fetch per producer under
+          // Validate, demand faults on the base backend) and derive the
+          // bracket.  Every node sees the identical matrix, so the fused
+          // rounds agree globally without any extra coordination.
+          if (optimized_) {
+            std::vector<core::AccessDescriptor> reads;
+            for (std::uint32_t q = 0; q < nprocs; ++q) {
+              if (q == me) continue;
+              reads.push_back(core::DescriptorBuilder::array(touch_rows[q],
+                                                             touch_layout)
+                                  .elements(0, nprocs - 1)
+                                  .schedule(kSchedTouchRead)
+                                  .read());
+            }
+            self.validate(reads);
+          }
+          std::vector<std::uint8_t> matrix(
+              static_cast<std::size_t>(nprocs) * nprocs);
+          for (std::uint32_t q = 0; q < nprocs; ++q) {
+            const std::uint8_t* row = self.ptr(touch_rows[q]);
+            std::copy(row, row + nprocs, matrix.begin() + q * nprocs);
+          }
+          st.plan =
+              build_tournament_plan(me, nprocs, spec.owner_range, matrix);
+        }
       }
 
       // The compute loop (the compiled kernel), accumulating privately.
@@ -207,36 +359,124 @@ KernelResult TmkBackend::run_impl(const KernelSpec<T>& spec) {
       ctx.f = std::span<T>(st.accum);
       spec.compute(node, ctx);
 
-      // Pipelined update of the shared reduction array in nprocs rounds:
-      // round r updates chunk (me + r) % nprocs.  Round 0 is the owner
-      // initializing its own chunk (WRITE_ALL); later rounds accumulate
-      // (READ&WRITE_ALL) and are skipped for chunks this node's items never
-      // touch.
-      for (std::uint32_t r = 0; r < nprocs; ++r) {
-        const NodeId c = (me + r) % nprocs;
-        const part::Range chunk = spec.owner_range[c];
-        const bool participate =
-            chunk.size() > 0 && (r == 0 || st.touches[c]);
-        if (participate) {
-          if (optimized_) {
-            self.validate(
-                {core::DescriptorBuilder::array(f, x_layout)
-                     .elements(chunk.begin, chunk.end - 1)
-                     .schedule(kSchedReduceBase + c)
-                     .finish(r == 0 ? core::Access::kWriteAll
-                                    : core::Access::kReadWriteAll)});
-          }
-          if (r == 0) {
-            for (std::int64_t i = chunk.begin; i < chunk.end; ++i) {
-              fp[i] = st.accum[static_cast<std::size_t>(i)];
+      if (!tournament) {
+        // Serial rotation pipeline: nprocs rounds, round r updates chunk
+        // (me + r) % nprocs in place.  Round 0 is the owner initializing
+        // its own chunk (WRITE_ALL); later rounds accumulate
+        // (READ&WRITE_ALL) and are skipped for chunks this node's items
+        // never touch.
+        const auto reduce_desc = [&](std::uint32_t r) {
+          const NodeId c = (me + r) % nprocs;
+          const part::Range chunk = spec.owner_range[c];
+          return core::DescriptorBuilder::array(f, x_layout)
+              .elements(chunk.begin, chunk.end - 1)
+              .schedule(kSchedReduceBase + c)
+              .finish(r == 0 ? core::Access::kWriteAll
+                             : core::Access::kReadWriteAll);
+        };
+        const auto participates = [&](std::uint32_t r) {
+          const NodeId c = (me + r) % nprocs;
+          return spec.owner_range[c].size() > 0 && (r == 0 || st.touches[c]);
+        };
+        for (std::uint32_t r = 0; r < nprocs; ++r) {
+          if (participates(r)) {
+            const NodeId c = (me + r) % nprocs;
+            const part::Range chunk = spec.owner_range[c];
+            if (optimized_) self.validate({reduce_desc(r)});
+            if (r == 0) {
+              for (std::int64_t i = chunk.begin; i < chunk.end; ++i) {
+                fp[i] = st.accum[static_cast<std::size_t>(i)];
+              }
+            } else {
+              for (std::int64_t i = chunk.begin; i < chunk.end; ++i) {
+                fp[i] += st.accum[static_cast<std::size_t>(i)];
+              }
             }
-          } else {
-            for (std::int64_t i = chunk.begin; i < chunk.end; ++i) {
-              fp[i] += st.accum[static_cast<std::size_t>(i)];
+          }
+          self.barrier();
+          // Cross-step prefetch: the schedule is deterministic, so round
+          // r+1's chunk — and the diffs its pages need — is final the
+          // moment this barrier returns.  Posting the same aggregated
+          // requests the next validate would post moves their flight time
+          // under the validate's own bookkeeping; the traffic is
+          // message-for-message identical either way.
+          if (prefetch && r + 1 < nprocs && participates(r + 1)) {
+            self.post_validate_prefetch({reduce_desc(r + 1)});
+          }
+        }
+      } else {
+        // Tournament schedule: ceil(log2(contributors)) fused rounds.  In
+        // round k every loser publishes its running partial for its chunk
+        // into its own scratch slice, the barrier makes the publishes
+        // visible, and every winner combines its partner's partial into
+        // its private accumulator.  After the last round each chunk's
+        // total sits with its owner, which alone writes f.
+        const TournamentPlan& plan = st.plan;
+        const auto combine_descs = [&](int k) {
+          std::vector<core::AccessDescriptor> descs;
+          for (const RoundOp& op : plan.combine[static_cast<std::size_t>(k)]) {
+            descs.push_back(
+                core::DescriptorBuilder::array(scratch[op.partner], x_layout)
+                    .elements(op.range.begin, op.range.end - 1)
+                    .schedule(kSchedScratchReadBase + op.chunk)
+                    .read());
+          }
+          return descs;
+        };
+        for (int k = 0; k < plan.rounds; ++k) {
+          const auto& pubs = plan.publish[static_cast<std::size_t>(k)];
+          if (!pubs.empty()) {
+            if (optimized_) {
+              std::vector<core::AccessDescriptor> writes;
+              for (const RoundOp& op : pubs) {
+                writes.push_back(
+                    core::DescriptorBuilder::array(scratch[me], x_layout)
+                        .elements(op.range.begin, op.range.end - 1)
+                        .schedule(kSchedScratchPubBase + op.chunk)
+                        .write_all());
+              }
+              self.validate(writes);
+            }
+            T* sp = self.ptr(scratch[me]);
+            for (const RoundOp& op : pubs) {
+              for (std::int64_t i = op.range.begin; i < op.range.end; ++i) {
+                sp[i] = st.accum[static_cast<std::size_t>(i)];
+              }
+            }
+          }
+          self.barrier();
+          const auto& combs = plan.combine[static_cast<std::size_t>(k)];
+          if (!combs.empty()) {
+            // The partners' partials are final at the barrier exit, so
+            // their aggregated requests can fly while the validate below
+            // plans (and while this node runs its own publishes' copies
+            // next round on the base path).
+            const auto descs = combine_descs(k);
+            if (prefetch) self.post_validate_prefetch(descs);
+            if (optimized_) self.validate(descs);
+            for (const RoundOp& op : combs) {
+              const T* sp = self.ptr(scratch[op.partner]);
+              for (std::int64_t i = op.range.begin; i < op.range.end; ++i) {
+                st.accum[static_cast<std::size_t>(i)] += sp[i];
+              }
             }
           }
         }
-        self.barrier();
+        // Owner-only write of the shared reduction array; everyone else's
+        // contribution already arrived through the bracket.  No barrier
+        // needed before the update below reads it — the write is local —
+        // and the step barrier publishes it for the next compute validate.
+        if (mine.size() > 0) {
+          if (optimized_) {
+            self.validate({core::DescriptorBuilder::array(f, x_layout)
+                               .elements(mine.begin, mine.end - 1)
+                               .schedule(kSchedReduceBase + me)
+                               .write_all()});
+          }
+          for (std::int64_t i = mine.begin; i < mine.end; ++i) {
+            fp[i] = st.accum[static_cast<std::size_t>(i)];
+          }
+        }
       }
 
       // Owner update of the state from the reduced contributions.
@@ -292,6 +532,14 @@ KernelResult TmkBackend::run_impl(const KernelSpec<T>& spec) {
     res.refs += st.refs;
     res.max_row = std::max<std::uint64_t>(res.max_row, st.max_row);
   }
+  // Every node executes the same global barriers, so the per-node count is
+  // the total divided by nprocs; stats were reset after warmup, so this
+  // covers exactly the timed steps.
+  if (spec.num_steps > 0) {
+    res.barriers_per_step = static_cast<double>(rt.stats().barriers.get()) /
+                            nprocs / spec.num_steps;
+  }
+  res.tmk.cross_prefetch_posts = rt.stats().cross_prefetch_posts.get();
   res.tmk.validate_calls = rt.stats().validate_calls.get();
   res.tmk.validate_recomputes = rt.stats().validate_recomputes.get();
   res.tmk.read_faults = rt.stats().read_faults.get();

@@ -83,6 +83,7 @@ std::vector<std::vector<std::uint8_t>> ChaosNode::exchange(
 }
 
 void ChaosNode::barrier(const std::function<void()>& at_master) {
+  rt_.barriers_.fetch_add(1, std::memory_order_relaxed);
   // Central counting barrier on node 0, using the reply port so that data
   // exchanges in flight on the service port are undisturbed.
   if (id_ == 0) {

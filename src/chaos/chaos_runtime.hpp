@@ -8,6 +8,7 @@
 // comparison Tables 1 and 2 make.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -75,7 +76,17 @@ class ChaosRuntime {
 
   std::uint64_t total_messages() { return net_->stats().messages(); }
   double total_megabytes() { return net_->stats().megabytes(); }
-  void reset_stats() { net_->stats().reset(); }
+  /// Barrier arrivals summed over nodes (each global barrier counts once
+  /// per node, at entry — so at a barrier's quiescent at_master point the
+  /// barrier itself is fully counted).  Measured, like messages, so the
+  /// bench's barriers_per_step column is never asserted by fiat.
+  std::uint64_t total_barriers() const {
+    return barriers_.load(std::memory_order_relaxed);
+  }
+  void reset_stats() {
+    net_->stats().reset();
+    barriers_.store(0, std::memory_order_relaxed);
+  }
 
   /// Runs `body` on one thread per node and joins.
   void run(const std::function<void(ChaosNode&)>& body);
@@ -83,6 +94,7 @@ class ChaosRuntime {
  private:
   friend class ChaosNode;
   std::unique_ptr<net::Transport> net_;
+  std::atomic<std::uint64_t> barriers_{0};
 };
 
 }  // namespace sdsm::chaos

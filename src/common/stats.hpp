@@ -39,6 +39,8 @@ struct DsmStats {
   Counter validate_calls;
   Counter validate_recomputes;  ///< Read_indices executions (indirection changed)
   Counter pages_prefetched;     ///< pages fetched through Validate aggregation
+  Counter cross_prefetch_posts;  ///< cross-step prefetches posted at sync exit
+  Counter cross_prefetch_pages;  ///< pages those prefetches requested
   Counter scan_ns;              ///< wall time spent inside Read_indices
   Counter mprotect_calls;       ///< actual mprotect syscalls after batching
   Counter lock_acquires;
@@ -67,6 +69,8 @@ struct DsmStats {
     validate_calls.reset();
     validate_recomputes.reset();
     pages_prefetched.reset();
+    cross_prefetch_posts.reset();
+    cross_prefetch_pages.reset();
     scan_ns.reset();
     mprotect_calls.reset();
     t_barrier_ns.reset();

@@ -72,6 +72,17 @@ void DsmNode::handle_fault(void* addr, vm::FaultAccess access) {
   const PageId page = region_.page_of(addr);
   PageMeta& pm = pages_[page];
 
+  // First use of a cross-step-prefetched page: the diff requests are
+  // already on the wire, so completing them here replaces the demand
+  // round trip a cold fault would pay.  As with a cold invalid-page
+  // fault, anything but a known write is done once the page is valid (an
+  // actual write simply faults once more and lands in the write path).
+  if (pm.state == PageState::kInvalid && prefetch_.covers(page)) {
+    stats().read_faults.add(1);
+    consume_prefetch();
+    if (access != vm::FaultAccess::kWrite) return;
+  }
+
   // When the architecture did not expose the access type, a fault on a
   // valid page can only be a write; a fault on an invalid page is treated
   // as a read (an actual write simply faults once more, then lands here

@@ -235,6 +235,22 @@ class DsmNode {
   /// aggregating all diff requests to the same node into one message.
   void validate(const std::vector<AccessDescriptor>& descs);
 
+  /// Cross-step prefetch (prefetch past synchronization): posts the
+  /// aggregated diff requests a later validate() of the same descriptors
+  /// would post, without waiting for the replies.  Sound only when the
+  /// descriptors' pages are *final* — no node will write them between this
+  /// call and their first use — which holds at a barrier exit for data the
+  /// deterministic round schedule fixed before the barrier.  The posted
+  /// requests complete at first use: the next validate() naming any of the
+  /// pages, a fault on one of them, or (as a safety net) the next
+  /// synchronization operation, whichever comes first.  At most one
+  /// prefetch is outstanding; posting another completes the previous one.
+  /// Stale indirect descriptors (whose cached page set needs a
+  /// Read_indices scan) are skipped — validate() handles them as usual —
+  /// so the message/byte traffic of a run is identical with and without
+  /// prefetching; only the wait moves.
+  void post_validate_prefetch(const std::vector<AccessDescriptor>& descs);
+
   // --- Introspection -------------------------------------------------------
 
   PageState page_state(PageId page) const { return pages_[page].state; }
@@ -303,6 +319,11 @@ class DsmNode {
 
   /// Blocking wrapper: post_fetch + complete_fetch.
   void fetch_pages(const std::vector<PageId>& pages);
+
+  /// Completes the outstanding cross-step prefetch, if any.  Called at
+  /// first use (validate / fault) and from every acquire path, so a posted
+  /// prefetch can never straddle a synchronization operation.
+  void consume_prefetch();
 
   /// Creates a twin (or enters whole-page mode) and marks the page dirty.
   /// The caller must make the page writable afterwards (set_prot /
@@ -392,6 +413,8 @@ class DsmNode {
   VectorClock applied_vc_;
   std::vector<PageId> dirty_pages_;
   std::unordered_map<std::uint32_t, ScheduleState> schedules_;
+  /// The one outstanding cross-step prefetch (empty when none).
+  PendingFetch prefetch_;
 
   // Shared between compute and service threads of this node.
   std::mutex meta_mu_;

@@ -35,6 +35,7 @@ constexpr NodeId kBarrierManager = 0;
 // ---------------------------------------------------------------------------
 
 void DsmNode::lock_acquire(LockId lock) {
+  consume_prefetch();  // a prefetch never straddles a synchronization op
   stats().lock_acquires.add(1);
   const NodeId home = lock % num_nodes();
 
@@ -149,6 +150,7 @@ void DsmNode::serve_lock_release(const net::Message& msg) {
 // ---------------------------------------------------------------------------
 
 void DsmNode::barrier() {
+  consume_prefetch();  // a prefetch never straddles a synchronization op
   const Timer phase;
   stats().barriers.add(1);
   barrier_round(/*allow_gc=*/true);

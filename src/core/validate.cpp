@@ -153,6 +153,66 @@ void DsmNode::notice_watched_page(PageId page) {
   }
 }
 
+void DsmNode::consume_prefetch() {
+  if (prefetch_.empty()) return;
+  PendingFetch pf = std::move(prefetch_);
+  prefetch_ = PendingFetch{};
+  complete_fetch(std::move(pf));
+}
+
+void DsmNode::post_validate_prefetch(
+    const std::vector<AccessDescriptor>& descs) {
+  consume_prefetch();  // at most one outstanding
+  // Pages the descriptors can resolve right now: direct sections always,
+  // indirect ones only through a current cached page set — a stale
+  // schedule needs a Read_indices scan, which belongs to validate().
+  const auto resolved_pages = [&](const AccessDescriptor& desc) {
+    if (desc.type == DescType::kDirect) return direct_pages(desc);
+    const auto it = schedules_.find(desc.schedule);
+    if (it == schedules_.end() || !it->second.valid ||
+        it->second.indirection_changed) {
+      return std::vector<PageId>{};
+    }
+    return it->second.pages;
+  };
+  // Mirror validate()'s fetch selection — same pages, same aggregated
+  // per-producer requests — so prefetching never changes what goes on the
+  // wire, only when the wait for it happens.  That includes the WRITE_ALL
+  // discard rule: a page some descriptor of this post fully covers in
+  // whole-section-write mode will be discarded by validate(), never
+  // fetched, so it must be excluded from every descriptor's fetch here
+  // (the discard itself — a state transition — stays with validate).
+  std::vector<PageId> discard;
+  for (const AccessDescriptor& desc : descs) {
+    if (desc.access != Access::kWriteAll || !config().write_all_enabled) {
+      continue;
+    }
+    const std::optional<DenseRange> range = dense_range(desc);
+    if (!range) continue;
+    for (const PageId page : resolved_pages(desc)) {
+      if (page_fully_covered(page, *range, region_.page_size())) {
+        discard.push_back(page);
+      }
+    }
+  }
+  std::sort(discard.begin(), discard.end());
+  std::vector<PageId> fetch;
+  for (const AccessDescriptor& desc : descs) {
+    for (const PageId page : resolved_pages(desc)) {
+      if (pages_[page].state != PageState::kInvalid) continue;
+      if (std::binary_search(discard.begin(), discard.end(), page)) continue;
+      fetch.push_back(page);
+    }
+  }
+  std::sort(fetch.begin(), fetch.end());
+  fetch.erase(std::unique(fetch.begin(), fetch.end()), fetch.end());
+  if (fetch.empty()) return;
+  stats().cross_prefetch_posts.add(1);
+  stats().cross_prefetch_pages.add(fetch.size());
+  stats().pages_prefetched.add(fetch.size());
+  prefetch_ = post_fetch(std::move(fetch));
+}
+
 void DsmNode::validate(const std::vector<AccessDescriptor>& descs) {
   stats().validate_calls.add(1);
 
@@ -162,9 +222,11 @@ void DsmNode::validate(const std::vector<AccessDescriptor>& descs) {
   // Per-descriptor collection: computes the WRITE_ALL coverage split
   // (fully covered pages need no twin, and for kWriteAll no fetch either)
   // and appends the descriptor's invalid pages to `fetch`.  Pages already
-  // named by an in-flight fetch are skipped — they will be valid by the
-  // time anyone touches them, exactly as pages fetched by an earlier
-  // round used to be.
+  // named by an in-flight fetch — a cross-step prefetch posted at the last
+  // barrier exit, or this call's own earlier round — are skipped: they
+  // will be valid by the time anyone touches them, exactly as pages
+  // fetched by an earlier round used to be.
+  bool prefetch_used = false;
   auto collect_desc = [&](std::size_t i, std::vector<PageId>& fetch,
                           const PendingFetch* in_flight) {
     const AccessDescriptor& desc = descs[i];
@@ -181,6 +243,10 @@ void DsmNode::validate(const std::vector<AccessDescriptor>& descs) {
 
     for (const PageId page : desc_pages[i]) {
       if (pages_[page].state != PageState::kInvalid) continue;
+      if (prefetch_.covers(page)) {
+        prefetch_used = true;
+        continue;
+      }
       if (in_flight != nullptr && in_flight->covers(page)) continue;
       if (desc.access == Access::kWriteAll &&
           std::binary_search(full_pages[i].begin(), full_pages[i].end(),
@@ -254,6 +320,7 @@ void DsmNode::validate(const std::vector<AccessDescriptor>& descs) {
       stats().pages_prefetched.add(ind_fetch.size());
     }
     PendingFetch ind_pending = post_fetch(std::move(ind_fetch));
+    if (prefetch_used) consume_prefetch();  // posted earliest, waited first
     complete_fetch(std::move(pending));
     complete_fetch(std::move(ind_pending));
   } else {
@@ -262,6 +329,7 @@ void DsmNode::validate(const std::vector<AccessDescriptor>& descs) {
     // consumed here (their first use).  The stale schedules' page sets
     // are only known after the scans; their fetch goes out as one
     // aggregated round, exactly as before.
+    consume_prefetch();
     complete_fetch(std::move(pending));
     std::vector<PageId> fetch;
     for (std::size_t i = 0; i < descs.size(); ++i) {

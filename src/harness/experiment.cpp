@@ -50,7 +50,7 @@ void Table::print(std::ostream& os) const {
   os << std::left << std::setw(34) << "Group" << std::setw(16) << "Variant"
      << std::right << std::setw(10) << "Time(s)" << std::setw(9) << "Speedup"
      << std::setw(10) << "Messages" << std::setw(10) << "Data(MB)"
-     << std::setw(12) << "Ovhd(s)"
+     << std::setw(12) << "Ovhd(s)" << std::setw(10) << "Barr/step"
      << "  Note\n";
   std::string last_group;
   for (const Row& r : rows_) {
@@ -60,7 +60,8 @@ void Table::print(std::ostream& os) const {
        << std::setprecision(3) << std::setw(10) << r.seconds
        << std::setprecision(2) << std::setw(9) << r.speedup << std::setw(10)
        << r.messages << std::setprecision(2) << std::setw(10) << r.megabytes
-       << std::setprecision(4) << std::setw(12) << r.overhead_seconds << "  "
+       << std::setprecision(4) << std::setw(12) << r.overhead_seconds
+       << std::setprecision(1) << std::setw(10) << r.barriers_per_step << "  "
        << r.note << "\n";
     last_group = r.group;
   }
@@ -69,14 +70,15 @@ void Table::print(std::ostream& os) const {
 
 void Table::print_csv(std::ostream& os) const {
   os << "# csv: group,variant,seconds,speedup,seq_seconds,messages,"
-        "megabytes,overhead_seconds,refs,max_row\n";
+        "megabytes,overhead_seconds,refs,max_row,schedule,barriers_per_step\n";
   for (const Row& r : rows_) {
     os << "# csv: " << r.group << ',' << r.variant << ',' << std::fixed
        << std::setprecision(6) << r.seconds << ',' << std::setprecision(3)
        << r.speedup << ',' << std::setprecision(6) << r.seq_seconds << ','
        << r.messages << ',' << std::setprecision(3) << r.megabytes << ','
        << std::setprecision(6) << r.overhead_seconds << ',' << r.refs << ','
-       << r.max_row << "\n";
+       << r.max_row << ',' << r.schedule << ',' << std::setprecision(3)
+       << r.barriers_per_step << "\n";
   }
 }
 
@@ -96,7 +98,10 @@ void Table::print_json(std::ostream& os) const {
        << ", \"messages\": " << r.messages << ", \"megabytes\": "
        << std::setprecision(3) << r.megabytes << ", \"overhead_seconds\": "
        << std::setprecision(6) << r.overhead_seconds << ", \"refs\": "
-       << r.refs << ", \"max_row\": " << r.max_row << ", \"note\": ";
+       << r.refs << ", \"max_row\": " << r.max_row << ", \"schedule\": ";
+    json_string(os, r.schedule);
+    os << ", \"barriers_per_step\": " << std::setprecision(3)
+       << r.barriers_per_step << ", \"note\": ";
     json_string(os, r.note);
     os << "}";
   }

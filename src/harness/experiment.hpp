@@ -34,6 +34,13 @@ struct Row {
   /// cost a fixed-arity layout — is auditable from the bench JSON alone.
   std::uint64_t refs = 0;
   std::uint64_t max_row = 0;
+  /// Reduction-round schedule the run used ("serial" | "tournament"; "-"
+  /// where the notion does not apply, e.g. CHAOS rows).
+  std::string schedule = "-";
+  /// Global barriers per timed step per node — the deterministic metric
+  /// the round schedules are compared by (timing on a 1-core shared
+  /// runner is oversubscribed noise; barrier and message counts are not).
+  double barriers_per_step = 0;
 };
 
 class Table {

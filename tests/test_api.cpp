@@ -25,6 +25,17 @@ TEST(Backend, ParseAndNameRoundTrip) {
   EXPECT_FALSE(parse_backend("mpi").has_value());
 }
 
+TEST(Backend, RoundScheduleParseAndNameRoundTrip) {
+  for (const RoundSchedule s : kAllSchedules) {
+    const auto parsed = parse_round_schedule(round_schedule_name(s));
+    ASSERT_TRUE(parsed.has_value()) << round_schedule_name(s);
+    EXPECT_EQ(*parsed, s);
+  }
+  EXPECT_EQ(parse_round_schedule("Tournament"), RoundSchedule::kTournament);
+  EXPECT_EQ(parse_round_schedule("SERIAL"), RoundSchedule::kSerial);
+  EXPECT_FALSE(parse_round_schedule("bracket").has_value());
+}
+
 TEST(Backend, OwnerOfContiguousPartition) {
   const std::vector<part::Range> ranges{{0, 3}, {3, 3}, {3, 10}, {10, 12}};
   EXPECT_EQ(owner_of(ranges, 0), 0u);
@@ -263,6 +274,163 @@ TEST(CrossBackend, PageRankMessageCountsAgreeAcrossTransports) {
     EXPECT_EQ(ri.megabytes, rs.megabytes) << backend_name(b);
     EXPECT_TRUE(checksum_close(ri.checksum, rs.checksum)) << backend_name(b);
   }
+}
+
+// The schedule parity suite: the tournament reduction must produce the
+// same physics as the serial rotation on every backend (CHAOS ignores the
+// knob — its row is the control) over both fabrics.
+class ScheduleParity
+    : public ::testing::TestWithParam<
+          std::tuple<net::TransportKind, RoundSchedule>> {
+ public:
+  static api::BackendOptions options(api::BackendOptions base) {
+    base.transport = std::get<0>(GetParam());
+    base.round_schedule = std::get<1>(GetParam());
+    return base;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    TransportsXSchedules, ScheduleParity,
+    ::testing::Combine(::testing::Values(net::TransportKind::kInProc,
+                                         net::TransportKind::kSocket),
+                       ::testing::Values(RoundSchedule::kSerial,
+                                         RoundSchedule::kTournament)),
+    [](const auto& info) {
+      return std::string(net::transport_name(std::get<0>(info.param))) + "_" +
+             round_schedule_name(std::get<1>(info.param));
+    });
+
+TEST_P(ScheduleParity, PageRankOnAllBackends) {
+  apps::pagerank::Params p;
+  p.num_vertices = 1024;
+  p.edges_per_vertex = 4;
+  p.num_steps = 6;
+  p.nprocs = 4;
+  const auto seq = apps::pagerank::run_seq(p);
+  const auto opts = options(apps::pagerank::default_options());
+  for (const Backend b : kAllBackends) {
+    const auto r = apps::pagerank::run(b, p, opts);
+    EXPECT_TRUE(checksum_close(seq.checksum, r.checksum))
+        << backend_name(b) << ": " << seq.checksum << " vs " << r.checksum;
+    EXPECT_GT(r.barriers_per_step, 0.0) << backend_name(b);
+  }
+}
+
+TEST_P(ScheduleParity, MoldynOnAllBackends) {
+  // The rebuilding workload: the tournament pairing is re-derived from the
+  // re-published touch matrix at every rebuild, not frozen at step 0.
+  apps::moldyn::Params p;
+  p.num_molecules = 512;
+  p.num_steps = 6;
+  p.update_interval = 3;
+  p.box = 8.0;
+  p.cutoff = 1.4;
+  p.nprocs = 4;
+  const auto sys = apps::moldyn::make_system(p);
+  const auto seq = apps::moldyn::run_seq(p, sys);
+  auto opts = options(apps::moldyn::default_options());
+  opts.region_bytes = 8u << 20;
+  for (const Backend b : kAllBackends) {
+    const auto r = apps::moldyn::run(b, p, sys, opts);
+    EXPECT_TRUE(checksum_close(seq.checksum, r.checksum))
+        << backend_name(b) << ": " << seq.checksum << " vs " << r.checksum;
+    EXPECT_EQ(r.rebuilds, 2) << backend_name(b);
+  }
+}
+
+TEST(RoundSchedule, TournamentStrictlyFewerBarriersPerStep) {
+  // The acceptance metric, in barriers (deterministic), not seconds: at
+  // nprocs >= 4 the fused pairing rounds must beat the serial rotation's
+  // nprocs barriers per step on both moldyn and pagerank.
+  const auto barriers = [](api::Backend b, RoundSchedule s,
+                           bool moldyn_workload) {
+    api::BackendOptions opts;
+    opts.round_schedule = s;
+    if (moldyn_workload) {
+      apps::moldyn::Params p;
+      p.num_molecules = 512;
+      p.num_steps = 6;
+      p.update_interval = 3;
+      p.box = 8.0;
+      p.cutoff = 1.4;
+      p.nprocs = 4;
+      opts.region_bytes = 8u << 20;
+      const auto sys = apps::moldyn::make_system(p);
+      return apps::moldyn::run(b, p, sys, opts).barriers_per_step;
+    }
+    apps::pagerank::Params p;
+    p.num_vertices = 1024;
+    p.edges_per_vertex = 4;
+    p.num_steps = 6;
+    p.nprocs = 4;
+    return apps::pagerank::run(b, p, opts).barriers_per_step;
+  };
+  for (const bool moldyn_workload : {true, false}) {
+    for (const Backend b : {Backend::kTmkBase, Backend::kTmkOptimized}) {
+      const double serial = barriers(b, RoundSchedule::kSerial,
+                                     moldyn_workload);
+      const double tour = barriers(b, RoundSchedule::kTournament,
+                                   moldyn_workload);
+      // serial: nprocs rounds + step barrier; tournament: at most
+      // ceil(log2(nprocs)) fused rounds + step barrier.
+      EXPECT_GE(serial, 5.0) << backend_name(b);
+      EXPECT_LT(tour, serial)
+          << backend_name(b) << (moldyn_workload ? " moldyn" : " pagerank");
+      EXPECT_LE(tour, 3.5)
+          << backend_name(b) << (moldyn_workload ? " moldyn" : " pagerank");
+    }
+  }
+}
+
+TEST(CrossStepPrefetch, TrafficIsExactlyEqualWithAndWithout) {
+  // The prefetch contract: posting the next round's aggregated diff
+  // requests from the barrier return path moves the wait, never the
+  // traffic.  Message and byte counts must match exactly under both
+  // schedules, and the prefetched run must actually have prefetched.
+  apps::pagerank::Params p;
+  p.num_vertices = 1024;
+  p.edges_per_vertex = 4;
+  p.num_steps = 6;
+  p.nprocs = 4;
+  const auto seq = apps::pagerank::run_seq(p);
+  for (const RoundSchedule s : kAllSchedules) {
+    api::BackendOptions off = apps::pagerank::default_options();
+    off.round_schedule = s;
+    api::BackendOptions on = off;
+    on.cross_step_prefetch = true;
+    const auto r_off =
+        apps::pagerank::run(Backend::kTmkOptimized, p, off);
+    const auto r_on = apps::pagerank::run(Backend::kTmkOptimized, p, on);
+    EXPECT_EQ(r_off.messages, r_on.messages) << round_schedule_name(s);
+    EXPECT_EQ(r_off.megabytes, r_on.megabytes) << round_schedule_name(s);
+    EXPECT_EQ(r_off.barriers_per_step, r_on.barriers_per_step)
+        << round_schedule_name(s);
+    EXPECT_EQ(r_off.tmk.cross_prefetch_posts, 0u) << round_schedule_name(s);
+    EXPECT_GT(r_on.tmk.cross_prefetch_posts, 0u) << round_schedule_name(s);
+    EXPECT_TRUE(checksum_close(seq.checksum, r_on.checksum))
+        << round_schedule_name(s);
+    EXPECT_TRUE(checksum_close(r_off.checksum, r_on.checksum))
+        << round_schedule_name(s);
+  }
+}
+
+TEST(CrossStepPrefetch, IgnoredOnBaseBackend) {
+  // Demand paging has no aggregated requests to move early; the option
+  // must be inert there so base traffic stays base traffic.
+  apps::spmv::Params p;
+  p.num_rows = 1024;
+  p.edges_per_vertex = 4;
+  p.num_steps = 4;
+  p.nprocs = 4;
+  api::BackendOptions off = apps::spmv::default_options();
+  api::BackendOptions on = off;
+  on.cross_step_prefetch = true;
+  const auto r_off = apps::spmv::run(Backend::kTmkBase, p, off);
+  const auto r_on = apps::spmv::run(Backend::kTmkBase, p, on);
+  EXPECT_EQ(r_off.messages, r_on.messages);
+  EXPECT_EQ(r_off.megabytes, r_on.megabytes);
+  EXPECT_EQ(r_on.tmk.cross_prefetch_posts, 0u);
 }
 
 TEST(CrossBackend, OptimizedAggregationBeatsDemandPaging) {

@@ -8,6 +8,7 @@
 // keep false sharing and collections in play.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 
 #include "src/common/rng.hpp"
@@ -23,6 +24,34 @@ struct FuzzCase {
 };
 
 class DsmFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+/// Reproducer breadcrumb for the nightly CI fuzz job: the case about to
+/// run is written to fuzz-repro.txt and erased again on success, so any
+/// failure — including the std::abort() consistency paths, which never
+/// reach a gtest reporter — leaves behind the exact parameters and a
+/// rerun command for the uploaded artifact.
+class FuzzRepro {
+ public:
+  explicit FuzzRepro(const FuzzCase& fc) {
+    std::FILE* f = std::fopen(kPath, "w");
+    if (f == nullptr) return;
+    std::fprintf(
+        f,
+        "test_dsm_fuzz failure reproducer\n"
+        "seed=%llu nodes=%u gc_threshold=%zu\n"
+        "rerun: ./test_dsm_fuzz "
+        "--gtest_filter='*seed%llu_n%u_gc%zu'\n",
+        static_cast<unsigned long long>(fc.seed), fc.nodes, fc.gc_threshold,
+        static_cast<unsigned long long>(fc.seed), fc.nodes, fc.gc_threshold);
+    std::fclose(f);
+  }
+  ~FuzzRepro() {
+    if (!::testing::Test::HasFailure()) std::remove(kPath);
+  }
+
+ private:
+  static constexpr const char* kPath = "fuzz-repro.txt";
+};
 
 // Owner of element i in epoch e: deterministic pseudo-random partition, so
 // writes are disjoint by construction (DRF) yet scatter across pages.
@@ -41,6 +70,7 @@ std::int32_t value_of(int epoch, std::int64_t i) {
 
 TEST_P(DsmFuzz, RandomDrfProgramMatchesModel) {
   const FuzzCase fc = GetParam();
+  const FuzzRepro repro(fc);
   const std::int64_t kElems = 24 * 1024;  // 96KB of ints, 24 pages
   const int kEpochs = 10;
 
