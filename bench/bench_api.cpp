@@ -1,10 +1,12 @@
-// The unified-API bench: every workload (moldyn, nbf, spmv, pagerank) on
-// every backend through sdsm::api, one row per (workload, backend).
-// Alongside the human table and CSV it writes BENCH_api.json — the
-// machine-readable perf trajectory successive PRs diff against (see
-// bench/compare_bench.py).  Rows carry the CSR shape columns (refs,
-// max_row) so degree skew — and what padding it would cost — is auditable
-// from the JSON alone.
+// The unified-API bench: every workload (moldyn, nbf, spmv, pagerank, and
+// the frontier-driven bfs/cc pair) on every backend through sdsm::api,
+// one row per (workload, backend).  Alongside the human table and CSV it
+// writes BENCH_api.json — the machine-readable perf trajectory successive
+// PRs diff against (see bench/compare_bench.py).  Rows carry the CSR
+// shape columns (refs, max_row) so degree skew — and what padding it
+// would cost — is auditable from the JSON alone, plus a rebuilds column
+// so rebuild-heavy workloads (frontier rows rebuild every step) are
+// auditable too.
 //
 // Two nbf groups quantify the variable-arity redesign: "nbf-var" runs the
 // deterministic variable-degree partner lists unpadded, "nbf-var padded"
@@ -23,6 +25,8 @@
 #include <iostream>
 
 #include "bench/bench_params.hpp"
+#include "src/apps/graph/bfs.hpp"
+#include "src/apps/graph/cc.hpp"
 #include "src/apps/moldyn/moldyn_kernel.hpp"
 #include "src/apps/nbf/nbf_kernel.hpp"
 #include "src/apps/pagerank/pagerank.hpp"
@@ -50,7 +54,8 @@ void add_row(harness::Table& table, const char* group, api::Backend b,
   table.add(harness::Row{group, api::backend_name(b), r.seconds,
                          harness::speedup(seq_seconds, r.seconds), r.messages,
                          r.megabytes, r.overhead_seconds, note, seq_seconds,
-                         r.refs, r.max_row, schedule, r.barriers_per_step});
+                         r.refs, r.max_row, schedule, r.barriers_per_step,
+                         r.rebuilds});
 }
 
 void add_rows(
@@ -84,9 +89,9 @@ void add_tournament_rows(
 int main(int argc, char** argv) {
   const net::TransportKind transport = net::transport_from_args(argc, argv);
   std::printf(
-      "sdsm::api backend sweep: 4 workloads (+ the nbf padded-vs-CSR "
-      "comparison and the moldyn/pagerank tournament-schedule A/B) x 3 "
-      "backends, %u nodes, %s transport.\n\n",
+      "sdsm::api backend sweep: 6 workloads (+ the nbf padded-vs-CSR "
+      "comparison and the moldyn/pagerank/bfs/cc tournament-schedule A/B) "
+      "x 3 backends, %u nodes, %s transport.\n\n",
       bench::kNodes, net::transport_name(transport));
   harness::Table table("Unified API - all workloads x all backends");
 
@@ -170,6 +175,45 @@ int main(int argc, char** argv) {
                         [&](api::Backend b, const api::BackendOptions& o) {
                           return pagerank::run(b, p, o);
                         });
+  }
+
+  {
+    // The frontier-driven graph rows: the item list changes EVERY step
+    // (rebuilds == steps run, visible in the rebuilds column), so rebuild
+    // cost — per-step allgathers on CHAOS, per-step Read_indices and
+    // touch-matrix re-brackets on the DSM — dominates the trajectory
+    // instead of reduction cost.  The isolated tail (owned entirely by
+    // the last node) keeps one frontier permanently empty.
+    graph::Params p;
+    p.num_vertices = 16384;
+    p.chords_per_vertex = 4;
+    p.isolated = 2048;  // = 16384 / 8 nodes: node 7 owns exactly the tail
+    p.num_steps = 24;
+    p.nprocs = bench::kNodes;
+    {
+      const auto seq = bfs::run_seq(p);
+      api::BackendOptions opts = bfs::default_options();
+      opts.transport = transport;
+      add_rows(table, "bfs 16384x4", seq.seconds, seq.checksum, opts,
+               [&](api::Backend b) { return bfs::run(b, p, opts); });
+      add_tournament_rows(table, "bfs 16384x4 tournament", seq.seconds,
+                          seq.checksum, opts,
+                          [&](api::Backend b, const api::BackendOptions& o) {
+                            return bfs::run(b, p, o);
+                          });
+    }
+    {
+      const auto seq = cc::run_seq(p);
+      api::BackendOptions opts = cc::default_options();
+      opts.transport = transport;
+      add_rows(table, "cc 16384x4", seq.seconds, seq.checksum, opts,
+               [&](api::Backend b) { return cc::run(b, p, opts); });
+      add_tournament_rows(table, "cc 16384x4 tournament", seq.seconds,
+                          seq.checksum, opts,
+                          [&](api::Backend b, const api::BackendOptions& o) {
+                            return cc::run(b, p, o);
+                          });
+    }
   }
 
   table.print(std::cout);

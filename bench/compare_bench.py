@@ -6,11 +6,11 @@ Usage:
 
 Rows are matched by (group, variant).  For each matched row the script
 reports the relative change in wall-clock seconds, messages, data volume,
-and barriers per step, and flags any metric that regressed (grew) by more
-than the threshold (default 10%).
+barriers per step, and rebuilds, and flags any metric that regressed
+(grew) by more than the threshold (default 10%).
 
-Timing rows are noisy on shared runners; messages, bytes, and barrier
-counts are exact and deterministic, so `--exact` ignores timing entirely
+Timing rows are noisy on shared runners; messages, bytes, barrier, and
+rebuild counts are exact and deterministic, so `--exact` ignores timing entirely
 and instead fails on ANY difference in those metrics (growth or shrinkage
 — an unexplained decrease signals a traffic-accounting bug just as
 loudly).  CI runs the script twice: once plain for the human-readable
@@ -38,6 +38,7 @@ METRICS = [
     ("messages", "messages", True),
     ("megabytes", "data", True),
     ("barriers_per_step", "barriers", True),
+    ("rebuilds", "rebuilds", True),
 ]
 
 
@@ -61,8 +62,8 @@ def compare(base, cand, threshold, exact):
     report = []
     regressions = []
     width = max((len(f"{g} / {v}") for g, v in cand), default=20)
-    header = (f"{'row':<{width}}  {'time':>8}  {'messages':>9}  "
-              f"{'data':>8}  {'barriers':>9}")
+    header = f"{'row':<{width}}" + "".join(
+        f"  {name:>9}" for _, name, _ in METRICS)
     report.append(header)
     report.append("-" * len(header))
     for key in sorted(cand):
@@ -87,9 +88,8 @@ def compare(base, cand, threshold, exact):
                     f"{key[0]} / {key[1]}: {name} {fmt_delta(bv, cv)} "
                     f"({bv} -> {cv})"
                 )
-        report.append(f"{f'{key[0]} / {key[1]}':<{width}}  "
-                      f"{cells[0]:>8}  {cells[1]:>9}  {cells[2]:>8}  "
-                      f"{cells[3]:>9}")
+        report.append(f"{f'{key[0]} / {key[1]}':<{width}}" +
+                      "".join(f"  {cell:>9}" for cell in cells))
     for key in sorted(base.keys() - cand.keys()):
         report.append(f"{key[0]} / {key[1]}: row disappeared")
         if exact:
@@ -113,8 +113,8 @@ def main():
         "--exact",
         action="store_true",
         help="gate mode: ignore timing, fail on any difference in the "
-        "deterministic metrics (messages/megabytes/barriers) in either "
-        "direction",
+        "deterministic metrics (messages/megabytes/barriers/rebuilds) in "
+        "either direction",
     )
     args = ap.parse_args()
 

@@ -21,7 +21,7 @@ SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
 
 
 def row(group, variant, seconds=1.0, messages=100, megabytes=10.0,
-        barriers_per_step=9.0):
+        barriers_per_step=9.0, rebuilds=1):
     return {
         "group": group,
         "variant": variant,
@@ -29,6 +29,7 @@ def row(group, variant, seconds=1.0, messages=100, megabytes=10.0,
         "messages": messages,
         "megabytes": megabytes,
         "barriers_per_step": barriers_per_step,
+        "rebuilds": rebuilds,
     }
 
 
@@ -114,6 +115,17 @@ class CompareBenchTest(unittest.TestCase):
                          [row("g", "a", barriers_per_step=4.0)], "--exact")
         self.assertEqual(p.returncode, 1)
         self.assertIn("barriers", p.stderr)
+
+    def test_exact_gates_rebuilds(self):
+        # Frontier workloads rebuild every step; a silent rebuild-count
+        # change (e.g. a step-0 double build) must trip the gate in either
+        # direction.
+        for cand_rebuilds in (23, 25):
+            p = self.compare([row("g", "a", rebuilds=24)],
+                             [row("g", "a", rebuilds=cand_rebuilds)],
+                             "--exact")
+            self.assertEqual(p.returncode, 1)
+            self.assertIn("rebuilds", p.stderr)
 
     # --- row-set changes ----------------------------------------------------
 

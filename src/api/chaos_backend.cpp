@@ -47,6 +47,7 @@ KernelResult ChaosBackend::run_impl(const KernelSpec<T>& spec) {
 
   std::vector<double> inspector_seconds(nprocs, 0.0);
   std::vector<std::int64_t> rebuilds(nprocs, 0);
+  std::vector<std::int64_t> steps_run(nprocs, 0);
   std::vector<std::size_t> refs_built(nprocs, 0);
   std::vector<std::size_t> max_row(nprocs, 0);
   std::vector<double> timed_seconds(nprocs, 0.0);
@@ -123,17 +124,23 @@ KernelResult ChaosBackend::run_impl(const KernelSpec<T>& spec) {
       ++rebuilds[me];
       localized = chaos::localize_references(me, items.refs, table, sched);
       x_all.resize(local_n + static_cast<std::size_t>(sched.num_ghosts));
-      f_all.assign(local_n + static_cast<std::size_t>(sched.num_ghosts), T{});
+      f_all.assign(local_n + static_cast<std::size_t>(sched.num_ghosts),
+                   spec.f_identity);
     };
 
-    auto step_fn = [&](int global_step) {
-      if (spec.rebuild_at(global_step)) rebuild_fn();
+    // Runs one step; returns true when every node reported convergence
+    // (the caller then stops the loop).
+    auto step_fn = [&](int global_step) -> bool {
+      if (spec.rebuild_needed(global_step)) rebuild_fn();
       const auto ghosts = static_cast<std::size_t>(sched.num_ghosts);
 
       // Executor: gather remote state, compute, scatter contributions.
+      // Accumulators (owned and ghost) seed with the reduction identity so
+      // untouched elements — all of them, on an empty frontier —
+      // contribute nothing under either operator.
       chaos::gather<T>(cn, sched, std::span<const T>(x_all.data(), local_n),
                        std::span<T>(x_all.data() + local_n, ghosts));
-      std::fill(f_all.begin(), f_all.end(), T{});
+      std::fill(f_all.begin(), f_all.end(), spec.f_identity);
       KernelCtx<T> ctx;
       ctx.row_offsets = row_offsets;
       ctx.refs = localized;
@@ -143,16 +150,37 @@ KernelResult ChaosBackend::run_impl(const KernelSpec<T>& spec) {
       spec.compute(node, ctx);
       chaos::scatter<T>(cn, sched, std::span<T>(f_all.data(), local_n),
                         std::span<const T>(f_all.data() + local_n, ghosts),
-                        [](T a, T b) { return a + b; });
+                        [&spec](T a, T b) { return spec.combine(a, b); });
 
       if (spec.update) {
         spec.update(std::span<T>(x_all.data(), local_n),
                     std::span<const T>(f_all.data(), local_n));
       }
+
+      // Convergence: CHAOS has no shared memory, so the published flag is
+      // an allgather of one verdict byte per node — every pair exchanges
+      // (even when the local frontier was empty), so all nodes reach the
+      // identical decision with no side channel.
+      bool all_done = false;
+      if (spec.converged) {
+        const bool mine_done = spec.converged(
+            node, std::span<const T>(x_all.data(), local_n));
+        std::vector<std::vector<std::uint8_t>> out(nprocs);
+        for (NodeId q = 0; q < nprocs; ++q) {
+          if (q != me) out[q] = {static_cast<std::uint8_t>(mine_done ? 1 : 0)};
+        }
+        auto in = cn.all_to_all(std::move(out));
+        all_done = mine_done;
+        for (NodeId q = 0; q < nprocs; ++q) {
+          if (q != me) all_done = all_done && !in[q].empty() && in[q][0] != 0;
+        }
+      }
       cn.barrier();
+      return all_done;
     };
 
-    for (int s = 0; s < spec.warmup_steps; ++s) step_fn(s);
+    bool done = false;
+    for (int s = 0; s < spec.warmup_steps && !done; ++s) done = step_fn(s);
     // Quiescent snapshots: taken by node 0 while every other node is
     // blocked inside the barrier, so the counts are deterministic.
     cn.barrier([&] {
@@ -162,7 +190,10 @@ KernelResult ChaosBackend::run_impl(const KernelSpec<T>& spec) {
     });
 
     const Timer timer;
-    for (int s = 0; s < spec.num_steps; ++s) step_fn(spec.warmup_steps + s);
+    for (int s = 0; s < spec.num_steps && !done; ++s) {
+      done = step_fn(spec.warmup_steps + s);
+      ++steps_run[me];
+    }
     timed_seconds[me] = timer.elapsed_s();
     cn.barrier([&] {
       msgs_end = rt.total_messages();
@@ -188,10 +219,11 @@ KernelResult ChaosBackend::run_impl(const KernelSpec<T>& spec) {
   // through its gather/scatter exchanges, so this is normally the one
   // step-closing barrier — and the bench column will say so the day that
   // stops being true.
-  if (spec.num_steps > 0) {
+  res.steps_run = steps_run[0];
+  if (res.steps_run > 0) {
     res.barriers_per_step =
         static_cast<double>(barr_end.load() - barr_start.load() - nprocs) /
-        nprocs / spec.num_steps;
+        nprocs / static_cast<double>(res.steps_run);
   }
   for (const double c : partial) res.checksum += c;
   double insp = 0;

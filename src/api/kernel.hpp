@@ -61,6 +61,14 @@ class IrregularNode {
 /// payload (e.g. an edge weight).  `row_offsets` has num_items()+1 entries
 /// starting at 0 and ending at refs.size(); an entirely empty WorkItems
 /// (both vectors empty) means zero items.
+///
+/// The empty contract: zero items is a first-class state, not an error.
+/// A node whose build_items returns an empty WorkItems (an empty frontier)
+/// still participates in every collective phase — it publishes an all-zero
+/// touch-matrix row (so the tournament bracket simply never pairs it), its
+/// reduction contribution is exactly f_identity, and the CHAOS inspector
+/// and exchanges run with zero references — so one node's (or every
+/// node's) empty frontier can never wedge a barrier, bracket, or exchange.
 struct WorkItems {
   std::vector<std::int64_t> row_offsets;
   std::vector<std::int64_t> refs;
@@ -111,6 +119,29 @@ struct ItemsShape {
   std::size_t max_row = 0;  ///< longest row, in references
 };
 
+/// The reduction operator combining per-node contributions into f.  The
+/// compute body must accumulate into its (identity-seeded) view of f with
+/// the same operator, and KernelSpec::f_identity must be the operator's
+/// identity: every backend seeds accumulators, scratch slices, and ghost
+/// regions with it, and nodes whose items never touch a chunk contribute
+/// exactly the identity there.
+///
+/// kSum is the paper's force/mass accumulation; kMin is what the
+/// frontier-driven graph algorithms reduce with (BFS relaxes tentative
+/// distances, label propagation relaxes component labels).
+enum class Reduce : std::uint8_t {
+  kSum,  ///< f[i] = f[i] + contribution; identity 0
+  kMin,  ///< f[i] = min(f[i], contribution); identity = an unreachable max
+};
+
+inline double reduce_combine(Reduce op, double a, double b) {
+  return op == Reduce::kSum ? a + b : std::min(a, b);
+}
+inline double3 reduce_combine(Reduce op, const double3& a, const double3& b) {
+  if (op == Reduce::kSum) return a + b;
+  return double3{std::min(a.x, b.x), std::min(a.y, b.y), std::min(a.z, b.z)};
+}
+
 /// Everything the per-step body sees.  All references are localized by the
 /// backend; the body must index `x` and `f` only through `refs` /
 /// `refs_of`.  Row offsets are positions into `refs` and are
@@ -148,11 +179,28 @@ struct KernelSpec {
   std::vector<part::Range> owner_range;
   std::vector<T> initial_state;  ///< size num_elements
 
-  int num_steps = 1;     ///< timed steps
+  int num_steps = 1;     ///< timed steps (an upper bound when `converged` set)
   int warmup_steps = 0;  ///< untimed leading steps (one-time costs land here)
   /// Rebuild the indirection structure every this many steps; 0 means the
-  /// structure is static and built once before the first step.
+  /// structure is static and built once before the first step (unless
+  /// `rebuild_when` says otherwise).
   int update_interval = 0;
+  /// Data-dependent rebuild cadence, consulted alongside `update_interval`
+  /// (see rebuild_needed): the structure is rebuilt at global step s when
+  /// the fixed cadence fires OR rebuild_when(s) returns true.  Frontier
+  /// algorithms return true every step — the item list is the frontier.
+  /// Must be deterministic and node-agnostic: every node evaluates it at
+  /// every step and all evaluations of the same step must agree, or the
+  /// backends' collective rebuild phases (allgather, touch-matrix
+  /// republish, schedule refresh) would wedge.  State-dependence belongs
+  /// in build_items (via rebuild_reads_state), not here.
+  std::function<bool(int global_step)> rebuild_when;
+
+  /// The reduction operator and its identity (see Reduce).  f_identity
+  /// MUST be the identity of `reduce` — backends seed every accumulator
+  /// with it, including on nodes whose WorkItems are empty.
+  Reduce reduce = Reduce::kSum;
+  T f_identity = T{};
 
   std::int64_t max_items_per_node = 0;  ///< row-count bound for the backends
   std::int64_t max_refs_per_node = 0;   ///< flattened-reference bound
@@ -173,15 +221,38 @@ struct KernelSpec {
   /// x and f.  Null means no update phase.
   std::function<void(std::span<T> x_owned, std::span<const T> f_owned)> update;
 
+  /// Convergence test, evaluated on every node after each step's update
+  /// over the node's owned slice.  The backends publish every node's
+  /// verdict — through a shared flag array on the DSM, an allgather on
+  /// CHAOS — and terminate the step loop at the end of the first step
+  /// where ALL nodes report true, so termination needs no side channel
+  /// and every backend stops after the identical number of steps
+  /// (KernelResult::steps_run).  Null means the loop always runs
+  /// num_steps.  May be stateful per node (e.g. compare against labels
+  /// stashed at the last build), which is why it receives the node.
+  std::function<bool(IrregularNode&, std::span<const T> x_owned)> converged;
+
   /// Order-insensitive digest of an owned slice; backends sum it across
   /// nodes into KernelResult::checksum.
   std::function<double(std::span<const T> x_owned)> checksum;
 
-  /// True when the indirection structure is (re)built at this step — the
-  /// single cadence both backends must share for cross-backend parity.
-  bool rebuild_at(int global_step) const {
-    return update_interval > 0 ? global_step % update_interval == 0
-                               : global_step == 0;
+  /// True when the indirection structure must be (re)built before
+  /// executing `global_step` — the single cadence every backend must share
+  /// for cross-backend parity.  Step-0 semantics are explicit: the
+  /// bootstrap build at step 0 IS that step's rebuild, exactly once, even
+  /// when the `update_interval` cadence divides 0 and `rebuild_when(0)`
+  /// fires too (a naive "initial build, then check the cadence" runs the
+  /// inspector twice at step 0; KernelResult::rebuilds is asserted against
+  /// this schedule in test_api).
+  bool rebuild_needed(int global_step) const {
+    if (global_step == 0) return true;
+    if (update_interval > 0 && global_step % update_interval == 0) return true;
+    return rebuild_when && rebuild_when(global_step);
+  }
+
+  /// The reduction combine, dispatching on `reduce`.
+  T combine(const T& a, const T& b) const {
+    return reduce_combine(reduce, a, b);
   }
 
   void require_valid(std::uint32_t nprocs) const {
@@ -264,6 +335,11 @@ struct TmkCounters {
   std::uint64_t whole_pages = 0;
   std::uint64_t diff_bytes = 0;
   std::uint64_t cross_prefetch_posts = 0;  ///< barrier-exit prefetches posted
+  /// Every posted prefetch is accounted for exactly once:
+  /// posts == consumes (completed at first use) + drains (completed at
+  /// backend teardown after an early exit left one in flight).
+  std::uint64_t cross_prefetch_consumes = 0;
+  std::uint64_t cross_prefetch_drains = 0;
 };
 
 /// Result of one kernel execution, uniform across backends.
@@ -277,6 +353,10 @@ struct KernelResult {
   /// inspector time on CHAOS, Read_indices scan time on Tmk.
   double overhead_seconds = 0;
   std::int64_t rebuilds = 0;  ///< item-list rebuilds (= inspector runs)
+  /// Timed steps actually executed: num_steps, or fewer when `converged`
+  /// terminated the loop early.  Identical on every backend (the
+  /// convergence flag is globally agreed), so it is a parity metric too.
+  std::int64_t steps_run = 0;
   /// Shape of the last-built structure, summed/maxed over nodes: total
   /// flattened references and the longest row — the degree-skew audit
   /// trail for CSR workloads.

@@ -23,6 +23,8 @@ constexpr std::uint32_t kSchedRebuildRead = 100;
 constexpr std::uint32_t kSchedListWrite = 101;
 constexpr std::uint32_t kSchedTouchWrite = 102;
 constexpr std::uint32_t kSchedTouchRead = 103;
+constexpr std::uint32_t kSchedConvWrite = 104;
+constexpr std::uint32_t kSchedConvRead = 105;
 constexpr std::uint32_t kSchedReduceBase = 1000;   // + chunk owner
 constexpr std::uint32_t kSchedUpdateRead = 2000;
 constexpr std::uint32_t kSchedUpdateWrite = 2001;
@@ -110,6 +112,15 @@ struct TournamentPlan {
 /// Every node runs this on the identical matrix, so all brackets agree.
 /// Contributors are ordered owner-first, then in the serial schedule's
 /// accumulation order, making the pairing deterministic.
+///
+/// All-zero rows are first-class: a node with an empty frontier
+/// contributes to no chunk, so it appears in no contributor list except
+/// as the (unconditional) owner seed of its own chunk, and an all-zero
+/// MATRIX — every node's frontier empty, e.g. the steps after a BFS
+/// exhausts a component — degenerates to zero fused rounds, every chunk
+/// reduced by its owner alone.  The round count is a pure function of the
+/// shared matrix, so empty rows can never desynchronize the per-round
+/// barriers.
 TournamentPlan build_tournament_plan(NodeId me, std::uint32_t nprocs,
                                      const std::vector<part::Range>& owner_range,
                                      const std::vector<std::uint8_t>& touch) {
@@ -210,11 +221,23 @@ KernelResult TmkBackend::run_impl(const KernelSpec<T>& spec) {
     }
   }
 
+  // The DSM-published convergence flag: one byte per node in one shared
+  // array (the multiple-writer protocol merges the per-node writes).  Each
+  // node writes its verdict before the step barrier and reads all of them
+  // after it, so every node derives the identical termination decision
+  // with no side channel.  Allocated only when the kernel converges, so
+  // non-converging kernels keep a bit-identical heap layout and traffic.
+  const bool has_conv = static_cast<bool>(spec.converged);
+  core::GlobalArray<std::uint8_t> conv_flags{};
+  if (has_conv) conv_flags = rt.alloc_global<std::uint8_t>(nprocs);
+
   const rsd::ArrayLayout x_layout{{spec.num_elements}, true};
   const rsd::ArrayLayout list_layout{
       {static_cast<std::int64_t>(slice_ints * nprocs)}, true};
   const rsd::ArrayLayout touch_layout{{static_cast<std::int64_t>(nprocs)},
                                       true};
+  const rsd::ArrayLayout conv_layout{{static_cast<std::int64_t>(nprocs)},
+                                     true};
   compiler::Bindings bindings;
   bindings["X"] = compiler::ArrayBinding{x.addr, sizeof(T), x_layout};
   bindings["F"] = compiler::ArrayBinding{f.addr, sizeof(T), x_layout};
@@ -231,6 +254,8 @@ KernelResult TmkBackend::run_impl(const KernelSpec<T>& spec) {
     std::size_t refs = 0;       ///< flattened references this rebuild
     std::size_t max_row = 0;
     std::int64_t rebuilds = 0;
+    std::int64_t steps_run = 0;  ///< steps executed (warmup + timed)
+    bool done = false;           ///< globally converged: no further steps
     double checksum = 0;
   };
   std::vector<PerNode> state(nprocs);
@@ -258,16 +283,25 @@ KernelResult TmkBackend::run_impl(const KernelSpec<T>& spec) {
     const std::int64_t my_ref0 =
         static_cast<std::int64_t>(me) * static_cast<std::int64_t>(slice_ints);
 
+    // The rebuild's whole-state read: issued by validate at the rebuild
+    // itself, and — when cross-step prefetch is on — posted identically
+    // from the previous step's barrier exit, so the same pages fly the
+    // same way and only the wait moves.
+    const auto rebuild_read_desc = [&] {
+      return core::DescriptorBuilder::array(x, x_layout)
+          .elements(0, spec.num_elements - 1)
+          .schedule(kSchedRebuildRead)
+          .read();
+    };
+
     for (int s = 0; s < steps; ++s) {
+      if (st.done) break;  // globally converged in an earlier (warmup) call
       const int global_step = steps_done + s;
-      if (spec.rebuild_at(global_step)) {
+      if (spec.rebuild_needed(global_step)) {
         if (optimized_ && spec.rebuild_reads_state) {
           // Prefetch the whole state with one aggregated exchange per
           // producer before the structure builder scans it.
-          self.validate({core::DescriptorBuilder::array(x, x_layout)
-                             .elements(0, spec.num_elements - 1)
-                             .schedule(kSchedRebuildRead)
-                             .read()});
+          self.validate({rebuild_read_desc()});
         }
         WorkItems items = spec.build_items(node, std::span<const T>(xp, n));
         const ItemsShape shape = spec.require_valid_items(items);
@@ -339,7 +373,12 @@ KernelResult TmkBackend::run_impl(const KernelSpec<T>& spec) {
       }
 
       // The compute loop (the compiled kernel), accumulating privately.
-      std::fill(st.accum.begin(), st.accum.end(), T{});
+      // Seeded with the reduction identity, NOT zero: for a min-reduction
+      // every untouched element — including every element of a node whose
+      // frontier is empty — must contribute nothing, and the serial
+      // round-0 owner write / tournament owner write publish this
+      // accumulator verbatim.
+      std::fill(st.accum.begin(), st.accum.end(), spec.f_identity);
       if (optimized_) {
         // Offset-driven bounds: this node's rows occupy the flat range
         // [my_ref0, my_ref0 + refs) of LIST, whatever their lengths
@@ -389,7 +428,8 @@ KernelResult TmkBackend::run_impl(const KernelSpec<T>& spec) {
               }
             } else {
               for (std::int64_t i = chunk.begin; i < chunk.end; ++i) {
-                fp[i] += st.accum[static_cast<std::size_t>(i)];
+                fp[i] =
+                    spec.combine(fp[i], st.accum[static_cast<std::size_t>(i)]);
               }
             }
           }
@@ -457,7 +497,8 @@ KernelResult TmkBackend::run_impl(const KernelSpec<T>& spec) {
             for (const RoundOp& op : combs) {
               const T* sp = self.ptr(scratch[op.partner]);
               for (std::int64_t i = op.range.begin; i < op.range.end; ++i) {
-                st.accum[static_cast<std::size_t>(i)] += sp[i];
+                st.accum[static_cast<std::size_t>(i)] = spec.combine(
+                    st.accum[static_cast<std::size_t>(i)], sp[i]);
               }
             }
           }
@@ -496,7 +537,54 @@ KernelResult TmkBackend::run_impl(const KernelSpec<T>& spec) {
             std::span<const T>(fp + mine.begin,
                                static_cast<std::size_t>(mine.size())));
       }
+
+      // Convergence verdict: published into this node's flag byte before
+      // the step barrier, so the barrier's write notices carry every
+      // node's verdict to every node.
+      if (has_conv) {
+        const bool mine_done = spec.converged(
+            node, std::span<const T>(xp + mine.begin,
+                                     static_cast<std::size_t>(mine.size())));
+        if (optimized_) {
+          self.validate({core::DescriptorBuilder::array(conv_flags,
+                                                        conv_layout)
+                             .elements(me, me)
+                             .schedule(kSchedConvWrite)
+                             .write()});
+        }
+        self.ptr(conv_flags)[me] = mine_done ? 1 : 0;
+      }
       self.barrier();
+      ++st.steps_run;
+
+      // Cross-step prefetch of the next rebuild's whole-state read: at the
+      // barrier exit the state is final (nothing writes x until the next
+      // update phase), so the aggregated requests the rebuild validate
+      // would post can fly under the convergence check below.  If that
+      // check ends the loop, the post is left in flight and settled by the
+      // teardown drain (DsmRuntime::run) — the one case where prefetching
+      // costs traffic a non-prefetched run would not pay.
+      if (prefetch && spec.rebuild_reads_state && s + 1 < steps &&
+          spec.rebuild_needed(global_step + 1)) {
+        self.post_validate_prefetch({rebuild_read_desc()});
+      }
+
+      // Read every node's verdict (aggregated fetch under Validate, demand
+      // faults on the base backend); all nodes see the identical flags, so
+      // the loop terminates globally or not at all.
+      if (has_conv) {
+        if (optimized_) {
+          self.validate({core::DescriptorBuilder::array(conv_flags,
+                                                        conv_layout)
+                             .elements(0, nprocs - 1)
+                             .schedule(kSchedConvRead)
+                             .read()});
+        }
+        const std::uint8_t* cp = self.ptr(conv_flags);
+        bool all = true;
+        for (std::uint32_t q = 0; q < nprocs; ++q) all = all && cp[q] != 0;
+        if (all) st.done = true;
+      }
     }
   };
 
@@ -509,6 +597,7 @@ KernelResult TmkBackend::run_impl(const KernelSpec<T>& spec) {
   const double warm_scan_s =
       static_cast<double>(rt.stats().scan_ns.get()) / 1e9;
   rt.reset_stats();
+  const std::int64_t warm_steps_run = state[0].steps_run;
 
   const Timer wall;
   rt.run([&](core::DsmNode& self) {
@@ -532,14 +621,18 @@ KernelResult TmkBackend::run_impl(const KernelSpec<T>& spec) {
     res.refs += st.refs;
     res.max_row = std::max<std::uint64_t>(res.max_row, st.max_row);
   }
+  res.steps_run = state[0].steps_run - warm_steps_run;
   // Every node executes the same global barriers, so the per-node count is
   // the total divided by nprocs; stats were reset after warmup, so this
-  // covers exactly the timed steps.
-  if (spec.num_steps > 0) {
+  // covers exactly the timed steps actually executed (fewer than num_steps
+  // when the convergence flag ended the loop early).
+  if (res.steps_run > 0) {
     res.barriers_per_step = static_cast<double>(rt.stats().barriers.get()) /
-                            nprocs / spec.num_steps;
+                            nprocs / static_cast<double>(res.steps_run);
   }
   res.tmk.cross_prefetch_posts = rt.stats().cross_prefetch_posts.get();
+  res.tmk.cross_prefetch_consumes = rt.stats().cross_prefetch_consumes.get();
+  res.tmk.cross_prefetch_drains = rt.stats().cross_prefetch_drains.get();
   res.tmk.validate_calls = rt.stats().validate_calls.get();
   res.tmk.validate_recomputes = rt.stats().validate_recomputes.get();
   res.tmk.read_faults = rt.stats().read_faults.get();

@@ -1,0 +1,72 @@
+// Shared graph construction for the frontier-driven workloads (BFS,
+// connected components).
+//
+// The generator builds an undirected graph of two parts:
+//   - a connected core of `num_vertices - isolated` vertices: a ring (so
+//     the graph is connected and has real diameter) plus
+//     `chords_per_vertex` random chords per vertex (so the diameter stays
+//     small and the reference pattern is irregular);
+//   - an optional isolated tail of `isolated` vertices forming their own
+//     ring — a second component no core vertex can reach.  BFS from a core
+//     source leaves the tail unreached, and once the core is exhausted
+//     every remaining step has an EMPTY frontier on every node — the
+//     harshest case of the per-node empty-WorkItems contract.  Connected
+//     components must find exactly two labels.
+//
+// Frontier algorithms invert the paper's "work list changes every few
+// steps" assumption: the item list is data-dependent and changes at EVERY
+// step, which is the access-pattern class Rolinger et al.
+// (arXiv:2303.13954) use to stress PGAS compilers.  Here it is the
+// harshest test of the rebuild path: per-step inspector runs / allgathers
+// on CHAOS, per-step Read_indices refreshes and touch-matrix re-brackets
+// on the DSM backends.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/api/api.hpp"
+#include "src/apps/app_types.hpp"
+
+namespace sdsm::apps::graph {
+
+struct Params {
+  std::int64_t num_vertices = 4096;
+  int chords_per_vertex = 2;   ///< random extra edges per core vertex
+  std::int64_t isolated = 0;   ///< trailing vertices in a separate ring
+  std::int64_t source = 0;     ///< BFS source (must be a core vertex)
+  int num_steps = 64;          ///< step cap (upper bound when converging)
+  int warmup_steps = 0;        ///< rebuild cost is the point: time it
+  bool use_convergence = true; ///< converged-early-exit on/off
+  std::uint64_t seed = 11;
+  std::uint32_t nprocs = 4;
+};
+
+/// Undirected adjacency in CSR form (neighbours of v = row v), both
+/// directions materialized.  Deterministic in (num_vertices,
+/// chords_per_vertex, isolated, seed).
+Csr build_graph(const Params& p);
+
+/// The value marking "not reached yet" in the BFS distance array and the
+/// min-reduction identity of both workloads: strictly greater than any
+/// reachable distance (<= num_vertices - 1) and any label (vertex id).
+inline double unreached(const Params& p) {
+  return static_cast<double>(p.num_vertices);
+}
+
+/// Order- and partition-insensitive digest of a distance/label vector:
+/// values are small integers stored in doubles and the digest is an exact
+/// integer sum, so the whole-array sequential digest and the sum of
+/// per-node digests must match bit for bit on every backend.
+double int_vector_checksum(std::span<const double> x);
+
+/// Capacity bounds for a frontier kernel over `adj` under a contiguous
+/// partition: in the worst step every owned vertex is in the frontier, so
+/// the per-node row bound is the owned count and the ref bound is owned +
+/// owned adjacency.
+void frontier_capacity(const Csr& adj,
+                       const std::vector<part::Range>& owner_range,
+                       std::int64_t* max_items, std::int64_t* max_refs);
+
+}  // namespace sdsm::apps::graph

@@ -41,6 +41,13 @@ struct DsmStats {
   Counter pages_prefetched;     ///< pages fetched through Validate aggregation
   Counter cross_prefetch_posts;  ///< cross-step prefetches posted at sync exit
   Counter cross_prefetch_pages;  ///< pages those prefetches requested
+  /// Prefetch lifecycle closure: every post ends as exactly one consume
+  /// (completed at first use — validate, fault, or sync op) or one drain
+  /// (completed at teardown because an early exit — rebuild_when /
+  /// convergence ending the step loop between a barrier exit and the next
+  /// validate — left it in flight).  posts == consumes + drains.
+  Counter cross_prefetch_consumes;
+  Counter cross_prefetch_drains;
   Counter scan_ns;              ///< wall time spent inside Read_indices
   Counter mprotect_calls;       ///< actual mprotect syscalls after batching
   Counter lock_acquires;
@@ -71,6 +78,8 @@ struct DsmStats {
     pages_prefetched.reset();
     cross_prefetch_posts.reset();
     cross_prefetch_pages.reset();
+    cross_prefetch_consumes.reset();
+    cross_prefetch_drains.reset();
     scan_ns.reset();
     mprotect_calls.reset();
     t_barrier_ns.reset();

@@ -57,6 +57,9 @@ DsmNode::DsmNode(DsmRuntime& rt, NodeId id)
 
 DsmNode::~DsmNode() {
   SDSM_ASSERT(!service_thread_.joinable());  // runtime joins before destruction
+  // No prefetch ticket may outlive its run: DsmRuntime::run drains any the
+  // body left in flight (early exit between barrier and next validate).
+  SDSM_ASSERT(prefetch_.empty());
   vm::FaultDispatcher::instance().unregister_region(region_.base());
 }
 
@@ -743,7 +746,13 @@ void DsmRuntime::run(const std::function<void(DsmNode&)>& body) {
   std::vector<std::thread> workers;
   workers.reserve(nodes_.size());
   for (auto& node : nodes_) {
-    workers.emplace_back([&body, &node] { body(*node); });
+    workers.emplace_back([&body, &node] {
+      body(*node);
+      // Still on the node's compute thread, with every peer's service
+      // thread alive: the only safe point to settle a prefetch the body's
+      // early exit left on the wire.
+      node->drain_prefetch();
+    });
   }
   for (auto& t : workers) t.join();
 }

@@ -251,6 +251,18 @@ class DsmNode {
   /// prefetching; only the wait moves.
   void post_validate_prefetch(const std::vector<AccessDescriptor>& descs);
 
+  /// Completes the outstanding cross-step prefetch, if any, counting it as
+  /// drained rather than consumed.  Called by DsmRuntime::run on each
+  /// node's compute thread after the body returns: a data-dependent early
+  /// exit (rebuild_when / a convergence flag ending the step loop between
+  /// a barrier exit and the next validate) can leave a posted prefetch in
+  /// flight, and its tickets must not outlive the run — peers' service
+  /// threads have already sent the replies, so the drain never blocks on
+  /// new work.  Accounting invariant, asserted in tests:
+  /// cross_prefetch_posts == cross_prefetch_consumes +
+  /// cross_prefetch_drains.
+  void drain_prefetch();
+
   // --- Introspection -------------------------------------------------------
 
   PageState page_state(PageId page) const { return pages_[page].state; }

@@ -155,6 +155,15 @@ void DsmNode::notice_watched_page(PageId page) {
 
 void DsmNode::consume_prefetch() {
   if (prefetch_.empty()) return;
+  stats().cross_prefetch_consumes.add(1);
+  PendingFetch pf = std::move(prefetch_);
+  prefetch_ = PendingFetch{};
+  complete_fetch(std::move(pf));
+}
+
+void DsmNode::drain_prefetch() {
+  if (prefetch_.empty()) return;
+  stats().cross_prefetch_drains.add(1);
   PendingFetch pf = std::move(prefetch_);
   prefetch_ = PendingFetch{};
   complete_fetch(std::move(pf));

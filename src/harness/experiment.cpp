@@ -51,7 +51,7 @@ void Table::print(std::ostream& os) const {
      << std::right << std::setw(10) << "Time(s)" << std::setw(9) << "Speedup"
      << std::setw(10) << "Messages" << std::setw(10) << "Data(MB)"
      << std::setw(12) << "Ovhd(s)" << std::setw(10) << "Barr/step"
-     << "  Note\n";
+     << std::setw(10) << "Rebuilds" << "  Note\n";
   std::string last_group;
   for (const Row& r : rows_) {
     const bool first_of_group = r.group != last_group;
@@ -61,8 +61,8 @@ void Table::print(std::ostream& os) const {
        << std::setprecision(2) << std::setw(9) << r.speedup << std::setw(10)
        << r.messages << std::setprecision(2) << std::setw(10) << r.megabytes
        << std::setprecision(4) << std::setw(12) << r.overhead_seconds
-       << std::setprecision(1) << std::setw(10) << r.barriers_per_step << "  "
-       << r.note << "\n";
+       << std::setprecision(1) << std::setw(10) << r.barriers_per_step
+       << std::setw(10) << r.rebuilds << "  " << r.note << "\n";
     last_group = r.group;
   }
   os << "\n";
@@ -70,7 +70,8 @@ void Table::print(std::ostream& os) const {
 
 void Table::print_csv(std::ostream& os) const {
   os << "# csv: group,variant,seconds,speedup,seq_seconds,messages,"
-        "megabytes,overhead_seconds,refs,max_row,schedule,barriers_per_step\n";
+        "megabytes,overhead_seconds,refs,max_row,schedule,barriers_per_step,"
+        "rebuilds\n";
   for (const Row& r : rows_) {
     os << "# csv: " << r.group << ',' << r.variant << ',' << std::fixed
        << std::setprecision(6) << r.seconds << ',' << std::setprecision(3)
@@ -78,7 +79,7 @@ void Table::print_csv(std::ostream& os) const {
        << r.messages << ',' << std::setprecision(3) << r.megabytes << ','
        << std::setprecision(6) << r.overhead_seconds << ',' << r.refs << ','
        << r.max_row << ',' << r.schedule << ',' << std::setprecision(3)
-       << r.barriers_per_step << "\n";
+       << r.barriers_per_step << ',' << r.rebuilds << "\n";
   }
 }
 
@@ -101,7 +102,8 @@ void Table::print_json(std::ostream& os) const {
        << r.refs << ", \"max_row\": " << r.max_row << ", \"schedule\": ";
     json_string(os, r.schedule);
     os << ", \"barriers_per_step\": " << std::setprecision(3)
-       << r.barriers_per_step << ", \"note\": ";
+       << r.barriers_per_step << ", \"rebuilds\": " << r.rebuilds
+       << ", \"note\": ";
     json_string(os, r.note);
     os << "}";
   }

@@ -41,6 +41,11 @@ struct Row {
   /// the round schedules are compared by (timing on a 1-core shared
   /// runner is oversubscribed noise; barrier and message counts are not).
   double barriers_per_step = 0;
+  /// Item-list rebuilds over the run (inspector runs / Read_indices
+  /// refreshes, warmup included).  Frontier workloads rebuild every step,
+  /// so this column is what makes rebuild-heavy rows auditable in the
+  /// bench trajectory; static structures report 1.
+  std::int64_t rebuilds = 0;
 };
 
 class Table {

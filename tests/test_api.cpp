@@ -3,6 +3,9 @@
 // checksum parity for kernels written once (moldyn and spmv).
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
+
 #include "src/api/api.hpp"
 #include "src/apps/moldyn/moldyn_kernel.hpp"
 #include "src/apps/pagerank/pagerank.hpp"
@@ -431,6 +434,205 @@ TEST(CrossStepPrefetch, IgnoredOnBaseBackend) {
   EXPECT_EQ(r_off.messages, r_on.messages);
   EXPECT_EQ(r_off.megabytes, r_on.megabytes);
   EXPECT_EQ(r_on.tmk.cross_prefetch_posts, 0u);
+}
+
+// A small deterministic diffusion kernel for exercising the
+// data-dependent-iteration contract: fixed scattered rows, state read at
+// every rebuild, and hooks for rebuild_when / converged.  State keeps
+// changing every step (unlike BFS/CC, which converge "quietly"), so a
+// prefetch posted at the final step's barrier exit has real pages in
+// flight when an early exit abandons it.
+struct IterationCase {
+  std::int64_t n = 1024;
+  std::uint32_t nprocs = 4;
+  int warmup_steps = 0;
+  int num_steps = 6;
+  int update_interval = 0;
+  std::function<bool(int)> rebuild_when;
+  int converge_after = 0;  ///< >0: converged flag fires at this step count
+};
+
+KernelSpec<double> make_iteration_spec(const IterationCase& c) {
+  KernelSpec<double> spec;
+  spec.name = "iteration-case";
+  spec.num_elements = c.n;
+  spec.owner_range = part::block_partition(c.n, c.nprocs);
+  spec.initial_state.resize(static_cast<std::size_t>(c.n));
+  for (std::int64_t i = 0; i < c.n; ++i) {
+    spec.initial_state[static_cast<std::size_t>(i)] =
+        static_cast<double>(i % 19) / 7.0;
+  }
+  spec.num_steps = c.num_steps;
+  spec.warmup_steps = c.warmup_steps;
+  spec.update_interval = c.update_interval;
+  spec.rebuild_when = c.rebuild_when;
+  spec.rebuild_reads_state = true;
+  spec.max_items_per_node = c.n;
+  spec.max_refs_per_node = 3 * c.n;
+
+  const auto ranges = spec.owner_range;
+  const std::int64_t n = c.n;
+  spec.build_items = [ranges, n](IrregularNode& node, std::span<const double>) {
+    const part::Range mine = ranges[node.id()];
+    WorkItems items;
+    for (std::int64_t i = mine.begin; i < mine.end; i += 2) {
+      items.push_row({i, (i * 7 + 11) % n, (i * 3 + 5) % n});
+    }
+    return items;
+  };
+  spec.compute = [](IrregularNode&, const KernelCtx<double>& ctx) {
+    for (std::size_t k = 0; k < ctx.num_items(); ++k) {
+      const auto row = ctx.refs_of(k);
+      const double xi = ctx.x[static_cast<std::size_t>(row[0])];
+      for (std::size_t j = 1; j < row.size(); ++j) {
+        const double d = xi - ctx.x[static_cast<std::size_t>(row[j])];
+        ctx.f[static_cast<std::size_t>(row[0])] -= d;
+        ctx.f[static_cast<std::size_t>(row[j])] += d;
+      }
+    }
+  };
+  spec.update = [](std::span<double> x, std::span<const double> f) {
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] += 0.0625 * f[i];
+  };
+  if (c.converge_after > 0) {
+    // Converges by fiat after a fixed number of steps — deterministic and
+    // node-agnostic, while the state is still in motion.
+    auto count = std::make_shared<std::vector<int>>(c.nprocs, 0);
+    const int after = c.converge_after;
+    spec.converged = [count, after](IrregularNode& node,
+                                    std::span<const double>) {
+      return ++(*count)[node.id()] >= after;
+    };
+  }
+  spec.checksum = [](std::span<const double> x) {
+    double s = 0, s2 = 0;
+    for (const double v : x) {
+      s += v;
+      s2 += v * v;
+    }
+    return s + s2;
+  };
+  return spec;
+}
+
+// Regression (rebuild_needed step-0 semantics): the bootstrap build at
+// step 0 is that step's rebuild, exactly once, even when the
+// update_interval cadence divides 0 AND rebuild_when(0) fires too.  A
+// naive "initial build, then check the cadence" runs the inspector twice
+// at step 0 and KernelResult::rebuilds comes out one high.
+TEST(RebuildSchedule, StepZeroBuildsExactlyOnce) {
+  struct Expect {
+    int update_interval;
+    std::function<bool(int)> when;
+    std::int64_t rebuilds;  // over warmup(1) + timed(5) = global steps 0..5
+  };
+  const std::vector<Expect> cases = {
+      // Cadence divides 0: steps 0,2,4 — not 0 twice.
+      {2, nullptr, 3},
+      // Cadence AND predicate both fire at 0: still one build there.
+      {2, [](int s) { return s % 3 == 0; }, 4},  // 0,2,3,4 (0 once)
+      // Predicate-only cadence: 0 (bootstrap), 3.
+      {0, [](int s) { return s % 3 == 0; }, 2},
+      // Static structure: the bootstrap build alone.
+      {0, nullptr, 1},
+      // Every step.
+      {1, nullptr, 6},
+  };
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    IterationCase c;
+    c.warmup_steps = 1;
+    c.num_steps = 5;
+    c.update_interval = cases[i].update_interval;
+    c.rebuild_when = cases[i].when;
+    double checksums[3];
+    int bi = 0;
+    for (const Backend b : kAllBackends) {
+      BackendOptions opts;
+      opts.region_bytes = 16u << 20;
+      opts.table = chaos::TableKind::kReplicated;
+      const auto r = run_kernel(b, make_iteration_spec(c), opts);
+      EXPECT_EQ(r.rebuilds, cases[i].rebuilds)
+          << "case " << i << " on " << backend_name(b);
+      EXPECT_EQ(r.steps_run, c.num_steps)
+          << "case " << i << " on " << backend_name(b);
+      checksums[bi++] = r.checksum;
+    }
+    EXPECT_EQ(checksums[0], checksums[1]) << "case " << i;
+    EXPECT_EQ(checksums[1], checksums[2]) << "case " << i;
+  }
+}
+
+// Regression (prefetch leaked on early exit): with cross-step prefetch on,
+// the backend posts the next rebuild's whole-state read from the step
+// barrier's return path; when the convergence flag then ends the loop
+// before the next validate, that post is in flight with nowhere to
+// complete.  The teardown drain settles it — pre-fix, the ticket leaked
+// (ASan-unhappy on the socket transport) and the accounting below could
+// not balance.  Every posted prefetch must end as exactly one consume or
+// one drain.
+TEST(CrossStepPrefetch, DrainedOnEarlyConvergenceExit) {
+  for (const RoundSchedule s : kAllSchedules) {
+    IterationCase c;
+    // Page-aligned chunks (4096 doubles / 4 nodes = 2 pages each): the
+    // final checksum then touches only locally-valid owned pages, so
+    // nothing accidentally "first-uses" the abandoned prefetch — it must
+    // reach teardown in flight.
+    c.n = 4096;
+    c.num_steps = 8;
+    c.converge_after = 4;  // early exit while the state is still changing
+    c.rebuild_when = [](int) { return true; };
+    BackendOptions off;
+    off.region_bytes = 16u << 20;
+    off.round_schedule = s;
+    BackendOptions on = off;
+    on.cross_step_prefetch = true;
+    const auto r_off = run_kernel(Backend::kTmkOptimized,
+                                  make_iteration_spec(c), off);
+    const auto r_on = run_kernel(Backend::kTmkOptimized,
+                                 make_iteration_spec(c), on);
+    EXPECT_EQ(r_on.steps_run, 4) << round_schedule_name(s);
+    EXPECT_EQ(r_off.checksum, r_on.checksum) << round_schedule_name(s);
+    EXPECT_GT(r_on.tmk.cross_prefetch_posts, 0u) << round_schedule_name(s);
+    // The early exit abandoned the final step's rebuild prefetch on every
+    // node; teardown drained each one, and nothing fell through the
+    // accounting.
+    EXPECT_GT(r_on.tmk.cross_prefetch_drains, 0u) << round_schedule_name(s);
+    EXPECT_EQ(r_on.tmk.cross_prefetch_posts,
+              r_on.tmk.cross_prefetch_consumes +
+                  r_on.tmk.cross_prefetch_drains)
+        << round_schedule_name(s);
+    EXPECT_EQ(r_off.tmk.cross_prefetch_posts, 0u) << round_schedule_name(s);
+  }
+}
+
+// The non-exiting counterpart: when the step loop runs to its cap, no
+// prefetch is ever left in flight (the final step posts nothing), so
+// drains stay zero and traffic is exactly equal with and without
+// prefetching — the original contract, now covering the rebuild-read
+// prefetch too.
+TEST(CrossStepPrefetch, RebuildReadTrafficEqualWithoutEarlyExit) {
+  for (const RoundSchedule s : kAllSchedules) {
+    IterationCase c;
+    c.num_steps = 6;
+    c.rebuild_when = [](int) { return true; };
+    BackendOptions off;
+    off.region_bytes = 16u << 20;
+    off.round_schedule = s;
+    BackendOptions on = off;
+    on.cross_step_prefetch = true;
+    const auto r_off = run_kernel(Backend::kTmkOptimized,
+                                  make_iteration_spec(c), off);
+    const auto r_on = run_kernel(Backend::kTmkOptimized,
+                                 make_iteration_spec(c), on);
+    EXPECT_EQ(r_off.messages, r_on.messages) << round_schedule_name(s);
+    EXPECT_EQ(r_off.megabytes, r_on.megabytes) << round_schedule_name(s);
+    EXPECT_EQ(r_off.checksum, r_on.checksum) << round_schedule_name(s);
+    EXPECT_GT(r_on.tmk.cross_prefetch_posts, 0u) << round_schedule_name(s);
+    EXPECT_EQ(r_on.tmk.cross_prefetch_drains, 0u) << round_schedule_name(s);
+    EXPECT_EQ(r_on.tmk.cross_prefetch_posts,
+              r_on.tmk.cross_prefetch_consumes)
+        << round_schedule_name(s);
+  }
 }
 
 TEST(CrossBackend, OptimizedAggregationBeatsDemandPaging) {

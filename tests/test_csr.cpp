@@ -300,6 +300,35 @@ TEST(CsrEdgeCases, EmptyRowsAndAnEmptyNode) {
   sweep_case(c);
 }
 
+// No row at all on one node (empty WorkItems, all-zero touch-matrix row)
+// under the tournament schedule: the bracket is derived from the shared
+// matrix, so the empty node pairs into no chunk but still executes every
+// fused-round barrier — nprocs=4 regression for the zero-item pairing
+// assumption (the min-reduction flavour lives in test_graph).
+TEST(CsrEdgeCases, ZeroItemNodeUnderTournamentSchedule) {
+  Case c;
+  c.n = 3072;
+  c.nprocs = 4;
+  c.update_interval = 2;  // the all-zero row is republished at rebuilds
+  c.row_of = [](const Case& c2, std::int64_t i, int) {
+    // Node 3's elements [2304, 3072) produce nothing; everyone else's
+    // rows scatter across all chunks.
+    if (i >= 2304) return std::vector<std::int64_t>{};
+    return std::vector<std::int64_t>{i, (i * 7 + 1) % c2.n,
+                                     (i * 13 + 5) % c2.n};
+  };
+  const double seq = run_seq(c);
+  for (const Backend b : {Backend::kTmkBase, Backend::kTmkOptimized}) {
+    BackendOptions opts;
+    opts.region_bytes = 16u << 20;
+    opts.round_schedule = RoundSchedule::kTournament;
+    const KernelResult r = run_kernel(b, make_spec(c), opts);
+    EXPECT_TRUE(checksum_close(seq, r.checksum))
+        << backend_name(b) << ": " << seq << " vs " << r.checksum;
+    EXPECT_GT(r.barriers_per_step, 1.0) << backend_name(b);
+  }
+}
+
 // Element 0 carries one giant row referencing ~6000 scattered elements —
 // dozens of index-array pages and every page of x; every other element
 // contributes nothing.  max_row in the result must report it.
