@@ -21,6 +21,7 @@
 // carries the same traffic over real TCP so wire cost is measured.  The
 // socket run writes BENCH_api_socket.json so the two trajectories never
 // overwrite each other.
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 
@@ -31,8 +32,11 @@
 #include "src/apps/nbf/nbf_kernel.hpp"
 #include "src/apps/pagerank/pagerank.hpp"
 #include "src/apps/spmv/spmv.hpp"
+#include "src/common/timer.hpp"
 #include "src/harness/experiment.hpp"
-#include "src/net/transport_flag.hpp"
+#include "src/harness/options.hpp"
+#include "src/serve/client.hpp"
+#include "src/serve/server.hpp"
 
 namespace {
 
@@ -59,10 +63,11 @@ void add_row(harness::Table& table, const char* group, api::Backend b,
 }
 
 void add_rows(
-    harness::Table& table, const char* group, double seq_seconds,
-    double seq_checksum, const api::BackendOptions& opts,
+    harness::Table& table, const std::vector<api::Backend>& backends,
+    const char* group, double seq_seconds, double seq_checksum,
+    const api::BackendOptions& opts,
     const std::function<api::KernelResult(api::Backend)>& run_one) {
-  for (const api::Backend b : api::kAllBackends) {
+  for (const api::Backend b : backends) {
     add_row(table, group, b, seq_seconds, seq_checksum, opts, run_one(b));
   }
 }
@@ -72,25 +77,184 @@ void add_rows(
 /// prefetch on — traffic is provably identical with it off, and the bench
 /// exercises the full fused pipeline the rows exist to measure.
 void add_tournament_rows(
-    harness::Table& table, const char* group, double seq_seconds,
-    double seq_checksum, api::BackendOptions opts,
+    harness::Table& table, const std::vector<api::Backend>& backends,
+    const char* group, double seq_seconds, double seq_checksum,
+    api::BackendOptions opts,
     const std::function<api::KernelResult(api::Backend,
                                           const api::BackendOptions&)>& run_one) {
   opts.round_schedule = api::RoundSchedule::kTournament;
   opts.cross_step_prefetch = true;
   for (const api::Backend b :
        {api::Backend::kTmkBase, api::Backend::kTmkOptimized}) {
+    if (std::find(backends.begin(), backends.end(), b) == backends.end()) {
+      continue;
+    }
     add_row(table, group, b, seq_seconds, seq_checksum, opts, run_one(b, opts));
   }
+}
+
+/// One serving-layer job outcome as a table row.  `seconds` is the job's
+/// run time (queue wait excluded), so serve rows are comparable to the
+/// one-shot rows of the same workload.
+void add_serve_row(harness::Table& table, const char* group,
+                   double seq_seconds, double seq_checksum,
+                   const serve::JobStats& s) {
+  char note[112];
+  std::snprintf(note, sizeof(note),
+                "checksum %s, %lld inspector runs, %llu structure msgs",
+                checksum_close(seq_checksum, s.checksum) ? "OK" : "MISMATCH",
+                static_cast<long long>(s.inspector_runs),
+                static_cast<unsigned long long>(s.structure_messages));
+  harness::Row row;
+  row.group = group;
+  row.variant = api::backend_name(s.backend);
+  row.seconds = s.run_seconds;
+  row.speedup = harness::speedup(seq_seconds, s.run_seconds);
+  row.messages = s.messages;
+  row.megabytes = s.megabytes;
+  row.note = note;
+  row.seq_seconds = seq_seconds;
+  row.schedule = s.backend == api::Backend::kChaos ? "-" : "serial";
+  row.rebuilds = s.rebuilds;
+  table.add(row);
+}
+
+/// The serving-layer groups.  Workers = 1 throughout: a single worker
+/// makes the miss-then-hit order (and therefore every cache_hits and
+/// message count) deterministic, which is what lets compare_bench.py gate
+/// these rows exactly.
+void add_serve_groups(harness::Table& table,
+                      const std::vector<api::Backend>& backends,
+                      net::TransportKind transport) {
+  // --- one-shot vs serve-miss vs serve-hit: moldyn 2048x12 ----------------
+  moldyn::Params p;
+  p.num_molecules = 2048;
+  p.num_steps = 12;
+  p.update_interval = 6;
+  p.nprocs = bench::kNodes;
+  const auto sys = moldyn::make_system(p);
+  const auto seq = moldyn::run_seq(p, sys);
+
+  serve::ServerConfig cfg;
+  cfg.nprocs = bench::kNodes;
+  cfg.workers = 1;
+  cfg.queue_capacity = 32;
+  serve::KernelServer server(cfg);
+  serve::Client client = serve::Client::in_proc(server);
+
+  serve::JobRequest req;
+  req.kernel = "moldyn";
+  req.graph.num_elements = p.num_molecules;
+  req.graph.num_steps = p.num_steps;
+  req.graph.update_interval = p.update_interval;
+  req.transport = transport;
+
+  api::BackendOptions opts = moldyn::default_options();
+  opts.transport = transport;
+
+  std::vector<api::KernelResult> one_shot;
+  std::vector<serve::JobStats> miss, hit;
+  for (const api::Backend b : backends) {
+    req.backend = b;
+    one_shot.push_back(moldyn::run(b, p, sys, opts));
+    miss.push_back(client.run(req));   // cold cache: inspector runs
+    hit.push_back(client.run(req));    // warm cache: executor-only
+  }
+  for (std::size_t i = 0; i < backends.size(); ++i) {
+    add_row(table, "serve moldyn 2048x12 one-shot", backends[i], seq.seconds,
+            seq.checksum, opts, one_shot[i]);
+  }
+  for (const serve::JobStats& s : miss) {
+    add_serve_row(table, "serve moldyn 2048x12 miss", seq.seconds,
+                  seq.checksum, s);
+  }
+  for (const serve::JobStats& s : hit) {
+    add_serve_row(table, "serve moldyn 2048x12 hit", seq.seconds,
+                  seq.checksum, s);
+  }
+
+  // --- throughput: mixed job stream, second half all cache hits -----------
+  serve::ServerConfig tcfg;
+  tcfg.nprocs = bench::kNodes;
+  tcfg.workers = 1;
+  tcfg.queue_capacity = 32;
+  serve::KernelServer tserver(tcfg);
+  serve::Client tclient = serve::Client::in_proc(tserver);
+
+  std::vector<serve::JobRequest> stream;
+  for (int round = 0; round < 2; ++round) {
+    for (const bool is_moldyn : {true, false}) {
+      for (const api::Backend b :
+           {api::Backend::kTmkOptimized, api::Backend::kChaos}) {
+        if (std::find(backends.begin(), backends.end(), b) ==
+            backends.end()) {
+          continue;
+        }
+        serve::JobRequest r;
+        r.backend = b;
+        r.transport = transport;
+        if (is_moldyn) {
+          r.kernel = "moldyn";
+          r.graph.num_elements = 1024;
+          r.graph.num_steps = 8;
+          r.graph.update_interval = 4;
+        } else {
+          r.kernel = "pagerank";
+          r.graph.num_elements = 4096;
+          r.graph.num_steps = 8;
+          r.graph.edges_per_vertex = 4;
+        }
+        stream.push_back(r);
+      }
+    }
+  }
+  if (stream.empty()) return;
+
+  const Timer stream_timer;
+  std::vector<std::uint64_t> ids;
+  for (const serve::JobRequest& r : stream) {
+    const serve::SubmitResult sub = tclient.submit(r);
+    if (sub.accepted) ids.push_back(sub.job_id);
+  }
+  std::uint64_t total_messages = 0;
+  double total_mb = 0;
+  bool all_ok = true;
+  for (const std::uint64_t id : ids) {
+    const serve::JobStats s = tclient.wait(id);
+    all_ok = all_ok && s.ok;
+    total_messages += s.messages;
+    total_mb += s.megabytes;
+  }
+  const double elapsed = stream_timer.elapsed_s();
+  const serve::ServerStats st = tserver.stats();
+
+  char note[96];
+  std::snprintf(note, sizeof(note), "%s, %llu completed of %llu submitted",
+                all_ok ? "all jobs OK" : "JOB FAILED",
+                static_cast<unsigned long long>(st.completed),
+                static_cast<unsigned long long>(st.submitted));
+  harness::Row row;
+  row.group = "serve throughput mixed stream";
+  row.variant = "1 worker";
+  row.seconds = elapsed;
+  row.messages = total_messages;
+  row.megabytes = total_mb;
+  row.note = note;
+  row.jobs_per_sec =
+      elapsed > 0 ? static_cast<double>(ids.size()) / elapsed : 0;
+  row.cache_hits = static_cast<std::int64_t>(st.cache_hits);
+  table.add(row);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const net::TransportKind transport = net::transport_from_args(argc, argv);
+  const harness::Options opt = harness::Options::parse(argc, argv);
+  const net::TransportKind transport = opt.transport;
   std::printf(
       "sdsm::api backend sweep: 6 workloads (+ the nbf padded-vs-CSR "
-      "comparison and the moldyn/pagerank/bfs/cc tournament-schedule A/B) "
+      "comparison, the moldyn/pagerank/bfs/cc tournament-schedule A/B, and "
+      "the serving-layer one-shot/miss/hit + throughput groups) "
       "x 3 backends, %u nodes, %s transport.\n\n",
       bench::kNodes, net::transport_name(transport));
   harness::Table table("Unified API - all workloads x all backends");
@@ -105,9 +269,9 @@ int main(int argc, char** argv) {
     const auto seq = moldyn::run_seq(p, sys);
     api::BackendOptions opts = moldyn::default_options();
     opts.transport = transport;
-    add_rows(table, "moldyn 4096x24", seq.seconds, seq.checksum, opts,
+    add_rows(table, opt.backends, "moldyn 4096x24", seq.seconds, seq.checksum, opts,
              [&](api::Backend b) { return moldyn::run(b, p, sys, opts); });
-    add_tournament_rows(table, "moldyn 4096x24 tournament", seq.seconds,
+    add_tournament_rows(table, opt.backends, "moldyn 4096x24 tournament", seq.seconds,
                         seq.checksum, opts,
                         [&](api::Backend b, const api::BackendOptions& o) {
                           return moldyn::run(b, p, sys, o);
@@ -122,7 +286,7 @@ int main(int argc, char** argv) {
     const auto seq = nbf::run_seq(p);
     api::BackendOptions opts = nbf::default_options();
     opts.transport = transport;
-    add_rows(table, "nbf 16384x32", seq.seconds, seq.checksum, opts,
+    add_rows(table, opt.backends, "nbf 16384x32", seq.seconds, seq.checksum, opts,
              [&](api::Backend b) { return nbf::run(b, p, opts); });
   }
   {
@@ -138,11 +302,11 @@ int main(int argc, char** argv) {
     const auto seq = nbf::run_seq(p);
     api::BackendOptions opts = nbf::default_options();
     opts.transport = transport;
-    add_rows(table, "nbf-var 16384x8..32", seq.seconds, seq.checksum, opts,
+    add_rows(table, opt.backends, "nbf-var 16384x8..32", seq.seconds, seq.checksum, opts,
              [&](api::Backend b) {
                return api::run_kernel(b, nbf::make_kernel(p), opts);
              });
-    add_rows(table, "nbf-var 16384x8..32 padded", seq.seconds, seq.checksum,
+    add_rows(table, opt.backends, "nbf-var 16384x8..32 padded", seq.seconds, seq.checksum,
              opts, [&](api::Backend b) {
                return api::run_kernel(b, nbf::make_padded_kernel(p), opts);
              });
@@ -156,7 +320,7 @@ int main(int argc, char** argv) {
     const auto seq = spmv::run_seq(p);
     api::BackendOptions opts = spmv::default_options();
     opts.transport = transport;
-    add_rows(table, "spmv 16384x8", seq.seconds, seq.checksum, opts,
+    add_rows(table, opt.backends, "spmv 16384x8", seq.seconds, seq.checksum, opts,
              [&](api::Backend b) { return spmv::run(b, p, opts); });
   }
   {
@@ -168,9 +332,9 @@ int main(int argc, char** argv) {
     const auto seq = pagerank::run_seq(p);
     api::BackendOptions opts = pagerank::default_options();
     opts.transport = transport;
-    add_rows(table, "pagerank 16384x8", seq.seconds, seq.checksum, opts,
+    add_rows(table, opt.backends, "pagerank 16384x8", seq.seconds, seq.checksum, opts,
              [&](api::Backend b) { return pagerank::run(b, p, opts); });
-    add_tournament_rows(table, "pagerank 16384x8 tournament", seq.seconds,
+    add_tournament_rows(table, opt.backends, "pagerank 16384x8 tournament", seq.seconds,
                         seq.checksum, opts,
                         [&](api::Backend b, const api::BackendOptions& o) {
                           return pagerank::run(b, p, o);
@@ -194,9 +358,9 @@ int main(int argc, char** argv) {
       const auto seq = bfs::run_seq(p);
       api::BackendOptions opts = bfs::default_options();
       opts.transport = transport;
-      add_rows(table, "bfs 16384x4", seq.seconds, seq.checksum, opts,
+      add_rows(table, opt.backends, "bfs 16384x4", seq.seconds, seq.checksum, opts,
                [&](api::Backend b) { return bfs::run(b, p, opts); });
-      add_tournament_rows(table, "bfs 16384x4 tournament", seq.seconds,
+      add_tournament_rows(table, opt.backends, "bfs 16384x4 tournament", seq.seconds,
                           seq.checksum, opts,
                           [&](api::Backend b, const api::BackendOptions& o) {
                             return bfs::run(b, p, o);
@@ -206,15 +370,17 @@ int main(int argc, char** argv) {
       const auto seq = cc::run_seq(p);
       api::BackendOptions opts = cc::default_options();
       opts.transport = transport;
-      add_rows(table, "cc 16384x4", seq.seconds, seq.checksum, opts,
+      add_rows(table, opt.backends, "cc 16384x4", seq.seconds, seq.checksum, opts,
                [&](api::Backend b) { return cc::run(b, p, opts); });
-      add_tournament_rows(table, "cc 16384x4 tournament", seq.seconds,
+      add_tournament_rows(table, opt.backends, "cc 16384x4 tournament", seq.seconds,
                           seq.checksum, opts,
                           [&](api::Backend b, const api::BackendOptions& o) {
                             return cc::run(b, p, o);
                           });
     }
   }
+
+  add_serve_groups(table, opt.backends, transport);
 
   table.print(std::cout);
   table.print_csv(std::cout);

@@ -6,15 +6,19 @@ Usage:
 
 Rows are matched by (group, variant).  For each matched row the script
 reports the relative change in wall-clock seconds, messages, data volume,
-barriers per step, and rebuilds, and flags any metric that regressed
-(grew) by more than the threshold (default 10%).
+barriers per step, rebuilds, serving throughput (jobs/sec), and schedule
+cache hits, and flags any metric that regressed by more than the
+threshold (default 10%).  Regression direction is per-metric: most
+metrics regress by growing, jobs/sec regresses by shrinking.
 
-Timing rows are noisy on shared runners; messages, bytes, barrier, and
-rebuild counts are exact and deterministic, so `--exact` ignores timing entirely
-and instead fails on ANY difference in those metrics (growth or shrinkage
-— an unexplained decrease signals a traffic-accounting bug just as
-loudly).  CI runs the script twice: once plain for the human-readable
-diff, once with --exact as the gate.
+Timing-derived rows (seconds, jobs/sec) are noisy on shared runners;
+message, byte, barrier, rebuild, and cache-hit counts are exact and
+deterministic, so `--exact` ignores timing entirely and instead fails on
+ANY difference in those metrics (growth or shrinkage — an unexplained
+decrease signals a traffic-accounting bug just as loudly, and a
+cache-hit count drifting in either direction means the serving layer's
+schedule cache changed behaviour).  CI runs the script twice: once plain
+for the human-readable diff, once with --exact as the gate.
 
 Exit status distinguishes outcomes so CI can treat the plain pass as
 advisory without swallowing real failures:
@@ -33,12 +37,18 @@ EXIT_REGRESSION = 1
 EXIT_ERROR = 2
 
 METRICS = [
-    # (key, pretty name, exact: deterministic, gated bidirectionally by --exact)
-    ("seconds", "time", False),
-    ("messages", "messages", True),
-    ("megabytes", "data", True),
-    ("barriers_per_step", "barriers", True),
-    ("rebuilds", "rebuilds", True),
+    # (key, pretty name,
+    #  exact: deterministic, gated bidirectionally by --exact,
+    #  higher_is_better: which direction counts as the regression in
+    #  plain mode — jobs/sec shrinking is a regression, everything else
+    #  growing is)
+    ("seconds", "time", False, False),
+    ("messages", "messages", True, False),
+    ("megabytes", "data", True, False),
+    ("barriers_per_step", "barriers", True, False),
+    ("rebuilds", "rebuilds", True, False),
+    ("jobs_per_sec", "jobs/s", False, True),
+    ("cache_hits", "hits", True, False),
 ]
 
 
@@ -63,7 +73,7 @@ def compare(base, cand, threshold, exact):
     regressions = []
     width = max((len(f"{g} / {v}") for g, v in cand), default=20)
     header = f"{'row':<{width}}" + "".join(
-        f"  {name:>9}" for _, name, _ in METRICS)
+        f"  {name:>9}" for _, name, _, _ in METRICS)
     report.append(header)
     report.append("-" * len(header))
     for key in sorted(cand):
@@ -74,16 +84,19 @@ def compare(base, cand, threshold, exact):
             continue
         b, c = base[key], cand[key]
         cells = []
-        for metric, name, is_exact in METRICS:
+        for metric, name, is_exact, higher_is_better in METRICS:
             bv, cv = b.get(metric, 0), c.get(metric, 0)
             cells.append(fmt_delta(bv, cv))
+            # The regression direction flips for throughput metrics:
+            # fewer jobs/sec is the regression, not more.
+            bad_delta = (bv - cv) if higher_is_better else (cv - bv)
             if exact:
                 if is_exact and bv != cv:
                     regressions.append(
                         f"{key[0]} / {key[1]}: {name} must be exact, "
                         f"{bv} -> {cv}"
                     )
-            elif bv > 0 and (cv - bv) / bv > threshold:
+            elif bv > 0 and bad_delta / bv > threshold:
                 regressions.append(
                     f"{key[0]} / {key[1]}: {name} {fmt_delta(bv, cv)} "
                     f"({bv} -> {cv})"
@@ -113,8 +126,8 @@ def main():
         "--exact",
         action="store_true",
         help="gate mode: ignore timing, fail on any difference in the "
-        "deterministic metrics (messages/megabytes/barriers/rebuilds) in "
-        "either direction",
+        "deterministic metrics (messages/megabytes/barriers/rebuilds/"
+        "cache_hits) in either direction",
     )
     args = ap.parse_args()
 

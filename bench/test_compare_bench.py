@@ -21,7 +21,7 @@ SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
 
 
 def row(group, variant, seconds=1.0, messages=100, megabytes=10.0,
-        barriers_per_step=9.0, rebuilds=1):
+        barriers_per_step=9.0, rebuilds=1, jobs_per_sec=50.0, cache_hits=4):
     return {
         "group": group,
         "variant": variant,
@@ -30,6 +30,8 @@ def row(group, variant, seconds=1.0, messages=100, megabytes=10.0,
         "megabytes": megabytes,
         "barriers_per_step": barriers_per_step,
         "rebuilds": rebuilds,
+        "jobs_per_sec": jobs_per_sec,
+        "cache_hits": cache_hits,
     }
 
 
@@ -126,6 +128,47 @@ class CompareBenchTest(unittest.TestCase):
                              "--exact")
             self.assertEqual(p.returncode, 1)
             self.assertIn("rebuilds", p.stderr)
+
+    # --- serving-layer metrics ----------------------------------------------
+
+    def test_jobs_per_sec_drop_regresses_in_plain_mode(self):
+        # Throughput is a higher-is-better metric: the regression is the
+        # DROP, not the growth.
+        p = self.compare([row("g", "a", jobs_per_sec=100.0)],
+                         [row("g", "a", jobs_per_sec=80.0)])
+        self.assertEqual(p.returncode, 1)
+        self.assertIn("jobs/s", p.stderr)
+
+    def test_jobs_per_sec_growth_is_clean(self):
+        p = self.compare([row("g", "a", jobs_per_sec=100.0)],
+                         [row("g", "a", jobs_per_sec=300.0)])
+        self.assertEqual(p.returncode, 0, p.stderr)
+
+    def test_jobs_per_sec_noise_is_ignored_by_exact(self):
+        # Throughput is timing-derived and therefore noisy; the exact gate
+        # must not flake on it.
+        p = self.compare([row("g", "a", jobs_per_sec=100.0)],
+                         [row("g", "a", jobs_per_sec=3.0)], "--exact")
+        self.assertEqual(p.returncode, 0, p.stderr)
+
+    def test_exact_gates_cache_hits_bidirectionally(self):
+        # The schedule cache's hit count is deterministic (workers=1 in the
+        # serving bench): drift either way means the cache key or the
+        # eligibility logic changed.
+        for cand_hits in (3, 5):
+            p = self.compare([row("g", "a", cache_hits=4)],
+                             [row("g", "a", cache_hits=cand_hits)],
+                             "--exact")
+            self.assertEqual(p.returncode, 1)
+            self.assertIn("hits", p.stderr)
+
+    def test_cache_hit_growth_is_advisory_in_plain_mode(self):
+        # cache_hits is lower-is-better by convention in plain mode (it is
+        # exact-gated anyway); growth past threshold reports, shrinkage is
+        # clean — matching every other count metric.
+        p = self.compare([row("g", "a", cache_hits=4)],
+                         [row("g", "a", cache_hits=0)])
+        self.assertEqual(p.returncode, 0, p.stderr)
 
     # --- row-set changes ----------------------------------------------------
 

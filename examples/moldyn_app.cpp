@@ -4,17 +4,19 @@
 // rebuilt interaction list), written once and swept over backends.
 //
 // Build & run:   ./build/moldyn_app [--transport=inproc|socket]
+//                                   [--backend=chaos|tmk-base|tmk-optimized]
 #include <cstdio>
 #include <iostream>
 
 #include "src/apps/moldyn/moldyn_kernel.hpp"
 #include "src/harness/experiment.hpp"
-#include "src/net/transport_flag.hpp"
+#include "src/harness/options.hpp"
 
 using namespace sdsm;
 using namespace sdsm::apps;
 
 int main(int argc, char** argv) {
+  const harness::Options opt = harness::Options::parse(argc, argv);
   moldyn::Params p;
   p.num_molecules = 2048;
   p.num_steps = 12;
@@ -34,9 +36,9 @@ int main(int argc, char** argv) {
   harness::Table table("moldyn variants");
   api::BackendOptions opts = moldyn::default_options();
   opts.region_bytes = 16u << 20;
-  opts.transport = net::transport_from_args(argc, argv);
+  opts.transport = opt.transport;
 
-  for (const api::Backend b : api::kAllBackends) {
+  for (const api::Backend b : opt.backends) {
     const auto r = moldyn::run(b, p, sys, opts);
     std::printf("%-14s: checksum %s\n", api::backend_name(b),
                 checksum_close(r.checksum, seq.checksum) ? "OK" : "MISMATCH");

@@ -3,17 +3,19 @@
 // configuration (the misaligned molecule count).
 //
 // Build & run:   ./build/nbf_app [--transport=inproc|socket]
+//                                [--backend=chaos|tmk-base|tmk-optimized]
 #include <cstdio>
 #include <iostream>
 
 #include "src/apps/nbf/nbf_kernel.hpp"
 #include "src/harness/experiment.hpp"
-#include "src/net/transport_flag.hpp"
+#include "src/harness/options.hpp"
 
 using namespace sdsm;
 using namespace sdsm::apps;
 
 int main(int argc, char** argv) {
+  const harness::Options opt = harness::Options::parse(argc, argv);
   for (const std::int64_t molecules : {8192, 8000}) {
     nbf::Params p;
     p.molecules = molecules;
@@ -32,8 +34,8 @@ int main(int argc, char** argv) {
 
     api::BackendOptions opts = nbf::default_options();
     opts.region_bytes = 16u << 20;
-    opts.transport = net::transport_from_args(argc, argv);
-    for (const api::Backend b : api::kAllBackends) {
+    opts.transport = opt.transport;
+    for (const api::Backend b : opt.backends) {
       const auto r = nbf::run(b, p, opts);
       table.add(harness::Row{
           "timed steps", api::backend_name(b), r.seconds,

@@ -10,16 +10,18 @@
 // comparable because every backend shares one network fabric.
 //
 // Build & run:   ./build/quickstart [--transport=inproc|socket]
+//                                   [--backend=chaos|tmk-base|tmk-optimized]
 #include <cstdio>
 
 #include "src/api/api.hpp"
-#include "src/net/transport_flag.hpp"
+#include "src/harness/options.hpp"
 
 using namespace sdsm;
 
 int main(int argc, char** argv) {
+  const harness::Options opt = harness::Options::parse(argc, argv);
   api::BackendOptions options;
-  options.transport = net::transport_from_args(argc, argv);
+  options.transport = opt.transport;
 
   constexpr std::int64_t kN = 4096;        // elements
   constexpr std::uint32_t kNodes = 4;
@@ -85,7 +87,7 @@ int main(int argc, char** argv) {
 
   std::printf("%-14s %12s %10s %10s %12s\n", "backend", "checksum",
               "messages", "data(MB)", "overhead(s)");
-  for (const api::Backend b : api::kAllBackends) {
+  for (const api::Backend b : opt.backends) {
     const api::KernelResult r = api::run_kernel(b, spec, options);
     std::printf("%-14s %12.3f %10llu %10.3f %12.6f\n", api::backend_name(b),
                 r.checksum, static_cast<unsigned long long>(r.messages),

@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "src/api/reuse.hpp"
 #include "src/chaos/chaos_runtime.hpp"
 #include "src/chaos/executor.hpp"
 #include "src/chaos/inspector.hpp"
@@ -30,23 +31,35 @@ class ChaosIrregularNode final : public IrregularNode {
 }  // namespace
 
 template <typename T>
-KernelResult ChaosBackend::run_impl(const KernelSpec<T>& spec) {
+KernelResult ChaosBackend::run_impl(chaos::ChaosRuntime& rt,
+                                    const KernelSpec<T>& spec,
+                                    RunSession* session) {
   spec.require_valid(num_nodes_);
   const std::uint32_t nprocs = num_nodes_;
+  SDSM_REQUIRE(rt.num_nodes() == nprocs);
 
   // Owner map and translation table (remapping: owner-contiguous offsets,
   // which for a contiguous partition makes local offset = global - begin).
-  std::vector<NodeId> owner(static_cast<std::size_t>(spec.num_elements));
-  for (std::int64_t g = 0; g < spec.num_elements; ++g) {
-    owner[static_cast<std::size_t>(g)] = owner_of(spec.owner_range, g);
+  // On the serving path the table is itself a cached artifact: built once
+  // per (graph, kernel) on the host thread (before node fan-out, so
+  // publishing it back needs no synchronization) and reused on repeats.
+  std::shared_ptr<const chaos::TranslationTable> table_ptr;
+  if (session != nullptr && session->table) {
+    table_ptr = session->table;
+  } else {
+    std::vector<NodeId> owner(static_cast<std::size_t>(spec.num_elements));
+    for (std::int64_t g = 0; g < spec.num_elements; ++g) {
+      owner[static_cast<std::size_t>(g)] = owner_of(spec.owner_range, g);
+    }
+    table_ptr = std::make_shared<const chaos::TranslationTable>(
+        chaos::TranslationTable::build(owner, nprocs, options_.table));
+    if (session != nullptr) session->table = table_ptr;
   }
-  const auto table =
-      chaos::TranslationTable::build(owner, nprocs, options_.table);
-
-  chaos::ChaosRuntime rt(nprocs, options_.wire, options_.transport);
+  const chaos::TranslationTable& table = *table_ptr;
 
   std::vector<double> inspector_seconds(nprocs, 0.0);
-  std::vector<std::int64_t> rebuilds(nprocs, 0);
+  std::vector<std::int64_t> rebuilds(nprocs, 0);  ///< fresh inspector runs
+  std::vector<std::int64_t> ordinals(nprocs, 0);  ///< all rebuild events
   std::vector<std::int64_t> steps_run(nprocs, 0);
   std::vector<std::size_t> refs_built(nprocs, 0);
   std::vector<std::size_t> max_row(nprocs, 0);
@@ -56,7 +69,8 @@ KernelResult ChaosBackend::run_impl(const KernelSpec<T>& spec) {
   std::atomic<std::uint64_t> bytes_start{0}, bytes_end{0};
   std::atomic<std::uint64_t> barr_start{0}, barr_end{0};
 
-  rt.reset_stats();
+  // No stats reset: all accounting below is snapshot-delta scoped, so a
+  // warm shared runtime's cumulative totals survive each job.
   rt.run([&](chaos::ChaosNode& cn) {
     const NodeId me = cn.id();
     const part::Range mine = spec.owner_range[me];
@@ -68,13 +82,13 @@ KernelResult ChaosBackend::run_impl(const KernelSpec<T>& spec) {
               spec.initial_state.begin() + mine.end, x_all.begin());
     std::vector<T> f_all;
 
-    chaos::Schedule sched;
+    std::shared_ptr<const chaos::Schedule> sched;
     std::vector<std::int32_t> localized;
     std::vector<std::int64_t> row_offsets;
     std::vector<double> payload;
     std::vector<T> all_state;
 
-    auto rebuild_fn = [&] {
+    auto fresh_rebuild = [&](std::int64_t ordinal) {
       std::span<const T> view{};
       if (spec.rebuild_reads_state) {
         // Allgather the owned blocks into a full copy: CHAOS has no shared
@@ -111,34 +125,85 @@ KernelResult ChaosBackend::run_impl(const KernelSpec<T>& spec) {
       const ItemsShape shape = spec.require_valid_items(items);
       refs_built[me] = shape.num_refs;
       max_row[me] = shape.max_row;
-      payload = std::move(items.payload);
-      row_offsets = std::move(items.row_offsets);
 
       // Inspector: schedule + localization from the flattened row
       // references — rows of any length land in the same duplicate
       // elimination, translation lookups, and ghost-slot assignment, so
       // variable-arity rows localize exactly like fixed-arity ones.
       chaos::InspectorStats istats;
-      sched = chaos::build_schedule(cn, items.refs, table, &istats);
+      sched = std::make_shared<const chaos::Schedule>(
+          chaos::build_schedule(cn, items.refs, table, &istats));
       inspector_seconds[me] += istats.seconds;
       ++rebuilds[me];
-      localized = chaos::localize_references(me, items.refs, table, sched);
-      x_all.resize(local_n + static_cast<std::size_t>(sched.num_ghosts));
-      f_all.assign(local_n + static_cast<std::size_t>(sched.num_ghosts),
+      localized = chaos::localize_references(me, items.refs, table, *sched);
+      if (session != nullptr) {
+        session->fresh_builds.fetch_add(1, std::memory_order_relaxed);
+        if (session->store) {
+          CachedRebuild record;
+          record.items = items;  // copy: payload/offsets are moved below
+          record.shape = shape;
+          record.chaos_schedule = sched;
+          record.chaos_localized = localized;
+          session->store(me, ordinal, std::move(record));
+        }
+      }
+      payload = std::move(items.payload);
+      row_offsets = std::move(items.row_offsets);
+    };
+
+    auto rebuild_fn = [&](bool timed) {
+      // This node's rebuild ordinal: the schedule-cache index for both the
+      // replay and record paths.  The cache is committed whole (every
+      // node's trace for an ordinal, or none), so hit/miss decisions are
+      // uniform across nodes and the collective allgather inside
+      // fresh_rebuild can never be entered by only some of them.
+      const std::int64_t ordinal = ordinals[me]++;
+      const CachedRebuild* cached =
+          (session != nullptr && session->lookup)
+              ? session->lookup(me, ordinal)
+              : nullptr;
+      // Structure-traffic attribution: this node's sends during its
+      // rebuild section (allgather share + inspector exchange).  Only the
+      // node's own compute thread bumps its send counters, so the delta
+      // is race-free; only timed rebuilds accumulate, matching the
+      // message-count window of the result.
+      const net::Traffic sent0 = rt.network().stats().node_traffic(me);
+
+      if (cached != nullptr) {
+        refs_built[me] = cached->shape.num_refs;
+        max_row[me] = cached->shape.max_row;
+        payload = cached->items.payload;
+        row_offsets = cached->items.row_offsets;
+        sched = cached->chaos_schedule;
+        localized = cached->chaos_localized;
+        session->cached_builds.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        fresh_rebuild(ordinal);
+      }
+      x_all.resize(local_n + static_cast<std::size_t>(sched->num_ghosts));
+      f_all.assign(local_n + static_cast<std::size_t>(sched->num_ghosts),
                    spec.f_identity);
+      if (session != nullptr && timed) {
+        const net::Traffic sent =
+            rt.network().stats().node_traffic(me) - sent0;
+        session->structure_messages.fetch_add(sent.messages,
+                                              std::memory_order_relaxed);
+        session->structure_bytes.fetch_add(sent.bytes,
+                                           std::memory_order_relaxed);
+      }
     };
 
     // Runs one step; returns true when every node reported convergence
     // (the caller then stops the loop).
-    auto step_fn = [&](int global_step) -> bool {
-      if (spec.rebuild_needed(global_step)) rebuild_fn();
-      const auto ghosts = static_cast<std::size_t>(sched.num_ghosts);
+    auto step_fn = [&](int global_step, bool timed) -> bool {
+      if (spec.rebuild_needed(global_step)) rebuild_fn(timed);
+      const auto ghosts = static_cast<std::size_t>(sched->num_ghosts);
 
       // Executor: gather remote state, compute, scatter contributions.
       // Accumulators (owned and ghost) seed with the reduction identity so
       // untouched elements — all of them, on an empty frontier —
       // contribute nothing under either operator.
-      chaos::gather<T>(cn, sched, std::span<const T>(x_all.data(), local_n),
+      chaos::gather<T>(cn, *sched, std::span<const T>(x_all.data(), local_n),
                        std::span<T>(x_all.data() + local_n, ghosts));
       std::fill(f_all.begin(), f_all.end(), spec.f_identity);
       KernelCtx<T> ctx;
@@ -148,7 +213,7 @@ KernelResult ChaosBackend::run_impl(const KernelSpec<T>& spec) {
       ctx.x = x_all;
       ctx.f = f_all;
       spec.compute(node, ctx);
-      chaos::scatter<T>(cn, sched, std::span<T>(f_all.data(), local_n),
+      chaos::scatter<T>(cn, *sched, std::span<T>(f_all.data(), local_n),
                         std::span<const T>(f_all.data() + local_n, ghosts),
                         [&spec](T a, T b) { return spec.combine(a, b); });
 
@@ -180,7 +245,9 @@ KernelResult ChaosBackend::run_impl(const KernelSpec<T>& spec) {
     };
 
     bool done = false;
-    for (int s = 0; s < spec.warmup_steps && !done; ++s) done = step_fn(s);
+    for (int s = 0; s < spec.warmup_steps && !done; ++s) {
+      done = step_fn(s, /*timed=*/false);
+    }
     // Quiescent snapshots: taken by node 0 while every other node is
     // blocked inside the barrier, so the counts are deterministic.
     cn.barrier([&] {
@@ -191,7 +258,7 @@ KernelResult ChaosBackend::run_impl(const KernelSpec<T>& spec) {
 
     const Timer timer;
     for (int s = 0; s < spec.num_steps && !done; ++s) {
-      done = step_fn(spec.warmup_steps + s);
+      done = step_fn(spec.warmup_steps + s, /*timed=*/true);
       ++steps_run[me];
     }
     timed_seconds[me] = timer.elapsed_s();
@@ -238,11 +305,25 @@ KernelResult ChaosBackend::run_impl(const KernelSpec<T>& spec) {
 }
 
 KernelResult ChaosBackend::run(const KernelSpec<double>& spec) {
-  return run_impl(spec);
+  chaos::ChaosRuntime rt(num_nodes_, options_.wire, options_.transport);
+  return run_impl(rt, spec, nullptr);
 }
 
 KernelResult ChaosBackend::run(const KernelSpec<double3>& spec) {
-  return run_impl(spec);
+  chaos::ChaosRuntime rt(num_nodes_, options_.wire, options_.transport);
+  return run_impl(rt, spec, nullptr);
+}
+
+KernelResult ChaosBackend::run_on(chaos::ChaosRuntime& rt,
+                                  const KernelSpec<double>& spec,
+                                  RunSession* session) {
+  return run_impl(rt, spec, session);
+}
+
+KernelResult ChaosBackend::run_on(chaos::ChaosRuntime& rt,
+                                  const KernelSpec<double3>& spec,
+                                  RunSession* session) {
+  return run_impl(rt, spec, session);
 }
 
 }  // namespace sdsm::api

@@ -6,8 +6,11 @@
 #pragma once
 
 #include "src/api/runtime.hpp"
+#include "src/chaos/chaos_runtime.hpp"
 
 namespace sdsm::api {
+
+struct RunSession;
 
 class ChaosBackend final : public IrregularRuntime {
  public:
@@ -20,9 +23,21 @@ class ChaosBackend final : public IrregularRuntime {
   KernelResult run(const KernelSpec<double>& spec) override;
   KernelResult run(const KernelSpec<double3>& spec) override;
 
+  /// Executes on a caller-owned (long-lived) runtime: the serving path.
+  /// ChaosNode state is constructed fresh inside every ChaosRuntime::run
+  /// call, so a warm runtime needs no reset between jobs.  `session`, when
+  /// non-null, supplies the schedule-cache hooks (src/api/reuse.hpp): a
+  /// hit replays the cached inspector outputs executor-only, and the
+  /// translation table is reused across jobs through session->table.
+  KernelResult run_on(chaos::ChaosRuntime& rt, const KernelSpec<double>& spec,
+                      RunSession* session);
+  KernelResult run_on(chaos::ChaosRuntime& rt,
+                      const KernelSpec<double3>& spec, RunSession* session);
+
  private:
   template <typename T>
-  KernelResult run_impl(const KernelSpec<T>& spec);
+  KernelResult run_impl(chaos::ChaosRuntime& rt, const KernelSpec<T>& spec,
+                        RunSession* session);
 
   std::uint32_t num_nodes_;
   BackendOptions options_;

@@ -209,6 +209,16 @@ struct KernelSpec {
   /// allgather).  Static structures leave it false.
   bool rebuild_reads_state = false;
 
+  /// True when build_items is a pure function of (node, step-ordinal,
+  /// all_x-at-that-ordinal) — i.e. re-running the kernel over the same
+  /// initial state reproduces the identical sequence of WorkItems, and the
+  /// builder keeps no hidden per-run state.  Only such kernels may have
+  /// their rebuild artifacts (item lists, CHAOS schedules, translation
+  /// tables) captured and replayed by the serving layer's ScheduleCache.
+  /// Kernels whose builders mutate captured state across calls (e.g. a
+  /// frontier level counter or a label stash) must leave this false.
+  bool structure_cacheable = false;
+
   /// Builds this node's items from the current global state view (all_x is
   /// empty unless rebuild_reads_state).  Must be deterministic.
   std::function<WorkItems(IrregularNode&, std::span<const T> all_x)>

@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "src/api/reuse.hpp"
 #include "src/common/timer.hpp"
 #include "src/compiler/lowering.hpp"
 #include "src/compiler/parser.hpp"
@@ -159,20 +160,39 @@ TournamentPlan build_tournament_plan(NodeId me, std::uint32_t nprocs,
 
 }  // namespace
 
+core::DsmConfig TmkBackend::dsm_config(std::uint32_t num_nodes,
+                                       const BackendOptions& options) {
+  core::DsmConfig cfg;
+  cfg.num_nodes = num_nodes;
+  cfg.region_bytes = options.region_bytes;
+  cfg.transport = options.transport;
+  cfg.wire = options.wire;
+  cfg.gc_threshold_bytes = options.gc_threshold_bytes;
+  cfg.write_all_enabled = options.write_all_enabled;
+  return cfg;
+}
+
 template <typename T>
-KernelResult TmkBackend::run_impl(const KernelSpec<T>& spec) {
+KernelResult TmkBackend::run_impl(core::DsmRuntime& rt,
+                                  const KernelSpec<T>& spec,
+                                  RunSession* session) {
   spec.require_valid(num_nodes_);
   const std::uint32_t nprocs = num_nodes_;
   const auto n = static_cast<std::size_t>(spec.num_elements);
 
-  core::DsmConfig cfg;
-  cfg.num_nodes = nprocs;
-  cfg.region_bytes = options_.region_bytes;
-  cfg.transport = options_.transport;
-  cfg.wire = options_.wire;
-  cfg.gc_threshold_bytes = options_.gc_threshold_bytes;
-  cfg.write_all_enabled = options_.write_all_enabled;
-  core::DsmRuntime rt(cfg);
+  // The runtime may be a warm, long-lived arena (serving path): it must
+  // match this backend's shape and have been reset since its last job so
+  // allocation addresses — and therefore page layout and traffic — are
+  // identical to a fresh one-shot runtime.
+  SDSM_REQUIRE(rt.num_nodes() == nprocs);
+  SDSM_REQUIRE(rt.config().transport == options_.transport);
+  SDSM_REQUIRE(rt.config().write_all_enabled == options_.write_all_enabled);
+  SDSM_REQUIRE_MSG(rt.shared_bytes_used() == 0,
+                   "TmkBackend.run_on: runtime arena not reset");
+
+  // All statistics are interval-scoped by snapshot subtraction: a shared
+  // runtime's cumulative counters survive each job.
+  const DsmStats::Snapshot stats_entry = rt.stats().snapshot();
 
   auto x = rt.alloc_global<T>(n);
   auto f = rt.alloc_global<T>(n);
@@ -298,15 +318,54 @@ KernelResult TmkBackend::run_impl(const KernelSpec<T>& spec) {
       if (st.done) break;  // globally converged in an earlier (warmup) call
       const int global_step = steps_done + s;
       if (spec.rebuild_needed(global_step)) {
+        // This node's rebuild ordinal: the schedule-cache index for both
+        // the hit (replay) and miss (record) paths.
+        const std::int64_t ordinal = st.rebuilds;
+        const CachedRebuild* cached =
+            (session != nullptr && session->lookup)
+                ? session->lookup(me, ordinal)
+                : nullptr;
         if (optimized_ && spec.rebuild_reads_state) {
           // Prefetch the whole state with one aggregated exchange per
           // producer before the structure builder scans it.
           self.validate({rebuild_read_desc()});
         }
-        WorkItems items = spec.build_items(node, std::span<const T>(xp, n));
-        const ItemsShape shape = spec.require_valid_items(items);
-        st.refs = shape.num_refs;
-        st.max_row = shape.max_row;
+        WorkItems items;
+        if (cached != nullptr) {
+          if (!optimized_ && spec.rebuild_reads_state) {
+            // Base backend, state-reading builder: on a miss the builder's
+            // scan of x demand-fetches every invalid page.  Replaying the
+            // structure skips the scan, so walk the pages explicitly — one
+            // volatile touch per page — to keep the hit's fault traffic
+            // identical to the miss's.
+            const auto* xb = reinterpret_cast<const volatile std::byte*>(xp);
+            const std::size_t xbytes = n * sizeof(T);
+            for (std::size_t off = 0; off < xbytes;
+                 off += self.page_size()) {
+              (void)xb[off];
+            }
+          }
+          items.row_offsets = cached->items.row_offsets;
+          items.refs = cached->items.refs;
+          items.payload = cached->items.payload;
+          st.refs = cached->shape.num_refs;
+          st.max_row = cached->shape.max_row;
+          session->cached_builds.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          items = spec.build_items(node, std::span<const T>(xp, n));
+          const ItemsShape shape = spec.require_valid_items(items);
+          st.refs = shape.num_refs;
+          st.max_row = shape.max_row;
+          if (session != nullptr) {
+            session->fresh_builds.fetch_add(1, std::memory_order_relaxed);
+            if (session->store) {
+              CachedRebuild record;
+              record.items = items;  // copy: `items` is consumed below
+              record.shape = shape;
+              session->store(me, ordinal, std::move(record));
+            }
+          }
+        }
         if (optimized_) {
           // The whole slice is rewritten: whole-page shipping, no twins.
           // Declaring the write also notifies any schedule watching these
@@ -595,8 +654,14 @@ KernelResult TmkBackend::run_impl(const KernelSpec<T>& spec) {
     steps_done += spec.warmup_steps;
   }
   const double warm_scan_s =
-      static_cast<double>(rt.stats().scan_ns.get()) / 1e9;
-  rt.reset_stats();
+      static_cast<double>(
+          (rt.stats().snapshot() - stats_entry).scan_ns) /
+      1e9;
+  // Timed-section baselines (the former reset_stats() point): everything
+  // below is reported as a delta from here, so a warm shared runtime's
+  // prior-job counters never leak into this job's result.
+  const DsmStats::Snapshot stats_warm = rt.stats().snapshot();
+  const net::NetStats::Snapshot net_warm = rt.network().stats().snapshot();
   const std::int64_t warm_steps_run = state[0].steps_run;
 
   const Timer wall;
@@ -606,15 +671,17 @@ KernelResult TmkBackend::run_impl(const KernelSpec<T>& spec) {
     state[self.id()].checksum = spec.checksum(std::span<const T>(
         self.ptr(x) + mine.begin, static_cast<std::size_t>(mine.size())));
   });
+  const DsmStats::Snapshot timed = rt.stats().snapshot() - stats_warm;
+  const net::NetStats::Snapshot net_timed =
+      rt.network().stats().snapshot() - net_warm;
 
   KernelResult res;
   res.backend = backend();
   res.seconds = wall.elapsed_s();
-  res.messages = rt.total_messages();
-  res.megabytes = rt.total_megabytes();
+  res.messages = net_timed.messages();
+  res.megabytes = net_timed.megabytes();
   res.overhead_seconds =
-      (warm_scan_s + static_cast<double>(rt.stats().scan_ns.get()) / 1e9) /
-      nprocs;
+      (warm_scan_s + static_cast<double>(timed.scan_ns) / 1e9) / nprocs;
   res.rebuilds = state[0].rebuilds;
   for (const PerNode& st : state) {
     res.checksum += st.checksum;
@@ -623,32 +690,46 @@ KernelResult TmkBackend::run_impl(const KernelSpec<T>& spec) {
   }
   res.steps_run = state[0].steps_run - warm_steps_run;
   // Every node executes the same global barriers, so the per-node count is
-  // the total divided by nprocs; stats were reset after warmup, so this
-  // covers exactly the timed steps actually executed (fewer than num_steps
-  // when the convergence flag ended the loop early).
+  // the total divided by nprocs; the delta is taken from the post-warmup
+  // snapshot, so this covers exactly the timed steps actually executed
+  // (fewer than num_steps when the convergence flag ended the loop early).
   if (res.steps_run > 0) {
-    res.barriers_per_step = static_cast<double>(rt.stats().barriers.get()) /
-                            nprocs / static_cast<double>(res.steps_run);
+    res.barriers_per_step = static_cast<double>(timed.barriers) / nprocs /
+                            static_cast<double>(res.steps_run);
   }
-  res.tmk.cross_prefetch_posts = rt.stats().cross_prefetch_posts.get();
-  res.tmk.cross_prefetch_consumes = rt.stats().cross_prefetch_consumes.get();
-  res.tmk.cross_prefetch_drains = rt.stats().cross_prefetch_drains.get();
-  res.tmk.validate_calls = rt.stats().validate_calls.get();
-  res.tmk.validate_recomputes = rt.stats().validate_recomputes.get();
-  res.tmk.read_faults = rt.stats().read_faults.get();
-  res.tmk.pages_prefetched = rt.stats().pages_prefetched.get();
-  res.tmk.twins_created = rt.stats().twins_created.get();
-  res.tmk.whole_pages = rt.stats().whole_pages.get();
-  res.tmk.diff_bytes = rt.stats().diff_bytes.get();
+  res.tmk.cross_prefetch_posts = timed.cross_prefetch_posts;
+  res.tmk.cross_prefetch_consumes = timed.cross_prefetch_consumes;
+  res.tmk.cross_prefetch_drains = timed.cross_prefetch_drains;
+  res.tmk.validate_calls = timed.validate_calls;
+  res.tmk.validate_recomputes = timed.validate_recomputes;
+  res.tmk.read_faults = timed.read_faults;
+  res.tmk.pages_prefetched = timed.pages_prefetched;
+  res.tmk.twins_created = timed.twins_created;
+  res.tmk.whole_pages = timed.whole_pages;
+  res.tmk.diff_bytes = timed.diff_bytes;
   return res;
 }
 
 KernelResult TmkBackend::run(const KernelSpec<double>& spec) {
-  return run_impl(spec);
+  core::DsmRuntime rt(dsm_config(num_nodes_, options_));
+  return run_impl(rt, spec, nullptr);
 }
 
 KernelResult TmkBackend::run(const KernelSpec<double3>& spec) {
-  return run_impl(spec);
+  core::DsmRuntime rt(dsm_config(num_nodes_, options_));
+  return run_impl(rt, spec, nullptr);
+}
+
+KernelResult TmkBackend::run_on(core::DsmRuntime& rt,
+                                const KernelSpec<double>& spec,
+                                RunSession* session) {
+  return run_impl(rt, spec, session);
+}
+
+KernelResult TmkBackend::run_on(core::DsmRuntime& rt,
+                                const KernelSpec<double3>& spec,
+                                RunSession* session) {
+  return run_impl(rt, spec, session);
 }
 
 }  // namespace sdsm::api

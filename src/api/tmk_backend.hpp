@@ -13,8 +13,11 @@
 #pragma once
 
 #include "src/api/runtime.hpp"
+#include "src/core/dsm.hpp"
 
 namespace sdsm::api {
+
+struct RunSession;
 
 class TmkBackend final : public IrregularRuntime {
  public:
@@ -29,9 +32,26 @@ class TmkBackend final : public IrregularRuntime {
   KernelResult run(const KernelSpec<double>& spec) override;
   KernelResult run(const KernelSpec<double3>& spec) override;
 
+  /// Executes on a caller-owned (long-lived) runtime instead of building a
+  /// fresh one: the serving path.  The runtime must match this backend's
+  /// node count and have an empty shared heap (reset_arena() between
+  /// jobs).  `session`, when non-null, supplies the schedule-cache hooks
+  /// (src/api/reuse.hpp); statistics are delta-scoped, so the runtime's
+  /// cumulative counters are never reset.
+  KernelResult run_on(core::DsmRuntime& rt, const KernelSpec<double>& spec,
+                      RunSession* session);
+  KernelResult run_on(core::DsmRuntime& rt, const KernelSpec<double3>& spec,
+                      RunSession* session);
+
+  /// The DsmConfig run() would build from these options — exposed so a
+  /// serving engine constructs its long-lived runtime identically.
+  static core::DsmConfig dsm_config(std::uint32_t num_nodes,
+                                    const BackendOptions& options);
+
  private:
   template <typename T>
-  KernelResult run_impl(const KernelSpec<T>& spec);
+  KernelResult run_impl(core::DsmRuntime& rt, const KernelSpec<T>& spec,
+                        RunSession* session);
 
   std::uint32_t num_nodes_;
   bool optimized_;

@@ -81,6 +81,8 @@ api::KernelSpec<double> make_kernel(const Params& p) {
   spec.update_interval = 0;
   spec.rebuild_when = [](int) { return true; };  // the frontier IS the list
   spec.rebuild_reads_state = true;               // ...and it reads distances
+  // structure_cacheable stays false: the builder advances a captured level
+  // counter across calls, so replaying cached frontiers would desync it.
   spec.reduce = api::Reduce::kMin;
   spec.f_identity = graph::unreached(p);
   graph::frontier_capacity(*adj, spec.owner_range, &spec.max_items_per_node,

@@ -74,6 +74,8 @@ api::KernelSpec<double> make_kernel(const Params& p) {
   spec.update_interval = 0;
   spec.rebuild_when = [](int) { return true; };  // frontier changes per step
   spec.rebuild_reads_state = true;
+  // structure_cacheable stays false: the builder compares against a label
+  // stash it mutates per call, so its outputs are not replayable artifacts.
   spec.reduce = api::Reduce::kMin;
   spec.f_identity = graph::unreached(p);
   graph::frontier_capacity(*adj, spec.owner_range, &spec.max_items_per_node,

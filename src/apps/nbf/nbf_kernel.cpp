@@ -18,6 +18,7 @@ api::KernelSpec<double> make_base(const Params& p) {
   spec.warmup_steps = p.warmup_steps;
   spec.update_interval = 0;  // static partner list
   spec.rebuild_reads_state = false;
+  spec.structure_cacheable = true;  // static partner lists, pure builder
 
   std::int64_t max_block = 0;
   for (const part::Range& r : spec.owner_range) {

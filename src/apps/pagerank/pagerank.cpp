@@ -123,6 +123,7 @@ api::KernelSpec<double> make_kernel(const Params& p) {
   spec.warmup_steps = p.warmup_steps;
   spec.update_interval = 0;  // static graph
   spec.rebuild_reads_state = false;
+  spec.structure_cacheable = true;  // static edge lists, pure builder
 
   // Capacity: true per-node row/ref counts — hubs make the reference sums
   // wildly uneven across nodes, which is exactly what the CSR shape

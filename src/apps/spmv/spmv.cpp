@@ -139,6 +139,7 @@ api::KernelSpec<double> make_kernel(const Params& p) {
   spec.warmup_steps = p.warmup_steps;
   spec.update_interval = 0;
   spec.rebuild_reads_state = false;
+  spec.structure_cacheable = true;  // static matrix structure, pure builder
 
   const auto owner_range = spec.owner_range;
   std::int64_t max_items = 1;

@@ -62,6 +62,112 @@ struct DsmStats {
   Counter t_metas_ns;      ///< inside process_metas()
   Counter t_wait_ns;       ///< inside fetch_pages(): blocked on replies
 
+  /// Point-in-time copy of every counter.  Subtracting two snapshots scopes
+  /// the stats to the interval between them, so a long-lived runtime (the
+  /// serving layer) can attribute protocol work to individual jobs without
+  /// destroying process-lifetime totals the way reset() does.
+  struct Snapshot {
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t read_faults = 0;
+    std::uint64_t write_faults = 0;
+    std::uint64_t diffs_created = 0;
+    std::uint64_t diffs_applied = 0;
+    std::uint64_t diff_bytes = 0;
+    std::uint64_t whole_pages = 0;
+    std::uint64_t twins_created = 0;
+    std::uint64_t pages_invalidated = 0;
+    std::uint64_t validate_calls = 0;
+    std::uint64_t validate_recomputes = 0;
+    std::uint64_t pages_prefetched = 0;
+    std::uint64_t cross_prefetch_posts = 0;
+    std::uint64_t cross_prefetch_pages = 0;
+    std::uint64_t cross_prefetch_consumes = 0;
+    std::uint64_t cross_prefetch_drains = 0;
+    std::uint64_t scan_ns = 0;
+    std::uint64_t mprotect_calls = 0;
+    std::uint64_t lock_acquires = 0;
+    std::uint64_t barriers = 0;
+    std::uint64_t gc_runs = 0;
+    std::uint64_t gc_pages_flushed = 0;
+    std::uint64_t t_barrier_ns = 0;
+    std::uint64_t t_fetch_ns = 0;
+    std::uint64_t t_close_ns = 0;
+    std::uint64_t t_metas_ns = 0;
+    std::uint64_t t_wait_ns = 0;
+
+    Snapshot operator-(const Snapshot& rhs) const {
+      Snapshot d;
+      d.messages = messages - rhs.messages;
+      d.bytes = bytes - rhs.bytes;
+      d.read_faults = read_faults - rhs.read_faults;
+      d.write_faults = write_faults - rhs.write_faults;
+      d.diffs_created = diffs_created - rhs.diffs_created;
+      d.diffs_applied = diffs_applied - rhs.diffs_applied;
+      d.diff_bytes = diff_bytes - rhs.diff_bytes;
+      d.whole_pages = whole_pages - rhs.whole_pages;
+      d.twins_created = twins_created - rhs.twins_created;
+      d.pages_invalidated = pages_invalidated - rhs.pages_invalidated;
+      d.validate_calls = validate_calls - rhs.validate_calls;
+      d.validate_recomputes = validate_recomputes - rhs.validate_recomputes;
+      d.pages_prefetched = pages_prefetched - rhs.pages_prefetched;
+      d.cross_prefetch_posts = cross_prefetch_posts - rhs.cross_prefetch_posts;
+      d.cross_prefetch_pages = cross_prefetch_pages - rhs.cross_prefetch_pages;
+      d.cross_prefetch_consumes =
+          cross_prefetch_consumes - rhs.cross_prefetch_consumes;
+      d.cross_prefetch_drains =
+          cross_prefetch_drains - rhs.cross_prefetch_drains;
+      d.scan_ns = scan_ns - rhs.scan_ns;
+      d.mprotect_calls = mprotect_calls - rhs.mprotect_calls;
+      d.lock_acquires = lock_acquires - rhs.lock_acquires;
+      d.barriers = barriers - rhs.barriers;
+      d.gc_runs = gc_runs - rhs.gc_runs;
+      d.gc_pages_flushed = gc_pages_flushed - rhs.gc_pages_flushed;
+      d.t_barrier_ns = t_barrier_ns - rhs.t_barrier_ns;
+      d.t_fetch_ns = t_fetch_ns - rhs.t_fetch_ns;
+      d.t_close_ns = t_close_ns - rhs.t_close_ns;
+      d.t_metas_ns = t_metas_ns - rhs.t_metas_ns;
+      d.t_wait_ns = t_wait_ns - rhs.t_wait_ns;
+      return d;
+    }
+
+    double megabytes() const { return static_cast<double>(bytes) / 1e6; }
+  };
+
+  /// Only meaningful at quiescent points (no node thread mid-operation).
+  Snapshot snapshot() const {
+    Snapshot s;
+    s.messages = messages.get();
+    s.bytes = bytes.get();
+    s.read_faults = read_faults.get();
+    s.write_faults = write_faults.get();
+    s.diffs_created = diffs_created.get();
+    s.diffs_applied = diffs_applied.get();
+    s.diff_bytes = diff_bytes.get();
+    s.whole_pages = whole_pages.get();
+    s.twins_created = twins_created.get();
+    s.pages_invalidated = pages_invalidated.get();
+    s.validate_calls = validate_calls.get();
+    s.validate_recomputes = validate_recomputes.get();
+    s.pages_prefetched = pages_prefetched.get();
+    s.cross_prefetch_posts = cross_prefetch_posts.get();
+    s.cross_prefetch_pages = cross_prefetch_pages.get();
+    s.cross_prefetch_consumes = cross_prefetch_consumes.get();
+    s.cross_prefetch_drains = cross_prefetch_drains.get();
+    s.scan_ns = scan_ns.get();
+    s.mprotect_calls = mprotect_calls.get();
+    s.lock_acquires = lock_acquires.get();
+    s.barriers = barriers.get();
+    s.gc_runs = gc_runs.get();
+    s.gc_pages_flushed = gc_pages_flushed.get();
+    s.t_barrier_ns = t_barrier_ns.get();
+    s.t_fetch_ns = t_fetch_ns.get();
+    s.t_close_ns = t_close_ns.get();
+    s.t_metas_ns = t_metas_ns.get();
+    s.t_wait_ns = t_wait_ns.get();
+    return s;
+  }
+
   void reset() {
     messages.reset();
     bytes.reset();

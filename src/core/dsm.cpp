@@ -762,4 +762,34 @@ void DsmRuntime::reset_stats() {
   net_->stats().reset();
 }
 
+void DsmNode::reset_for_reuse() {
+  // No compute thread exists and the fabric is quiescent (reset_arena's
+  // contract), so the compute-thread-private state can be reset from the
+  // host thread.
+  SDSM_REQUIRE(prefetch_.empty());
+  region_.reset(vm::Prot::kRead);
+  // PageMeta owns a unique_ptr twin, so the vector cannot be assign()ed;
+  // move-assign a default into each slot instead.
+  for (auto& pm : pages_) pm = PageMeta{};
+  vc_ = VectorClock(rt_.config().num_nodes);
+  applied_vc_ = VectorClock(rt_.config().num_nodes);
+  dirty_pages_.clear();
+  schedules_.clear();
+  {
+    std::lock_guard<std::mutex> g(meta_mu_);
+    table_.assign(rt_.config().num_nodes, MetaLog{});
+    diff_store_.clear();
+    diff_store_bytes_ = 0;
+    last_seen_vc_.assign(rt_.config().num_nodes,
+                         VectorClock(rt_.config().num_nodes));
+    lock_homes_.clear();
+    barrier_mgr_ = BarrierMgr{};
+  }
+}
+
+void DsmRuntime::reset_arena() {
+  for (auto& node : nodes_) node->reset_for_reuse();
+  heap_.reset();
+}
+
 }  // namespace sdsm::core

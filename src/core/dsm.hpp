@@ -367,6 +367,11 @@ class DsmNode {
   /// meta_mu_.
   void insert_metas_locked(const std::vector<IntervalMeta>& metas);
 
+  /// Returns all compute-thread protocol state to its post-construction
+  /// default.  Part of DsmRuntime::reset_arena(); callable only when no
+  /// compute thread is running and the fabric is quiescent.
+  void reset_for_reuse();
+
   // Service side.
   void service_loop();
   void serve_get_diffs(const net::Message& msg);
@@ -479,6 +484,19 @@ class DsmRuntime {
   double total_megabytes() { return net_->stats().megabytes(); }
 
   void reset_stats();
+
+  /// Shared-heap bytes currently allocated.  Zero after reset_arena().
+  std::size_t shared_bytes_used() const { return heap_.used(); }
+
+  /// Returns the arena to its just-constructed state so the runtime can be
+  /// reused for another independent kernel: frees every allocation, zeroes
+  /// and re-protects every node's region (punching holes so physical pages
+  /// are released), and clears all per-node protocol state — clocks,
+  /// interval tables, diff stores, schedules, lock/barrier managers.
+  /// Transport, service threads, and cumulative statistics survive.  Must
+  /// only be called between run() invocations (no compute threads live, no
+  /// sync operation in flight).
+  void reset_arena();
 
  private:
   friend class DsmNode;

@@ -46,6 +46,11 @@ class SharedHeap {
   std::size_t used() const { return cursor_; }
   std::size_t capacity() const { return capacity_; }
 
+  /// Forgets every allocation; outstanding GlobalArray handles become
+  /// invalid.  Only DsmRuntime::reset_arena() may call this, at a point
+  /// where no node thread is running.
+  void reset() { cursor_ = 0; }
+
  private:
   std::size_t capacity_;
   std::size_t page_size_;

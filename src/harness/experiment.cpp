@@ -71,7 +71,7 @@ void Table::print(std::ostream& os) const {
 void Table::print_csv(std::ostream& os) const {
   os << "# csv: group,variant,seconds,speedup,seq_seconds,messages,"
         "megabytes,overhead_seconds,refs,max_row,schedule,barriers_per_step,"
-        "rebuilds\n";
+        "rebuilds,jobs_per_sec,cache_hits\n";
   for (const Row& r : rows_) {
     os << "# csv: " << r.group << ',' << r.variant << ',' << std::fixed
        << std::setprecision(6) << r.seconds << ',' << std::setprecision(3)
@@ -79,7 +79,9 @@ void Table::print_csv(std::ostream& os) const {
        << r.messages << ',' << std::setprecision(3) << r.megabytes << ','
        << std::setprecision(6) << r.overhead_seconds << ',' << r.refs << ','
        << r.max_row << ',' << r.schedule << ',' << std::setprecision(3)
-       << r.barriers_per_step << ',' << r.rebuilds << "\n";
+       << r.barriers_per_step << ',' << r.rebuilds << ','
+       << std::setprecision(3) << r.jobs_per_sec << ',' << r.cache_hits
+       << "\n";
   }
 }
 
@@ -103,7 +105,8 @@ void Table::print_json(std::ostream& os) const {
     json_string(os, r.schedule);
     os << ", \"barriers_per_step\": " << std::setprecision(3)
        << r.barriers_per_step << ", \"rebuilds\": " << r.rebuilds
-       << ", \"note\": ";
+       << ", \"jobs_per_sec\": " << std::setprecision(3) << r.jobs_per_sec
+       << ", \"cache_hits\": " << r.cache_hits << ", \"note\": ";
     json_string(os, r.note);
     os << "}";
   }

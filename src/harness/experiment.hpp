@@ -46,6 +46,15 @@ struct Row {
   /// so this column is what makes rebuild-heavy rows auditable in the
   /// bench trajectory; static structures report 1.
   std::int64_t rebuilds = 0;
+  /// Serving-layer throughput: completed jobs per wall-clock second over
+  /// the row's job stream.  Zero for non-serving rows (omitted from the
+  /// printed table; JSON/CSV carry it).  Appended after `rebuilds` so
+  /// existing positional initializers stay valid.
+  double jobs_per_sec = 0;
+  /// Schedule-cache hits the row's job stream scored (serving rows only).
+  /// Deterministic when the stream runs on one worker, so it is an exact
+  /// gate column like messages.
+  std::int64_t cache_hits = 0;
 };
 
 class Table {

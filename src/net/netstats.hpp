@@ -22,12 +22,73 @@ namespace sdsm::net {
 /// rather than stored: a shared total counter would put every sender
 /// back on one contended line, and totals are only read at quiescent
 /// points (bench snapshots, test asserts).
+/// Plain message/byte pair used for snapshot-and-delta accounting.
+struct Traffic {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+
+  Traffic operator-(const Traffic& rhs) const {
+    return {messages - rhs.messages, bytes - rhs.bytes};
+  }
+  Traffic& operator+=(const Traffic& rhs) {
+    messages += rhs.messages;
+    bytes += rhs.bytes;
+    return *this;
+  }
+};
+
 class NetStats {
  public:
   explicit NetStats(std::uint32_t nodes) : per_node_(nodes) {}
 
   Counter& node_messages(NodeId n) { return at(n).messages; }
   Counter& node_bytes(NodeId n) { return at(n).bytes; }
+
+  /// Point-in-time copy of the per-node counters.  Subtracting two
+  /// snapshots attributes traffic to the interval between them — the
+  /// serving layer uses this for exact per-job accounting on a shared
+  /// long-lived arena, where reset() would destroy process totals.
+  struct Snapshot {
+    std::vector<Traffic> per_node;
+
+    std::uint64_t messages() const {
+      std::uint64_t sum = 0;
+      for (const auto& t : per_node) sum += t.messages;
+      return sum;
+    }
+    std::uint64_t bytes() const {
+      std::uint64_t sum = 0;
+      for (const auto& t : per_node) sum += t.bytes;
+      return sum;
+    }
+    double megabytes() const { return static_cast<double>(bytes()) / 1e6; }
+
+    Snapshot operator-(const Snapshot& rhs) const {
+      SDSM_REQUIRE(per_node.size() == rhs.per_node.size());
+      Snapshot d;
+      d.per_node.reserve(per_node.size());
+      for (std::size_t i = 0; i < per_node.size(); ++i) {
+        d.per_node.push_back(per_node[i] - rhs.per_node[i]);
+      }
+      return d;
+    }
+  };
+
+  /// Only meaningful at quiescent points (or for a node's own send
+  /// counters, which only that node's compute thread bumps).
+  Snapshot snapshot() const {
+    Snapshot s;
+    s.per_node.reserve(per_node_.size());
+    for (const auto& c : per_node_) {
+      s.per_node.push_back({c.messages.get(), c.bytes.get()});
+    }
+    return s;
+  }
+
+  /// Current traffic attributed to sender `n`.
+  Traffic node_traffic(NodeId n) const {
+    return {at(n).messages.get(), at(n).bytes.get()};
+  }
 
   /// Fabric-wide totals: each request and each reply counts as one
   /// message (loopback and control traffic excluded at the send site).

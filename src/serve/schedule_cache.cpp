@@ -1,0 +1,49 @@
+#include "src/serve/schedule_cache.hpp"
+
+namespace sdsm::serve {
+
+std::shared_ptr<const CacheEntry> ScheduleCache::find(const CacheKey& key) {
+  std::lock_guard<std::mutex> g(mu_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->entry;
+}
+
+void ScheduleCache::insert(const CacheKey& key,
+                           std::shared_ptr<const CacheEntry> entry) {
+  std::lock_guard<std::mutex> g(mu_);
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->entry = std::move(entry);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Slot{key, std::move(entry)});
+  map_[key] = lru_.begin();
+  while (map_.size() > max_entries_) {
+    map_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+std::uint64_t ScheduleCache::hits() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return hits_;
+}
+
+std::uint64_t ScheduleCache::misses() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return misses_;
+}
+
+std::size_t ScheduleCache::size() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return lru_.size();
+}
+
+}  // namespace sdsm::serve

@@ -1,0 +1,93 @@
+// The ScheduleCache: the serving layer's cross-job memory of inspector
+// work.
+//
+// Key: (graph fingerprint, kernel id, backend, nprocs).  Value: every
+// node's per-rebuild artifact trace (item lists; plus CHAOS schedules,
+// localized references, and the shared translation table).  A job whose
+// key hits replays the trace executor-only — the amortization the paper's
+// inspector/executor model achieves *within* a run, extended *across*
+// runs.
+//
+// Entries are immutable once inserted (shared_ptr<const>), so readers
+// never lock around a running job; the map itself is mutex-guarded.
+// Insertion happens only after a job completes successfully, and an entry
+// always carries complete traces for all nprocs nodes — partial entries
+// would let some nodes hit and some miss the same rebuild ordinal, which
+// the CHAOS collective rebuild path cannot tolerate.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/api/backend.hpp"
+#include "src/api/reuse.hpp"
+
+namespace sdsm::serve {
+
+struct CacheKey {
+  std::uint64_t fingerprint = 0;  ///< digest of the resolved graph params
+  std::string kernel;
+  api::Backend backend = api::Backend::kTmkOptimized;
+  std::uint32_t nprocs = 0;
+
+  bool operator==(const CacheKey& o) const {
+    return fingerprint == o.fingerprint && kernel == o.kernel &&
+           backend == o.backend && nprocs == o.nprocs;
+  }
+};
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& k) const {
+    std::size_t h = std::hash<std::uint64_t>{}(k.fingerprint);
+    h ^= std::hash<std::string>{}(k.kernel) + 0x9e3779b97f4a7c15ull +
+         (h << 6) + (h >> 2);
+    h ^= (static_cast<std::size_t>(k.backend) * 131) + (h << 6) + (h >> 2);
+    h ^= k.nprocs + (h << 6) + (h >> 2);
+    return h;
+  }
+};
+
+/// One job's complete rebuild trace: per_node[node][ordinal].
+struct CacheEntry {
+  std::vector<std::vector<api::CachedRebuild>> per_node;
+  std::shared_ptr<const chaos::TranslationTable> table;  ///< CHAOS only
+};
+
+class ScheduleCache {
+ public:
+  explicit ScheduleCache(std::size_t max_entries)
+      : max_entries_(max_entries == 0 ? 1 : max_entries) {}
+
+  /// Returns the entry for `key` (bumping it to most-recently-used and
+  /// counting a hit), or nullptr (counting a miss).
+  std::shared_ptr<const CacheEntry> find(const CacheKey& key);
+
+  /// Inserts (or replaces) the entry for `key`, evicting the
+  /// least-recently-used entry beyond capacity.
+  void insert(const CacheKey& key, std::shared_ptr<const CacheEntry> entry);
+
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::size_t size() const;
+
+ private:
+  struct Slot {
+    CacheKey key;
+    std::shared_ptr<const CacheEntry> entry;
+  };
+
+  mutable std::mutex mu_;
+  std::size_t max_entries_;
+  /// Most-recently-used at the front.
+  std::list<Slot> lru_;
+  std::unordered_map<CacheKey, std::list<Slot>::iterator, CacheKeyHash> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace sdsm::serve

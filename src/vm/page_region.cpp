@@ -1,5 +1,7 @@
 #include "src/vm/page_region.hpp"
 
+#include <fcntl.h>
+#include <linux/falloc.h>
 #include <sys/mman.h>
 #include <unistd.h>
 
@@ -42,11 +44,13 @@ PageRegion::PageRegion(std::size_t bytes, Prot initial)
   SDSM_REQUIRE(trc == 0);
   void* p = ::mmap(nullptr, size_, to_native(initial), MAP_SHARED, fd, 0);
   void* m = ::mmap(nullptr, size_, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
-  ::close(fd);
   if (p == MAP_FAILED || m == MAP_FAILED) {
     std::perror("sdsm: mmap");
     SDSM_ASSERT(p != MAP_FAILED && m != MAP_FAILED);
   }
+  // The fd stays open for the region's lifetime: reset() punches holes
+  // through it to return physical pages to the kernel.
+  fd_ = fd;
   base_ = static_cast<std::byte*>(p);
   mirror_ = static_cast<std::byte*>(m);
 }
@@ -54,6 +58,17 @@ PageRegion::PageRegion(std::size_t bytes, Prot initial)
 PageRegion::~PageRegion() {
   if (base_ != nullptr) ::munmap(base_, size_);
   if (mirror_ != nullptr) ::munmap(mirror_, size_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void PageRegion::reset(Prot prot) {
+  const int rc = ::fallocate(fd_, FALLOC_FL_PUNCH_HOLE | FALLOC_FL_KEEP_SIZE,
+                             0, static_cast<off_t>(size_));
+  if (rc != 0) {
+    std::perror("sdsm: fallocate(PUNCH_HOLE)");
+    SDSM_ASSERT(rc == 0);
+  }
+  protect(0, num_pages(), prot);
 }
 
 PageId PageRegion::page_of(const void* addr) const {

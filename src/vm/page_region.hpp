@@ -64,11 +64,19 @@ class PageRegion {
   /// mprotect call per contiguous run.
   void protect_pages(std::span<const PageId> pages, Prot prot);
 
+  /// Returns the region to its freshly-mapped state: every page zero-filled
+  /// and protected `prot`.  Implemented with FALLOC_FL_PUNCH_HOLE on the
+  /// backing memfd so the physical pages are *released*, not memset — a warm
+  /// server arena that ran a small job must not keep the whole region
+  /// resident.
+  void reset(Prot prot = Prot::kRead);
+
  private:
   std::byte* base_ = nullptr;
   std::byte* mirror_ = nullptr;
   std::size_t size_ = 0;
   std::size_t page_size_ = 0;
+  int fd_ = -1;
 };
 
 /// System page size (cached).
