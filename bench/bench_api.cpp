@@ -21,9 +21,18 @@
 // carries the same traffic over real TCP so wire cost is measured.  The
 // socket run writes BENCH_api_socket.json so the two trajectories never
 // overwrite each other.
+//
+// `--group=<filter>[,<filter>...]` runs only the groups whose name
+// contains one of the (comma-separated) filters — e.g. `--group=proc`
+// or `--group=fault,serve` — so a new group can be exercised in seconds
+// without the full sweep.  A filtered run never writes the bench JSON:
+// the committed baseline holds every group, and overwriting it with a
+// subset would fail the exact gate on the missing rows.
 #include <algorithm>
 #include <cstdio>
+#include <initializer_list>
 #include <iostream>
+#include <string_view>
 
 #include "bench/bench_params.hpp"
 #include "src/apps/graph/bfs.hpp"
@@ -33,15 +42,46 @@
 #include "src/apps/pagerank/pagerank.hpp"
 #include "src/apps/spmv/spmv.hpp"
 #include "src/common/timer.hpp"
+#include "src/core/dsm.hpp"
 #include "src/harness/experiment.hpp"
 #include "src/harness/options.hpp"
+#include "src/proc/proc.hpp"
 #include "src/serve/client.hpp"
 #include "src/serve/server.hpp"
+#include "src/serve/workloads.hpp"
 
 namespace {
 
 using namespace sdsm;
 using namespace sdsm::apps;
+
+/// True when `group` passes the --group filter: no filter, or any of the
+/// comma-separated filter tokens is a substring of the group name.
+bool group_enabled(const harness::Options& opt, std::string_view group) {
+  const std::optional<std::string> filter = opt.value("group");
+  if (!filter) return true;
+  const std::string_view f = *filter;
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t comma = f.find(',', pos);
+    const std::string_view tok =
+        f.substr(pos, comma == std::string_view::npos ? f.size() - pos
+                                                      : comma - pos);
+    if (!tok.empty() && group.find(tok) != std::string_view::npos) return true;
+    if (comma == std::string_view::npos) return false;
+    pos = comma + 1;
+  }
+}
+
+/// Any of `groups` enabled — gates a block whose (shared, expensive)
+/// sequential baseline feeds several groups.
+bool any_group_enabled(const harness::Options& opt,
+                       std::initializer_list<std::string_view> groups) {
+  for (const std::string_view g : groups) {
+    if (group_enabled(opt, g)) return true;
+  }
+  return false;
+}
 
 void add_row(harness::Table& table, const char* group, api::Backend b,
              double seq_seconds, double seq_checksum,
@@ -246,6 +286,125 @@ void add_serve_groups(harness::Table& table,
   table.add(row);
 }
 
+/// The fault-latency microbench: SIGSEGV -> page-resident time on the
+/// demand-paging path.  Node 0 dirties kPages pages; after the barrier
+/// node 1 reads one double per page — every read is a cold fault (segv,
+/// diff fetch from the modifier, apply, remap) — then reads them again
+/// warm (resident, no fault).  The per-page averages land in the seconds
+/// column; the message count (one request + one reply per cold fault,
+/// zero warm) is deterministic and exact-gated.
+void add_fault_latency_rows(harness::Table& table) {
+  constexpr std::size_t kPages = 256;
+  core::DsmConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.region_bytes = 4u << 20;
+  core::DsmRuntime rt(cfg);
+  const std::size_t stride = rt.page_size() / sizeof(double);
+  const auto arr = rt.alloc_global<double>(kPages * stride);
+
+  double cold_s = 0, warm_s = 0, sink = 0;
+  const net::NetStats::Snapshot before = rt.network().stats().snapshot();
+  rt.run([&](core::DsmNode& self) {
+    double* p = self.ptr(arr);
+    if (self.id() == 0) {
+      for (std::size_t pg = 0; pg < kPages; ++pg) {
+        p[pg * stride] = static_cast<double>(pg + 1);
+      }
+    }
+    self.barrier();
+    if (self.id() == 1) {
+      double s = 0;
+      const Timer cold;
+      for (std::size_t pg = 0; pg < kPages; ++pg) s += p[pg * stride];
+      cold_s = cold.elapsed_s();
+      const Timer warm;
+      for (std::size_t pg = 0; pg < kPages; ++pg) s += p[pg * stride];
+      warm_s = warm.elapsed_s();
+      sink = s;
+    }
+    self.barrier();
+  });
+  const net::NetStats::Snapshot delta =
+      rt.network().stats().snapshot() - before;
+
+  char note[96];
+  std::snprintf(note, sizeof(note), "segv->resident per page, checksum %.0f",
+                sink);
+  harness::Row cold_row;
+  cold_row.group = "fault latency 256 pages";
+  cold_row.variant = "cold";
+  cold_row.seconds = cold_s / kPages;
+  cold_row.messages = delta.messages();  // the faults' fetch round trips
+  cold_row.megabytes = delta.megabytes();
+  cold_row.note = note;
+  table.add(cold_row);
+
+  harness::Row warm_row;
+  warm_row.group = "fault latency 256 pages";
+  warm_row.variant = "warm";
+  warm_row.seconds = warm_s / kPages;
+  warm_row.note = "resident re-read, no fault, no traffic";
+  table.add(warm_row);
+}
+
+/// The process-mode deployment rows: the identical spmv job as spawned
+/// worker processes (sdsm::proc) and as node threads on the socket
+/// fabric.  The counters of the two rows must be identical — the
+/// wire-parity acceptance criterion, exact-gated by compare_bench — and
+/// the seconds column carries the real fork + rendezvous + TCP-mesh
+/// deployment cost.
+void add_proc_rows(harness::Table& table,
+                   const std::vector<api::Backend>& backends) {
+  constexpr std::uint32_t kProcNodes = 4;
+  serve::JobRequest req;
+  req.kernel = "spmv";
+  req.graph.num_elements = 4096;
+  req.graph.num_steps = 8;
+  req.graph.edges_per_vertex = 4;
+  req.transport = net::TransportKind::kSocket;
+
+  for (const api::Backend b : backends) {
+    if (b == api::Backend::kChaos) continue;  // threads-only backend
+    req.backend = b;
+
+    const serve::PreparedJob prepared = serve::prepare_job(req, kProcNodes);
+    api::BackendOptions opts = prepared.base_options;
+    opts.transport = net::TransportKind::kSocket;
+    const api::KernelResult tr = api::run_kernel(b, prepared.spec, opts);
+
+    proc::LaunchOptions lopt;
+    lopt.nprocs = kProcNodes;
+    const proc::LaunchResult lr = proc::run_job(req, lopt);
+
+    add_row(table, "proc spmv 4096x8 threads", b, 0, tr.checksum, opts, tr);
+    if (!lr.ok) {
+      // No processes row: the exact gate fails loudly on the missing row.
+      std::fprintf(stderr, "proc row %s: %s\n", api::backend_name(b),
+                   lr.error.c_str());
+    } else {
+      const bool parity = lr.result.checksum == tr.checksum &&
+                          lr.result.messages == tr.messages &&
+                          lr.result.bytes == tr.bytes;
+      char note[96];
+      std::snprintf(note, sizeof(note), "parity vs threads %s",
+                    parity ? "OK" : "MISMATCH");
+      harness::Row row;
+      row.group = "proc spmv 4096x8 processes";
+      row.variant = api::backend_name(b);
+      row.seconds = lr.result.seconds;
+      row.messages = lr.result.messages;
+      row.megabytes = lr.result.megabytes;
+      row.overhead_seconds = lr.result.overhead_seconds;
+      row.note = note;
+      row.refs = lr.result.refs;
+      row.max_row = lr.result.max_row;
+      row.barriers_per_step = lr.result.barriers_per_step;
+      row.rebuilds = lr.result.rebuilds;
+      table.add(row);
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -259,7 +418,8 @@ int main(int argc, char** argv) {
       bench::kNodes, net::transport_name(transport));
   harness::Table table("Unified API - all workloads x all backends");
 
-  {
+  if (any_group_enabled(opt, {"moldyn 4096x24",
+                              "moldyn 4096x24 tournament"})) {
     moldyn::Params p;
     p.num_molecules = 4096;
     p.num_steps = 24;
@@ -277,7 +437,7 @@ int main(int argc, char** argv) {
                           return moldyn::run(b, p, sys, o);
                         });
   }
-  {
+  if (group_enabled(opt, "nbf 16384x32")) {
     nbf::Params p;
     p.molecules = 16384;
     p.partners = 32;
@@ -289,7 +449,8 @@ int main(int argc, char** argv) {
     add_rows(table, opt.backends, "nbf 16384x32", seq.seconds, seq.checksum, opts,
              [&](api::Backend b) { return nbf::run(b, p, opts); });
   }
-  {
+  if (any_group_enabled(opt, {"nbf-var 16384x8..32",
+                              "nbf-var 16384x8..32 padded"})) {
     // The variable-arity comparison: per-molecule partner counts in
     // [8, 32], one-time list costs counted (warmup_steps = 0).
     nbf::Params p;
@@ -311,7 +472,7 @@ int main(int argc, char** argv) {
                return api::run_kernel(b, nbf::make_padded_kernel(p), opts);
              });
   }
-  {
+  if (group_enabled(opt, "spmv 16384x8")) {
     spmv::Params p;
     p.num_rows = 16384;
     p.edges_per_vertex = 8;
@@ -323,7 +484,8 @@ int main(int argc, char** argv) {
     add_rows(table, opt.backends, "spmv 16384x8", seq.seconds, seq.checksum, opts,
              [&](api::Backend b) { return spmv::run(b, p, opts); });
   }
-  {
+  if (any_group_enabled(opt, {"pagerank 16384x8",
+                              "pagerank 16384x8 tournament"})) {
     pagerank::Params p;
     p.num_vertices = 16384;
     p.edges_per_vertex = 8;
@@ -341,7 +503,8 @@ int main(int argc, char** argv) {
                         });
   }
 
-  {
+  if (any_group_enabled(opt, {"bfs 16384x4", "bfs 16384x4 tournament",
+                              "cc 16384x4", "cc 16384x4 tournament"})) {
     // The frontier-driven graph rows: the item list changes EVERY step
     // (rebuilds == steps run, visible in the rebuilds column), so rebuild
     // cost — per-step allgathers on CHAOS, per-step Read_indices and
@@ -354,7 +517,7 @@ int main(int argc, char** argv) {
     p.isolated = 2048;  // = 16384 / 8 nodes: node 7 owns exactly the tail
     p.num_steps = 24;
     p.nprocs = bench::kNodes;
-    {
+    if (any_group_enabled(opt, {"bfs 16384x4", "bfs 16384x4 tournament"})) {
       const auto seq = bfs::run_seq(p);
       api::BackendOptions opts = bfs::default_options();
       opts.transport = transport;
@@ -366,7 +529,7 @@ int main(int argc, char** argv) {
                             return bfs::run(b, p, o);
                           });
     }
-    {
+    if (any_group_enabled(opt, {"cc 16384x4", "cc 16384x4 tournament"})) {
       const auto seq = cc::run_seq(p);
       api::BackendOptions opts = cc::default_options();
       opts.transport = transport;
@@ -380,10 +543,27 @@ int main(int argc, char** argv) {
     }
   }
 
-  add_serve_groups(table, opt.backends, transport);
+  if (any_group_enabled(opt, {"serve moldyn 2048x12 one-shot",
+                              "serve moldyn 2048x12 miss",
+                              "serve moldyn 2048x12 hit",
+                              "serve throughput mixed stream"})) {
+    add_serve_groups(table, opt.backends, transport);
+  }
+  if (group_enabled(opt, "fault latency 256 pages")) {
+    add_fault_latency_rows(table);
+  }
+  if (any_group_enabled(opt, {"proc spmv 4096x8 threads",
+                              "proc spmv 4096x8 processes"})) {
+    add_proc_rows(table, opt.backends);
+  }
 
   table.print(std::cout);
   table.print_csv(std::cout);
+  if (opt.value("group")) {
+    std::printf("--group filter active: bench JSON left untouched "
+                "(a full run re-baselines)\n");
+    return 0;
+  }
   const char* json = transport == net::TransportKind::kSocket
                          ? "BENCH_api_socket.json"
                          : "BENCH_api.json";

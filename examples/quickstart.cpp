@@ -1,100 +1,82 @@
-// Quickstart: write an irregular kernel once, run it on every runtime.
+// Quickstart: write an irregular kernel once, run it on every runtime —
+// and in both deployment modes.
 //
-// The kernel below is a miniature of the paper's applications: elements
-// hold a value, an irregular neighbour list says who interacts with whom,
-// and each step every pair exchanges a contribution before owners relax
-// their values.  Describing it as an api::KernelSpec is all that is
-// needed — the CHAOS backend derives the inspector/executor schedules, the
-// TreadMarks backends run it over the DSM (base: demand paging; optimized:
-// compiler-driven Validate aggregation), and the message counts stay
-// comparable because every backend shares one network fabric.
+// The kernel (src/apps/quickstart) is a miniature of the paper's
+// applications: elements hold a value, an irregular neighbour list says
+// who interacts with whom, and each step every pair exchanges a
+// contribution before owners relax their values.  Describing it as an
+// api::KernelSpec is all that is needed — the CHAOS backend derives the
+// inspector/executor schedules, the TreadMarks backends run it over the
+// DSM (base: demand paging; optimized: compiler-driven Validate
+// aggregation), and the message counts stay comparable because every
+// backend shares one network fabric.
+//
+// With --mode=processes the Tmk rows run as real spawned worker
+// processes (sdsm::proc): one process per node, cross-process page
+// faults, results aggregated from the per-worker reports.  CHAOS is
+// threads-only and is skipped in that mode.
 //
 // Build & run:   ./build/quickstart [--transport=inproc|socket]
 //                                   [--backend=chaos|tmk-base|tmk-optimized]
+//                                   [--mode=threads|processes]
 #include <cstdio>
 
 #include "src/api/api.hpp"
+#include "src/apps/quickstart/quickstart.hpp"
 #include "src/harness/options.hpp"
+#include "src/proc/proc.hpp"
 
 using namespace sdsm;
 
 int main(int argc, char** argv) {
   const harness::Options opt = harness::Options::parse(argc, argv);
-  api::BackendOptions options;
+  const apps::quickstart::Params params;  // the defaults: 4096 x 4 nodes
+
+  api::BackendOptions options = apps::quickstart::default_options();
   options.transport = opt.transport;
+  options.mode = opt.mode;
 
-  constexpr std::int64_t kN = 4096;        // elements
-  constexpr std::uint32_t kNodes = 4;
-  constexpr std::size_t kNeighbors = 4;    // refs per work item
-
-  api::KernelSpec<double> spec;
-  spec.name = "quickstart";
-  spec.num_elements = kN;
-  spec.owner_range = part::block_partition(kN, kNodes);
-  spec.initial_state.resize(kN);
-  for (std::int64_t i = 0; i < kN; ++i) {
-    spec.initial_state[static_cast<std::size_t>(i)] =
-        static_cast<double>(i % 97);
-  }
-  spec.num_steps = 8;
-  spec.warmup_steps = 1;     // one-time inspector / list scan lands here
-  spec.update_interval = 0;  // static neighbour structure
-  spec.max_items_per_node = kN / kNodes;
-  spec.max_refs_per_node = static_cast<std::int64_t>(kNeighbors) * kN / kNodes;
-
-  // Each owned element is one work item: a CSR row naming itself plus
-  // three scattered neighbours (an irregular, statically known access
-  // pattern).  Rows may be any length; this kernel's happen to be uniform,
-  // so finish_uniform derives the offsets.
-  spec.build_items = [](api::IrregularNode& node, std::span<const double>) {
-    const part::Range mine = part::block_partition(kN, kNodes)[node.id()];
-    api::WorkItems items;
-    for (std::int64_t i = mine.begin; i < mine.end; ++i) {
-      items.refs.push_back(i);
-      items.refs.push_back((i * 7 + 1) % kN);
-      items.refs.push_back((i * 13 + 5) % kN);
-      items.refs.push_back((i + kN / 2) % kN);
-    }
-    items.finish_uniform(kNeighbors);
-    return items;
-  };
-
-  // The per-step body: pairwise exchange between the item's element and
-  // each neighbour.  Indices are already localized by the backend.
-  spec.compute = [](api::IrregularNode&, const api::KernelCtx<double>& ctx) {
-    for (std::size_t k = 0; k < ctx.num_items(); ++k) {
-      const auto row = ctx.refs_of(k);
-      const auto self = static_cast<std::size_t>(row[0]);
-      for (std::size_t j = 1; j < row.size(); ++j) {
-        const auto nb = static_cast<std::size_t>(row[j]);
-        const double d = 0.125 * (ctx.x[self] - ctx.x[nb]);
-        ctx.f[self] -= d;
-        ctx.f[nb] += d;
-      }
-    }
-  };
-
-  // Owner relaxation from the reduced contributions.
-  spec.update = [](std::span<double> x, std::span<const double> f) {
-    for (std::size_t i = 0; i < x.size(); ++i) x[i] += 0.5 * f[i];
-  };
-
-  spec.checksum = [](std::span<const double> x) {
-    double s = 0;
-    for (const double v : x) s += v;
-    return s;
-  };
+  serve::JobRequest req;  // the process-mode job description
+  req.kernel = "quickstart";
+  req.transport = net::TransportKind::kSocket;
 
   std::printf("%-14s %12s %10s %10s %12s\n", "backend", "checksum",
               "messages", "data(MB)", "overhead(s)");
+  bool failed = false;
   for (const api::Backend b : opt.backends) {
-    const api::KernelResult r = api::run_kernel(b, spec, options);
+    api::KernelResult r;
+    if (options.mode == DeployMode::kProcesses) {
+      if (b == api::Backend::kChaos) {
+        std::printf("%-14s %12s\n", api::backend_name(b),
+                    "(threads-only)");
+        continue;
+      }
+      proc::LaunchOptions lopt;
+      lopt.nprocs = params.nprocs;
+      req.backend = b;
+      const proc::LaunchResult lr = proc::run_job(req, lopt);
+      if (!lr.ok) {
+        std::fprintf(stderr, "%s: %s\n", api::backend_name(b),
+                     lr.error.c_str());
+        failed = true;
+        continue;
+      }
+      r = lr.result;
+    } else {
+      r = apps::quickstart::run(b, params, options);
+    }
     std::printf("%-14s %12.3f %10llu %10.3f %12.6f\n", api::backend_name(b),
                 r.checksum, static_cast<unsigned long long>(r.messages),
                 r.megabytes, r.overhead_seconds);
   }
-  std::printf("\nSame kernel, three runtimes; checksums agree, message\n"
-              "counts show demand paging vs aggregation vs inspector/"
-              "executor.\n");
-  return 0;
+  if (options.mode == DeployMode::kProcesses) {
+    std::printf("\nEach row above ran as %u real worker processes with "
+                "cross-process page\nfaults; counts match the threaded "
+                "socket run exactly.\n", params.nprocs);
+  } else {
+    std::printf("\nSame kernel, three runtimes; checksums agree, message\n"
+                "counts show demand paging vs aggregation vs inspector/"
+                "executor.\n");
+  }
+  return failed ? 1 : 0;
 }

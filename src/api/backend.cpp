@@ -51,4 +51,26 @@ std::optional<RoundSchedule> parse_round_schedule(std::string_view name) {
   return std::nullopt;
 }
 
+const char* deploy_mode_name(DeployMode m) {
+  switch (m) {
+    case DeployMode::kThreads:
+      return "threads";
+    case DeployMode::kProcesses:
+      return "processes";
+  }
+  return "?";
+}
+
+std::optional<DeployMode> parse_deploy_mode(std::string_view name) {
+  std::string s(name);
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  if (s == "threads" || s == "thread") return DeployMode::kThreads;
+  if (s == "processes" || s == "process" || s == "proc") {
+    return DeployMode::kProcesses;
+  }
+  return std::nullopt;
+}
+
 }  // namespace sdsm::api

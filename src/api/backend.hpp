@@ -13,6 +13,7 @@
 #include <string_view>
 
 #include "src/chaos/translation_table.hpp"
+#include "src/common/types.hpp"
 #include "src/net/transport.hpp"
 
 namespace sdsm::api {
@@ -62,6 +63,13 @@ const char* round_schedule_name(RoundSchedule s);
 /// Parses "serial" | "tournament" case-insensitively; nullopt otherwise.
 std::optional<RoundSchedule> parse_round_schedule(std::string_view name);
 
+/// Stable display name: "threads" | "processes".
+const char* deploy_mode_name(DeployMode m);
+
+/// Parses "threads" | "processes" (and a few aliases) case-insensitively;
+/// nullopt otherwise.
+std::optional<DeployMode> parse_deploy_mode(std::string_view name);
+
 /// Per-run tuning knobs that are about the *execution substrate*, not the
 /// kernel.  Each backend reads the subset that applies to it.
 struct BackendOptions {
@@ -72,6 +80,12 @@ struct BackendOptions {
   net::TransportKind transport = net::TransportKind::kInProc;
   /// Simulated interconnect cost model (in-process transport only).
   net::WireModel wire{};
+  /// Nodes as threads of this process (default) or as spawned worker
+  /// processes (sdsm::proc).  The api layer itself always executes in the
+  /// current process; process-mode runs are launched by proc::run_job,
+  /// which the examples/benches route to when this knob says kProcesses.
+  /// Tmk backends only — CHAOS is not deployed multi-process.
+  DeployMode mode = DeployMode::kThreads;
 
   // --- TreadMarks backends --------------------------------------------------
   std::size_t region_bytes = 256u << 20;        ///< shared-region size

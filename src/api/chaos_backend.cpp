@@ -280,6 +280,7 @@ KernelResult ChaosBackend::run_impl(chaos::ChaosRuntime& rt,
       msgs_end.load() - msgs_start.load() - 2 * (nprocs - 1);
   res.megabytes =
       static_cast<double>(bytes_end.load() - bytes_start.load()) / 1e6;
+  res.bytes = bytes_end.load() - bytes_start.load();
   // Barrier arrivals between the snapshots: the timed steps' barriers plus
   // the end snapshot's own (fully counted at its quiescent point, like the
   // start's is in barr_start).  Measured, not asserted: CHAOS synchronizes

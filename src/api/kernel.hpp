@@ -359,6 +359,10 @@ struct KernelResult {
   double seconds = 0;  ///< timed steps, max over nodes
   std::uint64_t messages = 0;
   double megabytes = 0;
+  /// Exact payload-byte count backing `megabytes` (megabytes = bytes/1e6).
+  /// Process-mode aggregation sums this integer across workers so the
+  /// combined megabytes figure is bit-identical to a threaded run's.
+  std::uint64_t bytes = 0;
   /// Per-node overhead of keeping the communication structure current:
   /// inspector time on CHAOS, Read_indices scan time on Tmk.
   double overhead_seconds = 0;

@@ -202,7 +202,7 @@ KernelResult TmkBackend::run_impl(core::DsmRuntime& rt,
   // never ships a page carrying a neighbour's references; sized by the
   // declared reference capacity, not items * max-arity — the unpadded CSR
   // footprint is exactly what variable-length rows save.
-  const std::size_t page_ints = rt.node(0).page_size() / sizeof(std::int32_t);
+  const std::size_t page_ints = rt.page_size() / sizeof(std::int32_t);
   const std::size_t slice_ints =
       (static_cast<std::size_t>(spec.max_refs_per_node) + page_ints - 1) /
       page_ints * page_ints;
@@ -662,7 +662,24 @@ KernelResult TmkBackend::run_impl(core::DsmRuntime& rt,
   // prior-job counters never leak into this job's result.
   const DsmStats::Snapshot stats_warm = rt.stats().snapshot();
   const net::NetStats::Snapshot net_warm = rt.network().stats().snapshot();
-  const std::int64_t warm_steps_run = state[0].steps_run;
+  // Process mode needs a consistent cut here: each worker snapshots its own
+  // counters, but without a fence a fast peer's first timed-section diff
+  // request could be served by this worker's service thread *before* the
+  // snapshot above, landing the reply in the warm delta while a threaded
+  // run (which snapshots globally after join) counts it timed-side —
+  // breaking the bit-exact parity between the modes.  The fence is
+  // uncounted control traffic, so the counters themselves are unchanged.
+  // Threads mode takes no fence: its snapshot is already a perfect cut,
+  // and a serial loop over hosted nodes would deadlock the rendezvous.
+  if (rt.config().mode == DeployMode::kProcesses) {
+    for (const NodeId q : rt.local_ids()) rt.node(q).quiesce_fence();
+  }
+  // Per-node aggregation below covers the locally hosted nodes: all of
+  // them in threads mode; in process mode each worker reports its own and
+  // the launcher sums/maxes across workers.  Steps and rebuilds are
+  // globally uniform, so any hosted representative stands for them.
+  const NodeId rep = rt.first_local_node();
+  const std::int64_t warm_steps_run = state[rep].steps_run;
 
   const Timer wall;
   rt.run([&](core::DsmNode& self) {
@@ -671,6 +688,16 @@ KernelResult TmkBackend::run_impl(core::DsmRuntime& rt,
     state[self.id()].checksum = spec.checksum(std::span<const T>(
         self.ptr(x) + mine.begin, static_cast<std::size_t>(mine.size())));
   });
+  // The end-of-timed cut needs the same fence: the post-barrier checksum
+  // can fault on a partition-boundary page a neighbour wrote (elements
+  // need not be page-aligned), and the owning peer's service thread
+  // answers that fetch AFTER its own compute finished — without the fence
+  // it could count the reply after snapshotting below.  Entering the
+  // fence requires every node's checksum (and so every reply it consumed)
+  // to be complete, ordering all counted sends before every snapshot.
+  if (rt.config().mode == DeployMode::kProcesses) {
+    for (const NodeId q : rt.local_ids()) rt.node(q).quiesce_fence();
+  }
   const DsmStats::Snapshot timed = rt.stats().snapshot() - stats_warm;
   const net::NetStats::Snapshot net_timed =
       rt.network().stats().snapshot() - net_warm;
@@ -680,21 +707,26 @@ KernelResult TmkBackend::run_impl(core::DsmRuntime& rt,
   res.seconds = wall.elapsed_s();
   res.messages = net_timed.messages();
   res.megabytes = net_timed.megabytes();
+  res.bytes = net_timed.bytes();
   res.overhead_seconds =
-      (warm_scan_s + static_cast<double>(timed.scan_ns) / 1e9) / nprocs;
-  res.rebuilds = state[0].rebuilds;
-  for (const PerNode& st : state) {
+      (warm_scan_s + static_cast<double>(timed.scan_ns) / 1e9) /
+      rt.num_local_nodes();
+  res.rebuilds = state[rep].rebuilds;
+  for (const NodeId q : rt.local_ids()) {
+    const PerNode& st = state[q];
     res.checksum += st.checksum;
     res.refs += st.refs;
     res.max_row = std::max<std::uint64_t>(res.max_row, st.max_row);
   }
-  res.steps_run = state[0].steps_run - warm_steps_run;
+  res.steps_run = state[rep].steps_run - warm_steps_run;
   // Every node executes the same global barriers, so the per-node count is
-  // the total divided by nprocs; the delta is taken from the post-warmup
-  // snapshot, so this covers exactly the timed steps actually executed
-  // (fewer than num_steps when the convergence flag ended the loop early).
+  // the total divided by the hosted-node count (the stats only see hosted
+  // nodes); the delta is taken from the post-warmup snapshot, so this
+  // covers exactly the timed steps actually executed (fewer than num_steps
+  // when the convergence flag ended the loop early).
   if (res.steps_run > 0) {
-    res.barriers_per_step = static_cast<double>(timed.barriers) / nprocs /
+    res.barriers_per_step = static_cast<double>(timed.barriers) /
+                            rt.num_local_nodes() /
                             static_cast<double>(res.steps_run);
   }
   res.tmk.cross_prefetch_posts = timed.cross_prefetch_posts;

@@ -1,0 +1,41 @@
+// Quickstart: the miniature irregular kernel the README opens with —
+// elements hold a value, a static scattered neighbour list says who
+// interacts with whom, each step every pair exchanges a contribution and
+// owners relax their values.
+//
+// Extracted from examples/quickstart.cpp into an apps module so the
+// serving layer and the process-mode launcher can materialize the same
+// kernel from a JobRequest ("quickstart" in serve::prepare_job): the
+// example binary, a served job, and a spawned-worker run all execute the
+// byte-identical spec, which is what makes "quickstart --mode=processes"
+// a meaningful smoke test rather than a separate program.
+#pragma once
+
+#include <cstdint>
+
+#include "src/api/api.hpp"
+
+namespace sdsm::apps::quickstart {
+
+struct Params {
+  std::int64_t num_elements = 4096;
+  int num_steps = 8;     ///< timed steps
+  int warmup_steps = 1;  ///< one-time inspector / list scan lands here
+  std::uint32_t nprocs = 4;
+};
+
+/// Neighbour count per work item (self + three scattered partners).
+inline constexpr std::size_t kNeighbors = 4;
+
+/// The quickstart kernel: x[i] starts at i % 97; each item i references
+/// {i, (7i+1) % N, (13i+5) % N, (i + N/2) % N}; the step body moves
+/// 0.125 * (x[self] - x[nb]) between each pair and owners relax
+/// x += 0.5 * f.  Checksum is the plain state sum.
+api::KernelSpec<double> make_kernel(const Params& p);
+
+api::BackendOptions default_options();
+
+api::KernelResult run(api::Backend backend, const Params& p,
+                      const api::BackendOptions& options = default_options());
+
+}  // namespace sdsm::apps::quickstart

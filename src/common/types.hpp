@@ -22,4 +22,14 @@ using GlobalAddr = std::uint64_t;
 
 inline constexpr PageId kInvalidPage = ~PageId{0};
 
+/// How the nodes of a run are deployed: as threads of one process (every
+/// node's region lives in one address space) or as spawned worker
+/// processes connected by a real socket mesh (sdsm::proc), where page
+/// faults are resolved by fetching diffs over the wire from the owning
+/// process.
+enum class DeployMode : std::uint8_t {
+  kThreads,
+  kProcesses,
+};
+
 }  // namespace sdsm

@@ -42,7 +42,8 @@ std::uint64_t diff_key(PageId page, NodeId creator, std::uint32_t seq) {
 DsmNode::DsmNode(DsmRuntime& rt, NodeId id)
     : rt_(rt),
       id_(id),
-      region_(rt.config().region_bytes, vm::Prot::kRead),
+      region_(rt.config().region_bytes, vm::Prot::kRead,
+              rt.config().arena_base),
       pages_(region_.num_pages()),
       vc_(rt.config().num_nodes),
       applied_vc_(rt.config().num_nodes),
@@ -652,6 +653,9 @@ void DsmNode::service_loop() {
     switch (msg.type) {
       case net::kControlStop:
         return;
+      case net::kControlSync:
+        serve_control_sync(msg);
+        break;
       case kGetDiffs:
         serve_get_diffs(msg);
         break;
@@ -729,23 +733,51 @@ DsmRuntime::DsmRuntime(DsmConfig config)
                                config.wire)),
       heap_(config.region_bytes, vm::system_page_size()) {
   SDSM_REQUIRE(config.num_nodes >= 1);
+  SDSM_REQUIRE_MSG(config.mode == DeployMode::kThreads,
+                   "DsmRuntime: process mode needs the transport ctor");
   nodes_.reserve(config.num_nodes);
   for (NodeId n = 0; n < config.num_nodes; ++n) {
     nodes_.push_back(std::make_unique<DsmNode>(*this, n));
+    local_ids_.push_back(n);
   }
 }
 
+DsmRuntime::DsmRuntime(DsmConfig config,
+                       std::unique_ptr<net::Transport> transport)
+    : config_(config),
+      net_(std::move(transport)),
+      heap_(config.region_bytes, vm::system_page_size()) {
+  SDSM_REQUIRE(config.num_nodes >= 1);
+  SDSM_REQUIRE_MSG(config.mode == DeployMode::kProcesses,
+                   "DsmRuntime: transport ctor is for process mode");
+  SDSM_REQUIRE(net_ != nullptr && net_->num_nodes() == config.num_nodes);
+  SDSM_REQUIRE(config.local_node < config.num_nodes);
+  // Only the hosted node gets a region + service thread; the rest of the
+  // slots stay null so stray cross-node access trips node()'s check
+  // instead of silently reading another process's memory.
+  nodes_.resize(config.num_nodes);
+  nodes_[config.local_node] = std::make_unique<DsmNode>(*this,
+                                                        config.local_node);
+  local_ids_.push_back(config.local_node);
+}
+
 DsmRuntime::~DsmRuntime() {
-  net_->stop_all_services();
+  // Stop exactly the services hosted here: in process mode a blanket
+  // stop_all_services() would shoot down peers that are still serving
+  // their own teardown-time fetches.
+  for (const NodeId n : local_ids_) net_->stop_service(n);
   for (auto& node : nodes_) {
-    if (node->service_thread_.joinable()) node->service_thread_.join();
+    if (node != nullptr && node->service_thread_.joinable()) {
+      node->service_thread_.join();
+    }
   }
 }
 
 void DsmRuntime::run(const std::function<void(DsmNode&)>& body) {
   std::vector<std::thread> workers;
-  workers.reserve(nodes_.size());
+  workers.reserve(local_ids_.size());
   for (auto& node : nodes_) {
+    if (node == nullptr) continue;
     workers.emplace_back([&body, &node] {
       body(*node);
       // Still on the node's compute thread, with every peer's service
@@ -784,11 +816,14 @@ void DsmNode::reset_for_reuse() {
                          VectorClock(rt_.config().num_nodes));
     lock_homes_.clear();
     barrier_mgr_ = BarrierMgr{};
+    fence_waiters_.clear();
   }
 }
 
 void DsmRuntime::reset_arena() {
-  for (auto& node : nodes_) node->reset_for_reuse();
+  for (auto& node : nodes_) {
+    if (node != nullptr) node->reset_for_reuse();
+  }
   heap_.reset();
 }
 

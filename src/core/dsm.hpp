@@ -47,6 +47,19 @@ namespace sdsm::core {
 struct DsmConfig {
   std::uint32_t num_nodes = 8;
   std::size_t region_bytes = 64u << 20;
+  /// kThreads (default): this runtime hosts every node in-process.
+  /// kProcesses: this runtime hosts exactly `local_node`; the other nodes
+  /// live in peer worker processes reached through an injected
+  /// cross-process transport (see the DsmRuntime transport ctor), and
+  /// page faults resolve by fetching diffs over the wire from them.
+  DeployMode mode = DeployMode::kThreads;
+  /// The one node this process hosts (kProcesses only).
+  NodeId local_node = 0;
+  /// Fixed mapping address for the hosted node's region
+  /// (MAP_FIXED_NOREPLACE; kProcesses only — the rendezvous-agreed base
+  /// that keeps global addresses meaningful across the workers).  nullptr
+  /// lets the kernel choose, as in threads mode.
+  void* arena_base = nullptr;
   /// Fabric selection: in-process channels (wire cost simulated by `wire`)
   /// or real TCP sockets over localhost (wire cost measured, `wire`
   /// ignored).
@@ -224,6 +237,18 @@ class DsmNode {
   /// local diff store is over threshold, and the release orders a global
   /// flush-and-drop round.
   void barrier();
+
+  /// Control-plane rendezvous: returns once every node has entered the
+  /// fence.  Unlike barrier(), it moves no protocol state — no interval is
+  /// closed, no write notices travel — and its messages (net::kControlSync)
+  /// are excluded from the message/byte accounting, so a run's counters are
+  /// identical with and without it.  The process-mode harness uses it to cut
+  /// a consistent statistics snapshot across workers: each worker snapshots
+  /// its counters, enters the fence, and no worker can trigger remote
+  /// service work for the next phase until all have passed.  (Threads mode
+  /// never needs it: a single process snapshots all nodes after join, and
+  /// calling it from a serial loop over local nodes would deadlock.)
+  void quiesce_fence();
 
   /// Distributed lock; home is lock_id % num_nodes.
   void lock_acquire(LockId lock);
@@ -408,6 +433,7 @@ class DsmNode {
   void serve_lock_acquire(const net::Message& msg);
   void serve_lock_release(const net::Message& msg);
   void serve_barrier_arrive(const net::Message& msg);
+  void serve_control_sync(const net::Message& msg);
   void grant_lock_locked(LockId lock, const LockHome::Waiter& to);
 
   // Validate internals (validate.cpp).
@@ -444,6 +470,8 @@ class DsmNode {
   std::vector<VectorClock> last_seen_vc_;  // lower bound on peers' knowledge
   std::map<LockId, LockHome> lock_homes_;
   BarrierMgr barrier_mgr_;
+  /// quiesce_fence arrivals (node, request_id); manager side, node 0 only.
+  std::vector<std::pair<NodeId, std::uint64_t>> fence_waiters_;
 
   std::thread service_thread_;
 };
@@ -454,7 +482,16 @@ class DsmNode {
 
 class DsmRuntime {
  public:
+  /// Threads mode: hosts all num_nodes nodes in this process over a
+  /// transport built from config (config.mode must be kThreads).
   explicit DsmRuntime(DsmConfig config);
+
+  /// Process mode: hosts exactly config.local_node over the injected
+  /// cross-process transport (config.mode must be kProcesses).  The
+  /// transport's num_nodes spans the whole job; only the local node's
+  /// service thread runs here, and the destructor stops only it.
+  DsmRuntime(DsmConfig config, std::unique_ptr<net::Transport> transport);
+
   ~DsmRuntime();
 
   DsmRuntime(const DsmRuntime&) = delete;
@@ -462,6 +499,20 @@ class DsmRuntime {
 
   const DsmConfig& config() const { return config_; }
   std::uint32_t num_nodes() const { return config_.num_nodes; }
+
+  /// The nodes hosted by this process: all of them in threads mode, one in
+  /// process mode.  Aggregations over "every node" (run bodies, result
+  /// assembly, arena reset) iterate these.
+  const std::vector<NodeId>& local_ids() const { return local_ids_; }
+  std::uint32_t num_local_nodes() const {
+    return static_cast<std::uint32_t>(local_ids_.size());
+  }
+  NodeId first_local_node() const { return local_ids_.front(); }
+  bool is_local(NodeId n) const { return nodes_[n] != nullptr; }
+
+  /// Page size of every node's region (uniform; does not require any
+  /// particular node to be hosted here).
+  std::size_t page_size() const { return vm::system_page_size(); }
 
   /// Allocates a shared array visible to all nodes.  Must not be called
   /// while run() is active.  Page-aligned unless packed is true.
@@ -472,10 +523,16 @@ class DsmRuntime {
     return GlobalArray<T>{addr, count};
   }
 
-  /// Runs `body` on every node's compute thread and joins.
+  /// Runs `body` on every locally hosted node's compute thread and joins.
+  /// In process mode that is one thread; the peers run the same body in
+  /// their own processes and meet this one at the protocol's barriers.
   void run(const std::function<void(DsmNode&)>& body);
 
-  DsmNode& node(NodeId n) { return *nodes_[n]; }
+  DsmNode& node(NodeId n) {
+    SDSM_REQUIRE_MSG(nodes_[n] != nullptr,
+                     "DsmRuntime::node: node not hosted by this process");
+    return *nodes_[n];
+  }
   net::Transport& network() { return *net_; }
   DsmStats& stats() { return stats_; }
 
@@ -505,7 +562,9 @@ class DsmRuntime {
   std::unique_ptr<net::Transport> net_;
   DsmStats stats_;
   SharedHeap heap_;
+  /// Indexed by NodeId; non-hosted slots are null in process mode.
   std::vector<std::unique_ptr<DsmNode>> nodes_;
+  std::vector<NodeId> local_ids_;
 };
 
 }  // namespace sdsm::core

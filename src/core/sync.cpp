@@ -225,7 +225,14 @@ void DsmNode::serve_barrier_arrive(const net::Message& msg) {
   VectorClock global(num_nodes());
   for (const auto& a : barrier_mgr_.arrivals) global.merge(a.vc);
 
-  for (const auto& a : barrier_mgr_.arrivals) {
+  // The manager's own (loopback, uncounted) release goes out LAST: its
+  // compute thread wakes on it, and after the run's final barrier nothing
+  // downstream ever waits on the released peers again — so if it woke
+  // first it could finish the run and snapshot the stats while this
+  // service thread was still sending (and counting) the peers' releases,
+  // splitting those sends across a process-mode worker's snapshot cut.
+  // With the self-release last, every counted release precedes the wake.
+  const auto release_one = [&](const BarrierMgr::Arrival& a) {
     Writer w;
     global.serialize(w);
     serialize_metas(w, metas_not_covered_locked(a.vc));
@@ -237,9 +244,46 @@ void DsmNode::serve_barrier_arrive(const net::Message& msg) {
     release.request_id = a.request_id;
     release.payload = w.take();
     rt_.net_->send(net::Port::kReply, std::move(release));
+  };
+  for (const auto& a : barrier_mgr_.arrivals) {
+    if (a.node != id_) release_one(a);
+  }
+  for (const auto& a : barrier_mgr_.arrivals) {
+    if (a.node == id_) release_one(a);
   }
   barrier_mgr_.arrivals.clear();
   barrier_mgr_.want_gc = false;
+}
+
+// ---------------------------------------------------------------------------
+// Quiescence fence
+// ---------------------------------------------------------------------------
+
+void DsmNode::quiesce_fence() {
+  net::Message msg;
+  msg.type = net::kControlSync;
+  msg.src = id_;
+  msg.dst = kBarrierManager;
+  const net::Ticket ticket = rt_.net_->post(std::move(msg));
+  const net::Message release = rt_.net_->wait(ticket);
+  SDSM_ASSERT(release.type == net::kControlSync);
+}
+
+void DsmNode::serve_control_sync(const net::Message& msg) {
+  SDSM_ASSERT(id_ == kBarrierManager);
+  std::lock_guard<std::mutex> g(meta_mu_);
+  fence_waiters_.emplace_back(msg.src, msg.request_id);
+  if (fence_waiters_.size() < num_nodes()) return;
+
+  for (const auto& [node, request_id] : fence_waiters_) {
+    net::Message release;
+    release.type = net::kControlSync;
+    release.src = id_;
+    release.dst = node;
+    release.request_id = request_id;
+    rt_.net_->send(net::Port::kReply, std::move(release));
+  }
+  fence_waiters_.clear();
 }
 
 }  // namespace sdsm::core

@@ -66,6 +66,12 @@ Options Options::parse(int argc, char** argv) {
       } else {
         usage_exit("--schedule", *v, "serial|tournament");
       }
+    } else if (const auto v = take_value(argc, argv, i, "--mode")) {
+      if (const auto m = api::parse_deploy_mode(*v)) {
+        o.mode = *m;
+      } else {
+        usage_exit("--mode", *v, "threads|processes");
+      }
     } else {
       o.extras_.emplace_back(argv[i]);
     }

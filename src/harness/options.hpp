@@ -8,6 +8,9 @@
 //                                      the flag (or comma-separate) for a
 //                                      subset; default is all three
 //   --schedule=serial|tournament       Tmk reduction-round engine
+//   --mode=threads|processes           deployment: node threads in this
+//                                      process, or spawned worker
+//                                      processes (sdsm::proc; Tmk only)
 //
 // Unrecognized arguments are kept verbatim and queryable through flag() /
 // value(), so binary-specific switches (serve_app's --smoke, --port)
@@ -36,6 +39,7 @@ class Options {
   /// The backends to sweep, in kAllBackends order (deduplicated).
   std::vector<api::Backend> backends;
   api::RoundSchedule schedule = api::RoundSchedule::kSerial;
+  DeployMode mode = DeployMode::kThreads;
 
   /// True when `--name` appeared among the extras (with or without value).
   bool flag(std::string_view name) const;

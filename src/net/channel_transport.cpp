@@ -57,7 +57,7 @@ void ChannelTransport::spin_for_arrival(const Channel& ch) const {
 }
 
 void ChannelTransport::count_send(const Message& msg) {
-  if (msg.type == kControlStop || msg.src == msg.dst) return;
+  if (msg.type >= kControlSync || msg.src == msg.dst) return;
   stats_.node_messages(msg.src).add(1);
   stats_.node_bytes(msg.src).add(msg.size_bytes());
 }

@@ -17,6 +17,11 @@ namespace sdsm::net {
 /// Reserved message type that asks a service loop to exit.
 inline constexpr std::uint32_t kControlStop = 0xFFFFFFFFu;
 
+/// Reserved message type for the quiescence fence (DsmNode::quiesce_fence):
+/// a control-plane rendezvous that, like kControlStop, is not traffic on the
+/// switch and is excluded from the message/byte accounting.
+inline constexpr std::uint32_t kControlSync = 0xFFFFFFFEu;
+
 /// Each node owns two logical ports, mirroring TreadMarks' split between the
 /// request socket (served by the SIGIO handler / our service thread) and the
 /// reply path consumed by the faulting compute thread.

@@ -1,7 +1,6 @@
 #include "src/net/socket_transport.hpp"
 
 #include <netinet/in.h>
-#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -9,58 +8,9 @@
 #include <cerrno>
 #include <cstring>
 
+#include "src/net/sockio.hpp"
+
 namespace sdsm::net {
-
-namespace {
-
-/// Fixed-size frame header that follows the u32 length prefix.
-struct FrameHeader {
-  std::uint32_t type;
-  std::uint32_t src;
-  std::uint32_t dst;
-  std::uint32_t port;
-  std::uint64_t request_id;
-};
-static_assert(sizeof(FrameHeader) == 24);
-
-/// Full write with EINTR retry; MSG_NOSIGNAL so a torn-down peer yields
-/// EPIPE instead of killing the process.  Returns false on any error.
-bool write_full(int fd, const void* data, std::size_t n) {
-  const auto* p = static_cast<const std::uint8_t*>(data);
-  while (n > 0) {
-    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    p += w;
-    n -= static_cast<std::size_t>(w);
-  }
-  return true;
-}
-
-/// Full read with EINTR retry.  Returns false on EOF or error.
-bool read_full(int fd, void* data, std::size_t n) {
-  auto* p = static_cast<std::uint8_t*>(data);
-  while (n > 0) {
-    const ssize_t r = ::read(fd, p, n);
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    if (r == 0) return false;
-    p += r;
-    n -= static_cast<std::size_t>(r);
-  }
-  return true;
-}
-
-void set_nodelay(int fd) {
-  int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-}
-
-}  // namespace
 
 SocketTransport::SocketTransport(std::uint32_t num_nodes, WireModel wire)
     : ChannelTransport(num_nodes, wire),
@@ -145,17 +95,7 @@ void SocketTransport::send(Port port, Message msg) {
     return;
   }
 
-  const std::uint32_t frame_len =
-      static_cast<std::uint32_t>(sizeof(FrameHeader) + msg.payload.size());
-  std::vector<std::uint8_t> frame(sizeof(frame_len) + frame_len);
-  std::memcpy(frame.data(), &frame_len, sizeof(frame_len));
-  FrameHeader h{msg.type, msg.src, msg.dst, static_cast<std::uint32_t>(port),
-                msg.request_id};
-  std::memcpy(frame.data() + sizeof(frame_len), &h, sizeof(h));
-  if (!msg.payload.empty()) {
-    std::memcpy(frame.data() + sizeof(frame_len) + sizeof(h),
-                msg.payload.data(), msg.payload.size());
-  }
+  const std::vector<std::uint8_t> frame = encode_frame(port, msg);
 
   // One writer at a time per connection keeps frames contiguous on the
   // stream.  The sending node is msg.src (every caller sends as itself;
@@ -223,21 +163,9 @@ void SocketTransport::switch_loop() {
 
 void SocketTransport::demux_loop(NodeId node) {
   for (;;) {
-    std::uint32_t frame_len = 0;
-    if (!read_full(node_fd_[node], &frame_len, sizeof(frame_len))) return;
-    SDSM_ASSERT(frame_len >= sizeof(FrameHeader));
     FrameHeader h{};
-    if (!read_full(node_fd_[node], &h, sizeof(h))) return;
     Message msg;
-    msg.type = h.type;
-    msg.src = h.src;
-    msg.dst = h.dst;
-    msg.request_id = h.request_id;
-    msg.payload.resize(frame_len - sizeof(FrameHeader));
-    if (!msg.payload.empty() &&
-        !read_full(node_fd_[node], msg.payload.data(), msg.payload.size())) {
-      return;
-    }
+    if (!read_frame(node_fd_[node], h, msg)) return;
     SDSM_ASSERT(msg.dst == node);
     deliver(static_cast<Port>(h.port), std::move(msg), Clock::now());
   }

@@ -56,14 +56,16 @@ std::vector<Message> Transport::wait_all(std::span<const Ticket> tickets) {
   return out;
 }
 
+void Transport::stop_service(NodeId n) {
+  Message stop;
+  stop.type = kControlStop;
+  stop.src = n;
+  stop.dst = n;
+  send(Port::kService, std::move(stop));
+}
+
 void Transport::stop_all_services() {
-  for (std::uint32_t n = 0; n < num_nodes(); ++n) {
-    Message stop;
-    stop.type = kControlStop;
-    stop.src = n;
-    stop.dst = n;
-    send(Port::kService, std::move(stop));
-  }
+  for (std::uint32_t n = 0; n < num_nodes(); ++n) stop_service(n);
 }
 
 std::unique_ptr<Transport> make_transport(TransportKind kind,

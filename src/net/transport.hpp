@@ -137,6 +137,11 @@ class Transport {
   /// automatically; exposed for call sites that build messages by hand).
   virtual std::uint64_t next_request_id(NodeId node) = 0;
 
+  /// Sends kControlStop to node `n`'s service port.  In process mode each
+  /// worker stops only the services it hosts — stopping a peer's service
+  /// would tear the mesh down under it.
+  void stop_service(NodeId n);
+
   /// Sends kControlStop to every service port (used at shutdown).
   void stop_all_services();
 

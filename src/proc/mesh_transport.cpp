@@ -1,0 +1,71 @@
+#include "src/proc/mesh_transport.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "src/common/assert.hpp"
+#include "src/net/sockio.hpp"
+
+namespace sdsm::proc {
+
+MeshTransport::MeshTransport(std::uint32_t num_nodes, NodeId local,
+                             std::vector<int> peer_fds)
+    : ChannelTransport(num_nodes, net::WireModel{}),
+      local_(local),
+      peer_fds_(std::move(peer_fds)) {
+  SDSM_REQUIRE(local_ < num_nodes);
+  SDSM_REQUIRE(peer_fds_.size() == num_nodes);
+  SDSM_REQUIRE_MSG(peer_fds_[local_] == -1,
+                   "MeshTransport: the local node has no peer socket");
+  send_mu_.resize(num_nodes);
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    if (n == local_) continue;
+    SDSM_REQUIRE_MSG(peer_fds_[n] >= 0,
+                     "MeshTransport: missing peer socket");
+    net::set_nodelay(peer_fds_[n]);
+    send_mu_[n] = std::make_unique<std::mutex>();
+  }
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    if (n == local_) continue;
+    recv_threads_.emplace_back([this, n] { recv_loop(n); });
+  }
+}
+
+MeshTransport::~MeshTransport() {
+  // Shut the sockets down first so blocked recv_loop reads return, then
+  // join and close.  Peers see EOF and wind down their matching threads.
+  for (const int fd : peer_fds_) {
+    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& t : recv_threads_) t.join();
+  for (const int fd : peer_fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+void MeshTransport::send(net::Port port, net::Message msg) {
+  SDSM_REQUIRE(msg.dst < num_nodes());
+  count_send(msg);
+  if (msg.dst == local_) {
+    deliver(port, std::move(msg), Clock::now());
+    return;
+  }
+  const std::vector<std::uint8_t> frame = net::encode_frame(port, msg);
+  std::lock_guard<std::mutex> g(*send_mu_[msg.dst]);
+  // A failed write means the peer process is gone; the launcher notices
+  // the exit and kills this run, so dropping the frame here is fine.
+  net::write_full(peer_fds_[msg.dst], frame.data(), frame.size());
+}
+
+void MeshTransport::recv_loop(NodeId peer) {
+  net::FrameHeader h;
+  net::Message msg;
+  while (net::read_frame(peer_fds_[peer], h, msg)) {
+    SDSM_REQUIRE_MSG(msg.dst == local_,
+                     "MeshTransport: inbound frame for a foreign node");
+    deliver(static_cast<net::Port>(h.port), std::move(msg), Clock::now());
+    msg = net::Message{};
+  }
+}
+
+}  // namespace sdsm::proc

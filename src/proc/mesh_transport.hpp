@@ -1,0 +1,56 @@
+// Cross-process net::Transport: one worker process per node, a full TCP
+// mesh between them (TransportKind::kSocket on every worker's DsmConfig).
+//
+// Unlike SocketTransport's in-process switch topology — N nodes, one
+// switch thread, all inside one address space — a MeshTransport instance
+// lives in ONE worker process and carries exactly that process's node.
+// peer_fds[n] is a connected localhost TCP socket to node n's process
+// (built by the rendezvous, src/proc/rendezvous.hpp); frames to a remote
+// node are written straight onto its socket, frames to the local node
+// short-circuit through deliver() like every loopback send.  One receive
+// thread per peer parses inbound frames — which by construction are all
+// addressed to the local node — and hands them to the shared channel
+// machinery, so recv/wait/poll semantics are identical to the other
+// fabrics.
+//
+// The frame format is sockio.hpp's, byte-identical to SocketTransport's,
+// and count_send applies the same accounting rules (loopback and control
+// traffic excluded).  Each process therefore counts exactly the messages
+// its node *sends*; summing the per-worker counters reproduces the
+// threaded socket run's fabric totals exactly — the wire-parity claim
+// tests/test_proc.cpp asserts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/net/channel_transport.hpp"
+
+namespace sdsm::proc {
+
+class MeshTransport final : public net::ChannelTransport {
+ public:
+  /// Takes ownership of `peer_fds` (size num_nodes; peer_fds[local] must
+  /// be -1, every other entry a connected stream socket to that node's
+  /// process) and starts one receive thread per peer.
+  MeshTransport(std::uint32_t num_nodes, NodeId local,
+                std::vector<int> peer_fds);
+  ~MeshTransport() override;
+
+  void send(net::Port port, net::Message msg) override;
+
+  NodeId local_node() const { return local_; }
+
+ private:
+  void recv_loop(NodeId peer);
+
+  const NodeId local_;
+  std::vector<int> peer_fds_;
+  std::vector<std::unique_ptr<std::mutex>> send_mu_;  ///< per peer fd
+  std::vector<std::thread> recv_threads_;
+};
+
+}  // namespace sdsm::proc

@@ -1,0 +1,7 @@
+// Umbrella header for sdsm::proc, the multi-process deployment layer:
+// include this to launch jobs across spawned worker processes
+// (proc::run_job).  The building blocks — rendezvous, mesh transport,
+// report codec — have their own headers for the worker binary and tests.
+#pragma once
+
+#include "src/proc/launcher.hpp"

@@ -1,0 +1,245 @@
+#include "src/proc/rendezvous.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "src/net/sockio.hpp"
+#include "src/vm/page_region.hpp"
+
+namespace sdsm::proc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::uint32_t kHelloMagic = 0x5DD50001;  // worker -> rendezvous
+constexpr std::uint32_t kTableMagic = 0x5DD50002;  // rendezvous -> worker
+constexpr std::uint32_t kMeshMagic = 0x5DD50003;   // mesh dial hello
+
+/// {magic, node, mesh_port} — what a worker announces to the rendezvous.
+struct Hello {
+  std::uint32_t magic;
+  std::uint32_t node;
+  std::uint32_t mesh_port;
+};
+
+/// {magic, node} — what a mesh dialer announces to the accepting side.
+struct MeshHello {
+  std::uint32_t magic;
+  std::uint32_t node;
+};
+
+int remaining_ms(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  return left.count() > 0 ? static_cast<int>(left.count()) : 0;
+}
+
+/// poll() for readability until the deadline.  False on timeout/error.
+bool wait_readable(int fd, Clock::time_point deadline) {
+  for (;;) {
+    struct pollfd p = {fd, POLLIN, 0};
+    const int r = ::poll(&p, 1, remaining_ms(deadline));
+    if (r > 0) return true;
+    if (r == 0) return false;  // timeout
+    if (errno != EINTR) return false;
+  }
+}
+
+/// read_full with a pre-read poll so a silent peer cannot block past the
+/// deadline.  (The payloads here are a few words; once readable they
+/// arrive whole for all practical purposes.)
+bool read_timed(int fd, void* data, std::size_t n, Clock::time_point deadline) {
+  if (!wait_readable(fd, deadline)) return false;
+  return net::read_full(fd, data, n);
+}
+
+int accept_timed(int listen_fd, Clock::time_point deadline) {
+  if (!wait_readable(listen_fd, deadline)) return -1;
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) return fd;
+    if (errno != EINTR) return -1;
+  }
+}
+
+int connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      return fd;
+    }
+    if (errno != EINTR) {
+      ::close(fd);
+      return -1;
+    }
+  }
+}
+
+void close_all(std::vector<int>& fds) {
+  for (int& fd : fds) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+}
+
+RendezvousResult fail(RendezvousResult r, std::string error) {
+  close_all(r.peer_fds);
+  r.ok = false;
+  r.error = std::move(error);
+  return r;
+}
+
+}  // namespace
+
+std::pair<int, std::uint16_t> listen_loopback(std::uint32_t nprocs) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {-1, 0};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;  // OS-assigned: no fixed port, no collision race
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  socklen_t len = sizeof(addr);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, static_cast<int>(nprocs) + 1) != 0 ||
+      ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return {-1, 0};
+  }
+  return {fd, ntohs(addr.sin_port)};
+}
+
+RendezvousResult rendezvous(NodeId node, std::uint32_t nprocs,
+                            std::uint16_t rendezvous_port,
+                            int rendezvous_listen_fd, std::size_t region_bytes,
+                            int timeout_ms) {
+  RendezvousResult res;
+  res.peer_fds.assign(nprocs, -1);
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(timeout_ms);
+
+  // --- Phase 1: everyone binds its mesh listener first, so its port can
+  // go into the table and early dialers simply queue in the backlog.
+  auto [mesh_listen_fd, mesh_port] = listen_loopback(nprocs);
+  if (mesh_listen_fd < 0) {
+    return fail(std::move(res), "rendezvous: cannot bind mesh listener");
+  }
+
+  // --- Phase 2: agree on {arena base, port table} through the rendezvous.
+  std::vector<std::uint32_t> ports(nprocs, 0);
+  if (node == 0) {
+    res.arena_base = reinterpret_cast<std::uint64_t>(
+        vm::probe_arena_base(region_bytes));
+    ports[0] = mesh_port;
+    std::vector<int> hello_fds;
+    std::uint32_t got = 0;
+    for (; got + 1 < nprocs; ++got) {
+      const int fd = accept_timed(rendezvous_listen_fd, deadline);
+      Hello h{};
+      if (fd < 0 || !read_timed(fd, &h, sizeof(h), deadline)) {
+        if (fd >= 0) ::close(fd);
+        close_all(hello_fds);
+        ::close(mesh_listen_fd);
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "rendezvous timeout: got %u of %u worker hellos", got,
+                      nprocs - 1);
+        return fail(std::move(res), buf);
+      }
+      if (h.magic != kHelloMagic || h.node == 0 || h.node >= nprocs ||
+          ports[h.node] != 0) {
+        ::close(fd);
+        close_all(hello_fds);
+        ::close(mesh_listen_fd);
+        return fail(std::move(res), "rendezvous: malformed worker hello");
+      }
+      ports[h.node] = h.mesh_port;
+      hello_fds.push_back(fd);
+    }
+    // Everyone is present — publish the agreement.
+    std::vector<std::uint8_t> table(sizeof(std::uint32_t) * 2 +
+                                    sizeof(std::uint64_t) +
+                                    sizeof(std::uint32_t) * nprocs);
+    std::uint8_t* p = table.data();
+    std::memcpy(p, &kTableMagic, 4); p += 4;
+    std::memcpy(p, &res.arena_base, 8); p += 8;
+    std::memcpy(p, &nprocs, 4); p += 4;
+    std::memcpy(p, ports.data(), sizeof(std::uint32_t) * nprocs);
+    for (const int fd : hello_fds) {
+      net::write_full(fd, table.data(), table.size());
+      ::close(fd);
+    }
+  } else {
+    const int fd = connect_loopback(rendezvous_port);
+    if (fd < 0) {
+      ::close(mesh_listen_fd);
+      return fail(std::move(res), "rendezvous: cannot reach the launcher");
+    }
+    const Hello h{kHelloMagic, node, mesh_port};
+    std::uint32_t magic = 0, n = 0;
+    std::uint64_t base = 0;
+    if (!net::write_full(fd, &h, sizeof(h)) ||
+        !read_timed(fd, &magic, 4, deadline) ||
+        !read_timed(fd, &base, 8, deadline) ||
+        !read_timed(fd, &n, 4, deadline) || magic != kTableMagic ||
+        n != nprocs ||
+        !read_timed(fd, ports.data(), sizeof(std::uint32_t) * nprocs,
+                    deadline)) {
+      ::close(fd);
+      ::close(mesh_listen_fd);
+      return fail(std::move(res),
+                  "rendezvous timeout: no port table from node 0");
+    }
+    ::close(fd);
+    res.arena_base = base;
+  }
+
+  // --- Phase 3: full mesh.  Dial every lower node, accept every higher.
+  for (NodeId peer = 0; peer < node; ++peer) {
+    const int fd = connect_loopback(static_cast<std::uint16_t>(ports[peer]));
+    const MeshHello mh{kMeshMagic, node};
+    if (fd < 0 || !net::write_full(fd, &mh, sizeof(mh))) {
+      if (fd >= 0) ::close(fd);
+      ::close(mesh_listen_fd);
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "rendezvous: cannot dial node %u", peer);
+      return fail(std::move(res), buf);
+    }
+    res.peer_fds[peer] = fd;
+  }
+  for (std::uint32_t i = node + 1; i < nprocs; ++i) {
+    const int fd = accept_timed(mesh_listen_fd, deadline);
+    MeshHello mh{};
+    if (fd < 0 || !read_timed(fd, &mh, sizeof(mh), deadline)) {
+      if (fd >= 0) ::close(fd);
+      ::close(mesh_listen_fd);
+      return fail(std::move(res),
+                  "rendezvous timeout: mesh accept from higher nodes");
+    }
+    if (mh.magic != kMeshMagic || mh.node <= node || mh.node >= nprocs ||
+        res.peer_fds[mh.node] != -1) {
+      ::close(fd);
+      ::close(mesh_listen_fd);
+      return fail(std::move(res), "rendezvous: malformed mesh hello");
+    }
+    res.peer_fds[mh.node] = fd;
+  }
+  ::close(mesh_listen_fd);
+  res.ok = true;
+  return res;
+}
+
+}  // namespace sdsm::proc

@@ -1,0 +1,61 @@
+// The process-mode bootstrap protocol (sdsm::proc).
+//
+// The launcher binds a localhost rendezvous listener on an ephemeral port
+// before forking, and passes the port to every worker (node 0 inherits
+// the listening fd itself).  Each worker then:
+//
+//   1. binds its own mesh listener on port 0 — the kernel assigns a free
+//      port, killing the fixed-port collision races a preconfigured port
+//      table would have;
+//   2. workers 1..N-1 connect to the rendezvous and send a hello
+//      {node id, mesh port}; node 0 collects all N-1 hellos, probes a
+//      free arena base in its own address space, and answers every worker
+//      with the agreed {arena base, mesh port table};
+//   3. all workers build the full mesh from the table: node j dials every
+//      node i < j (identifying itself with a one-word hello) and accepts
+//      the N-1-j higher-numbered dialers on its mesh listener.
+//
+// Every blocking step (connect, accept, header read) honours one shared
+// deadline, so a crashed or wedged peer turns into a clean
+// "rendezvous timeout" error and a nonzero worker exit — which the
+// launcher's exit monitor converts into a run failure naming the worker —
+// instead of a hung ctest.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/types.hpp"
+
+namespace sdsm::proc {
+
+struct RendezvousResult {
+  bool ok = false;
+  std::string error;  ///< non-empty when !ok
+  /// The base address every worker maps its region at
+  /// (MAP_FIXED_NOREPLACE), chosen by node 0 so global addresses mean the
+  /// same thing in every process.
+  std::uint64_t arena_base = 0;
+  /// Connected socket to each node's process; -1 at [node].  Ownership
+  /// passes to the caller (normally straight into MeshTransport).
+  std::vector<int> peer_fds;
+};
+
+/// Runs the worker side of the protocol.  `rendezvous_listen_fd` is the
+/// inherited listening socket on node 0 and must be -1 elsewhere;
+/// non-zero nodes dial `rendezvous_port` instead.  `region_bytes` sizes
+/// node 0's arena-base probe.  On failure every socket opened along the
+/// way is closed.
+RendezvousResult rendezvous(NodeId node, std::uint32_t nprocs,
+                            std::uint16_t rendezvous_port,
+                            int rendezvous_listen_fd, std::size_t region_bytes,
+                            int timeout_ms);
+
+/// Binds a listening TCP socket on 127.0.0.1 with an OS-assigned port
+/// (backlog sized for `nprocs` dialers).  Returns {fd, port}; fd is -1 on
+/// failure.  Shared with the launcher, which creates the rendezvous
+/// listener with it.
+std::pair<int, std::uint16_t> listen_loopback(std::uint32_t nprocs);
+
+}  // namespace sdsm::proc

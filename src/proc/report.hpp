@@ -1,0 +1,43 @@
+// Worker -> launcher result reporting (sdsm::proc).
+//
+// Each worker writes one small binary report file before exiting — its
+// node's KernelResult plus an ok/error verdict — and the launcher folds
+// the per-worker reports into one job-level KernelResult with the same
+// aggregation the threaded backend applies across its in-process nodes
+// (checksums summed in node order, integer message/byte counters summed,
+// seconds maxed), so the combined figures are directly comparable —
+// bit-exactly, for the deterministic ones — with a threaded run's.
+//
+// A file (rather than a pipe) keeps the failure paths simple: a worker
+// that dies mid-run simply leaves no report, and the exit-status monitor,
+// not the report channel, is what detects it.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "src/api/kernel.hpp"
+#include "src/common/buffer.hpp"
+#include "src/common/types.hpp"
+
+namespace sdsm::proc {
+
+struct WorkerReport {
+  NodeId node = 0;
+  bool ok = false;
+  std::string error;  ///< non-empty when !ok
+  /// The local node's share of the job: checksum/messages/bytes/refs are
+  /// this node's contributions, steps_run/rebuilds/barriers_per_step are
+  /// globally uniform values every worker reports identically.
+  api::KernelResult result;
+};
+
+void encode(Writer& w, const WorkerReport& r);
+WorkerReport decode_report(Reader& r);
+
+/// Atomic-enough file I/O for the report: write to `path` in one shot /
+/// read and decode, nullopt when missing or malformed.
+bool write_report_file(const std::string& path, const WorkerReport& r);
+std::optional<WorkerReport> read_report_file(const std::string& path);
+
+}  // namespace sdsm::proc

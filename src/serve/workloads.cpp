@@ -5,6 +5,7 @@
 #include "src/apps/moldyn/moldyn_kernel.hpp"
 #include "src/apps/nbf/nbf_kernel.hpp"
 #include "src/apps/pagerank/pagerank.hpp"
+#include "src/apps/quickstart/quickstart.hpp"
 #include "src/apps/spmv/spmv.hpp"
 #include "src/common/assert.hpp"
 #include "src/common/buffer.hpp"
@@ -44,8 +45,8 @@ bool known_kernel(std::string_view name) {
 }
 
 const std::vector<std::string>& kernel_names() {
-  static const std::vector<std::string> names = {"moldyn", "nbf",      "spmv",
-                                                 "pagerank", "bfs",    "cc"};
+  static const std::vector<std::string> names = {
+      "moldyn", "nbf", "spmv", "pagerank", "bfs", "cc", "quickstart"};
   return names;
 }
 
@@ -109,6 +110,16 @@ PreparedJob prepare_job(const JobRequest& req, std::uint32_t nprocs) {
     job.fingerprint =
         fingerprint_of(req.kernel, nprocs, p.num_vertices, p.edges_per_vertex,
                        p.num_steps, p.warmup_steps, p.damping, p.seed);
+  } else if (req.kernel == "quickstart") {
+    apps::quickstart::Params p;
+    p.nprocs = nprocs;
+    if (g.num_elements > 0) p.num_elements = g.num_elements;
+    if (g.num_steps > 0) p.num_steps = g.num_steps;
+    if (g.warmup_steps >= 0) p.warmup_steps = g.warmup_steps;
+    job.spec = apps::quickstart::make_kernel(p);
+    job.base_options = apps::quickstart::default_options();
+    job.fingerprint = fingerprint_of(req.kernel, nprocs, p.num_elements,
+                                     p.num_steps, p.warmup_steps);
   } else if (req.kernel == "bfs" || req.kernel == "cc") {
     apps::graph::Params p;
     p.nprocs = nprocs;

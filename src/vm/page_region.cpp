@@ -7,6 +7,7 @@
 
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 
 #include "src/common/assert.hpp"
 
@@ -33,7 +34,7 @@ std::size_t system_page_size() {
   return size;
 }
 
-PageRegion::PageRegion(std::size_t bytes, Prot initial)
+PageRegion::PageRegion(std::size_t bytes, Prot initial, void* fixed_base)
     : page_size_(system_page_size()) {
   SDSM_REQUIRE(bytes > 0);
   size_ = (bytes + page_size_ - 1) / page_size_ * page_size_;
@@ -42,7 +43,21 @@ PageRegion::PageRegion(std::size_t bytes, Prot initial)
   SDSM_REQUIRE(fd >= 0);
   const int trc = ::ftruncate(fd, static_cast<off_t>(size_));
   SDSM_REQUIRE(trc == 0);
-  void* p = ::mmap(nullptr, size_, to_native(initial), MAP_SHARED, fd, 0);
+  int flags = MAP_SHARED;
+  if (fixed_base != nullptr) flags |= MAP_FIXED_NOREPLACE;
+  void* p = ::mmap(fixed_base, size_, to_native(initial), flags, fd, 0);
+  if (fixed_base != nullptr && (p == MAP_FAILED || p != fixed_base)) {
+    // MAP_FIXED_NOREPLACE fails (or on old kernels falls back to a hint)
+    // when anything already occupies the range — the explicit diagnostic a
+    // crashed-in-weird-ways worker must not bury.
+    std::fprintf(stderr,
+                 "sdsm: arena base collision: requested %p (%zu bytes) "
+                 "already mapped in this process\n",
+                 fixed_base, size_);
+    if (p != MAP_FAILED) ::munmap(p, size_);
+    ::close(fd);
+    std::abort();
+  }
   void* m = ::mmap(nullptr, size_, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
   if (p == MAP_FAILED || m == MAP_FAILED) {
     std::perror("sdsm: mmap");
@@ -97,6 +112,23 @@ void PageRegion::protect(PageId first, std::size_t count, Prot prot) {
     std::perror("sdsm: mprotect");
     SDSM_ASSERT(rc == 0);
   }
+}
+
+void* probe_arena_base(std::size_t bytes) {
+  const std::size_t page = system_page_size();
+  const std::size_t size = (bytes + page - 1) / page * page;
+  // Hint high in the lower half of the 47-bit user space: above the
+  // sanitizer allocator/shadow regions (ASan parks its allocator around
+  // 0x6000'0000'0000) and far from the PIE image, heap, and library
+  // arena.  Non-fixed, so the kernel slides to a free range if the hint
+  // itself is taken; what it grants here is what the rendezvous
+  // publishes, and every worker then maps it MAP_FIXED_NOREPLACE.
+  void* hint = reinterpret_cast<void*>(0x6fdd00000000ull);
+  void* p = ::mmap(hint, size, PROT_NONE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  SDSM_REQUIRE(p != MAP_FAILED);
+  ::munmap(p, size);
+  return p;
 }
 
 void PageRegion::protect_pages(std::span<const PageId> pages, Prot prot) {

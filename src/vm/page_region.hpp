@@ -30,8 +30,14 @@ enum class Prot : std::uint8_t {
 class PageRegion {
  public:
   /// Maps `bytes` (rounded up to a page multiple) of zero-filled memory with
-  /// initial protection `initial`.
-  explicit PageRegion(std::size_t bytes, Prot initial = Prot::kRead);
+  /// initial protection `initial`.  When `fixed_base` is non-null the
+  /// access view is mapped exactly there with MAP_FIXED_NOREPLACE — the
+  /// cross-process deployment maps every worker's arena at one
+  /// rendezvous-agreed base so global addresses stay meaningful — and a
+  /// collision with an existing mapping is a hard error with an explicit
+  /// "arena base collision" diagnostic.
+  explicit PageRegion(std::size_t bytes, Prot initial = Prot::kRead,
+                      void* fixed_base = nullptr);
   ~PageRegion();
 
   PageRegion(const PageRegion&) = delete;
@@ -81,5 +87,13 @@ class PageRegion {
 
 /// System page size (cached).
 std::size_t system_page_size();
+
+/// Picks an address where a region of `bytes` can plausibly be mapped with
+/// MAP_FIXED_NOREPLACE in *every* worker process of a job: probes a quiet
+/// corner of the address space (clear of the heap, libraries, stacks, and
+/// sanitizer shadow/allocator regions) in this process and returns the
+/// address the kernel granted.  Used by the rendezvous leader to agree an
+/// arena base; the probe mapping itself is released before returning.
+void* probe_arena_base(std::size_t bytes);
 
 }  // namespace sdsm::vm
