@@ -95,11 +95,21 @@ void add_row(harness::Table& table, const char* group, api::Backend b,
   const char* schedule = b == api::Backend::kChaos
                              ? "-"
                              : api::round_schedule_name(opts.round_schedule);
-  table.add(harness::Row{group, api::backend_name(b), r.seconds,
-                         harness::speedup(seq_seconds, r.seconds), r.messages,
-                         r.megabytes, r.overhead_seconds, note, seq_seconds,
-                         r.refs, r.max_row, schedule, r.barriers_per_step,
-                         r.rebuilds});
+  harness::Row row{group, api::backend_name(b), r.seconds,
+                   harness::speedup(seq_seconds, r.seconds), r.messages,
+                   r.megabytes, r.overhead_seconds, note, seq_seconds,
+                   r.refs, r.max_row, schedule, r.barriers_per_step,
+                   r.rebuilds};
+  if (opts.coherence == coherence::CoherencePolicy::kAdaptive) {
+    // Adaptive rows carry the decision counters as extra exact-gate
+    // columns; static rows omit them so the pre-existing JSON stays
+    // byte-identical.  CHAOS ignores the policy and reports zeros.
+    row.coherence_cols = true;
+    row.replications = r.tmk.replications;
+    row.migrations = r.tmk.migrations;
+    row.ghost_promotions = r.tmk.ghost_promotions;
+  }
+  table.add(std::move(row));
 }
 
 void add_rows(
@@ -412,14 +422,16 @@ int main(int argc, char** argv) {
   const net::TransportKind transport = opt.transport;
   std::printf(
       "sdsm::api backend sweep: 6 workloads (+ the nbf padded-vs-CSR "
-      "comparison, the moldyn/pagerank/bfs/cc tournament-schedule A/B, and "
+      "comparison, the moldyn/pagerank/bfs/cc tournament-schedule A/B, the "
+      "moldyn/pagerank adaptive-coherence A/B, and "
       "the serving-layer one-shot/miss/hit + throughput groups) "
       "x 3 backends, %u nodes, %s transport.\n\n",
       bench::kNodes, net::transport_name(transport));
   harness::Table table("Unified API - all workloads x all backends");
 
-  if (any_group_enabled(opt, {"moldyn 4096x24",
-                              "moldyn 4096x24 tournament"})) {
+  if (any_group_enabled(opt, {"moldyn 4096x24", "moldyn 4096x24 tournament",
+                              "coherence moldyn 4096x24 adaptive",
+                              "coherence moldyn 4096x24 adaptive tournament"})) {
     moldyn::Params p;
     p.num_molecules = 4096;
     p.num_steps = 24;
@@ -433,6 +445,20 @@ int main(int argc, char** argv) {
              [&](api::Backend b) { return moldyn::run(b, p, sys, opts); });
     add_tournament_rows(table, opt.backends, "moldyn 4096x24 tournament", seq.seconds,
                         seq.checksum, opts,
+                        [&](api::Backend b, const api::BackendOptions& o) {
+                          return moldyn::run(b, p, sys, o);
+                        });
+    // The adaptive-coherence A/B: identical workload, heat-driven
+    // replicate/migrate/ghost on.  Checksums must match the static rows
+    // bit-exactly; the win shows up in the message column.
+    api::BackendOptions aopts = opts;
+    aopts.coherence = coherence::CoherencePolicy::kAdaptive;
+    add_rows(table, opt.backends, "coherence moldyn 4096x24 adaptive",
+             seq.seconds, seq.checksum, aopts,
+             [&](api::Backend b) { return moldyn::run(b, p, sys, aopts); });
+    add_tournament_rows(table, opt.backends,
+                        "coherence moldyn 4096x24 adaptive tournament",
+                        seq.seconds, seq.checksum, aopts,
                         [&](api::Backend b, const api::BackendOptions& o) {
                           return moldyn::run(b, p, sys, o);
                         });
@@ -484,8 +510,9 @@ int main(int argc, char** argv) {
     add_rows(table, opt.backends, "spmv 16384x8", seq.seconds, seq.checksum, opts,
              [&](api::Backend b) { return spmv::run(b, p, opts); });
   }
-  if (any_group_enabled(opt, {"pagerank 16384x8",
-                              "pagerank 16384x8 tournament"})) {
+  if (any_group_enabled(opt, {"pagerank 16384x8", "pagerank 16384x8 tournament",
+                              "coherence pagerank 16384x8 adaptive",
+                              "coherence pagerank 16384x8 adaptive tournament"})) {
     pagerank::Params p;
     p.num_vertices = 16384;
     p.edges_per_vertex = 8;
@@ -498,6 +525,17 @@ int main(int argc, char** argv) {
              [&](api::Backend b) { return pagerank::run(b, p, opts); });
     add_tournament_rows(table, opt.backends, "pagerank 16384x8 tournament", seq.seconds,
                         seq.checksum, opts,
+                        [&](api::Backend b, const api::BackendOptions& o) {
+                          return pagerank::run(b, p, o);
+                        });
+    api::BackendOptions aopts = opts;
+    aopts.coherence = coherence::CoherencePolicy::kAdaptive;
+    add_rows(table, opt.backends, "coherence pagerank 16384x8 adaptive",
+             seq.seconds, seq.checksum, aopts,
+             [&](api::Backend b) { return pagerank::run(b, p, aopts); });
+    add_tournament_rows(table, opt.backends,
+                        "coherence pagerank 16384x8 adaptive tournament",
+                        seq.seconds, seq.checksum, aopts,
                         [&](api::Backend b, const api::BackendOptions& o) {
                           return pagerank::run(b, p, o);
                         });

@@ -49,6 +49,11 @@ METRICS = [
     ("rebuilds", "rebuilds", True, False),
     ("jobs_per_sec", "jobs/s", False, True),
     ("cache_hits", "hits", True, False),
+    # Adaptive-coherence decision counters.  Only adaptive rows carry the
+    # keys; rows without them read as 0 on both sides, so pre-existing
+    # static rows gate exactly as before.
+    ("replications", "repl", True, False),
+    ("migrations", "migr", True, False),
 ]
 
 

@@ -170,6 +170,29 @@ class CompareBenchTest(unittest.TestCase):
                          [row("g", "a", cache_hits=0)])
         self.assertEqual(p.returncode, 0, p.stderr)
 
+    # --- adaptive-coherence metrics -----------------------------------------
+
+    def test_exact_gates_replications_and_migrations(self):
+        # The coherence decision counters are deterministic (write-census
+        # classification): any drift means the policy changed behaviour.
+        for key, label in (("replications", "repl"), ("migrations", "migr")):
+            base = [dict(row("g", "a"), **{key: 12})]
+            cand = [dict(row("g", "a"), **{key: 11})]
+            p = self.compare(base, cand, "--exact")
+            self.assertEqual(p.returncode, 1)
+            self.assertIn(label, p.stderr)
+
+    def test_rows_without_coherence_keys_stay_clean(self):
+        # Static rows never carry the coherence keys; both sides default to
+        # 0, so a pre-coherence baseline still gates clean against itself.
+        p = self.compare([row("g", "a")], [row("g", "a")], "--exact")
+        self.assertEqual(p.returncode, 0, p.stderr)
+        # And an adaptive row with explicit zeros matches a key-less one.
+        p = self.compare([row("g", "a")],
+                         [dict(row("g", "a"), replications=0, migrations=0)],
+                         "--exact")
+        self.assertEqual(p.returncode, 0, p.stderr)
+
     # --- row-set changes ----------------------------------------------------
 
     def test_added_row_fails_exact_but_not_plain(self):

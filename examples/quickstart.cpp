@@ -19,6 +19,7 @@
 // Build & run:   ./build/quickstart [--transport=inproc|socket]
 //                                   [--backend=chaos|tmk-base|tmk-optimized]
 //                                   [--mode=threads|processes]
+//                                   [--coherence=static|adaptive]
 #include <cstdio>
 
 #include "src/api/api.hpp"
@@ -35,10 +36,12 @@ int main(int argc, char** argv) {
   api::BackendOptions options = apps::quickstart::default_options();
   options.transport = opt.transport;
   options.mode = opt.mode;
+  options.coherence = opt.coherence;
 
   serve::JobRequest req;  // the process-mode job description
   req.kernel = "quickstart";
   req.transport = net::TransportKind::kSocket;
+  req.coherence = opt.coherence;
 
   std::printf("%-14s %12s %10s %10s %12s\n", "backend", "checksum",
               "messages", "data(MB)", "overhead(s)");

@@ -8,6 +8,7 @@
 //
 // Build & run:   ./build/serve_app [--transport=inproc|socket]
 //                                  [--schedule=serial|tournament]
+//                                  [--coherence=static|adaptive]
 //                                  [--nprocs=N] [--smoke]
 //
 // --smoke is the CI mode: every check (completions, bit-exact repeat
@@ -71,6 +72,7 @@ int main(int argc, char** argv) {
       m.graph.update_interval = 4;
       m.backend = b;
       m.schedule = opt.schedule;
+      m.coherence = opt.coherence;
       m.transport = opt.transport;
       stream.push_back(m);
 
@@ -80,6 +82,7 @@ int main(int argc, char** argv) {
       g.graph.num_steps = 8;
       g.graph.chords_per_vertex = 2;
       g.backend = b;
+      g.coherence = opt.coherence;
       g.transport = opt.transport;
       stream.push_back(g);
     }

@@ -7,6 +7,7 @@
 // Build & run:   ./build/spmv_app [--transport=inproc|socket]
 //                                 [--backend=tmk-base|tmk-optimized|chaos]
 //                                 [--mode=threads|processes] [--verify]
+//                                 [--coherence=static|adaptive]
 #include <cmath>
 #include <cstdio>
 
@@ -22,12 +23,13 @@ namespace {
 
 constexpr std::uint32_t kNprocs = 4;
 
-serve::JobRequest job_for(api::Backend b) {
+serve::JobRequest job_for(api::Backend b, coherence::CoherencePolicy c) {
   serve::JobRequest req;
   req.kernel = "spmv";
   req.graph.num_elements = 2048;
   req.graph.num_steps = 4;
   req.backend = b;
+  req.coherence = c;
   req.transport = net::TransportKind::kSocket;
   return req;
 }
@@ -40,6 +42,7 @@ api::KernelResult run_threaded(const serve::JobRequest& req) {
   options.transport = net::TransportKind::kSocket;
   options.round_schedule = req.schedule;
   options.cross_step_prefetch = req.cross_step_prefetch;
+  options.coherence = req.coherence;
   return api::run_kernel(req.backend, prepared.spec, options);
 }
 
@@ -60,7 +63,7 @@ int main(int argc, char** argv) {
   bool failed = false;
   for (const api::Backend b : opt.backends) {
     if (b == api::Backend::kChaos) continue;  // threads-only backend
-    const serve::JobRequest req = job_for(b);
+    const serve::JobRequest req = job_for(b, opt.coherence);
     char label[64];
 
     api::KernelResult procr{};

@@ -13,6 +13,7 @@
 #include <string_view>
 
 #include "src/chaos/translation_table.hpp"
+#include "src/coherence/coherence.hpp"
 #include "src/common/types.hpp"
 #include "src/net/transport.hpp"
 
@@ -98,6 +99,11 @@ struct BackendOptions {
   /// them at first use.  Optimized Tmk backend only; traffic is provably
   /// identical with and without it — only the wait moves.
   bool cross_step_prefetch = false;
+  /// Adaptive coherence engine (src/coherence/): kStatic (default) keeps
+  /// the protocol byte-identical to the committed baseline; kAdaptive lets
+  /// the per-page heat census replicate, migrate, or ghost hot regions.
+  /// Tmk backends only — CHAOS has no page protocol to adapt.
+  coherence::CoherencePolicy coherence = coherence::CoherencePolicy::kStatic;
 
   // --- CHAOS backend --------------------------------------------------------
   chaos::TableKind table = chaos::TableKind::kDistributed;

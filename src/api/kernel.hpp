@@ -350,6 +350,13 @@ struct TmkCounters {
   /// backend teardown after an early exit left one in flight).
   std::uint64_t cross_prefetch_consumes = 0;
   std::uint64_t cross_prefetch_drains = 0;
+  /// Adaptive coherence decisions (src/coherence/); all zero under the
+  /// static policy.  Migrations are counted on every node (the directory
+  /// update is node-local), so the figure scales with nprocs in both
+  /// deploy modes alike.
+  std::uint64_t replications = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t ghost_promotions = 0;
 };
 
 /// Result of one kernel execution, uniform across backends.

@@ -169,6 +169,7 @@ core::DsmConfig TmkBackend::dsm_config(std::uint32_t num_nodes,
   cfg.wire = options.wire;
   cfg.gc_threshold_bytes = options.gc_threshold_bytes;
   cfg.write_all_enabled = options.write_all_enabled;
+  cfg.coherence = options.coherence;
   return cfg;
 }
 
@@ -187,6 +188,7 @@ KernelResult TmkBackend::run_impl(core::DsmRuntime& rt,
   SDSM_REQUIRE(rt.num_nodes() == nprocs);
   SDSM_REQUIRE(rt.config().transport == options_.transport);
   SDSM_REQUIRE(rt.config().write_all_enabled == options_.write_all_enabled);
+  SDSM_REQUIRE(rt.config().coherence == options_.coherence);
   SDSM_REQUIRE_MSG(rt.shared_bytes_used() == 0,
                    "TmkBackend.run_on: runtime arena not reset");
 
@@ -739,6 +741,9 @@ KernelResult TmkBackend::run_impl(core::DsmRuntime& rt,
   res.tmk.twins_created = timed.twins_created;
   res.tmk.whole_pages = timed.whole_pages;
   res.tmk.diff_bytes = timed.diff_bytes;
+  res.tmk.replications = timed.replications;
+  res.tmk.migrations = timed.migrations;
+  res.tmk.ghost_promotions = timed.ghost_promotions;
   return res;
 }
 

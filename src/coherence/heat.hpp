@@ -1,0 +1,106 @@
+// Heat accounting for the adaptive coherence engine.
+//
+// Two instruments live here:
+//
+//  - HeatTracker: stateless decay arithmetic for the per-page read/write
+//    heat counters embedded in core::PageMeta.  The counters are bumped on
+//    the existing fault/fetch paths (no syscalls, no messages) and decay
+//    by one binary order of magnitude per epoch, applied lazily at the
+//    next touch so idle pages cost nothing.
+//
+//  - WriteCensus: the per-page, per-writer score table the policy engine
+//    classifies from.  It is folded exclusively from interval write
+//    notices — data every node already receives at each barrier — using
+//    integer arithmetic only, so all nodes reach an identical census (and
+//    therefore identical decisions) with zero extra coordination.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/types.hpp"
+
+namespace sdsm::coherence {
+
+/// Epoch-decay arithmetic for the u16 heat counters in PageMeta.  All
+/// functions are pure; the caller owns the storage.
+class HeatTracker {
+ public:
+  static constexpr std::uint16_t kMax = 0xffff;
+
+  /// Value of a counter `elapsed` epochs after it was last materialized
+  /// (halving per epoch).
+  static constexpr std::uint16_t decayed(std::uint16_t heat,
+                                         std::uint32_t elapsed) {
+    return elapsed >= 16 ? std::uint16_t{0}
+                         : static_cast<std::uint16_t>(heat >> elapsed);
+  }
+
+  /// Brings both counters of a page forward to epoch `now`.
+  static void advance(std::uint16_t& read_heat, std::uint16_t& write_heat,
+                      std::uint32_t& heat_epoch, std::uint32_t now) {
+    if (now == heat_epoch) return;
+    const std::uint32_t elapsed = now - heat_epoch;
+    read_heat = decayed(read_heat, elapsed);
+    write_heat = decayed(write_heat, elapsed);
+    heat_epoch = now;
+  }
+
+  static void bump_read(std::uint16_t& read_heat, std::uint16_t& write_heat,
+                        std::uint32_t& heat_epoch, std::uint32_t now) {
+    advance(read_heat, write_heat, heat_epoch, now);
+    if (read_heat < kMax) ++read_heat;
+  }
+
+  static void bump_write(std::uint16_t& read_heat, std::uint16_t& write_heat,
+                         std::uint32_t& heat_epoch, std::uint32_t now) {
+    advance(read_heat, write_heat, heat_epoch, now);
+    if (write_heat < kMax) ++write_heat;
+  }
+};
+
+/// Deterministic per-page write census.  Scores are encoded-diff byte
+/// counts decayed by one shift per epoch; the decay is carried lazily in
+/// `last_write` (a score is the value as of that epoch).  Folds for one
+/// (page, writer) always happen in the same epoch on every node, and
+/// within an epoch integer additions commute, so fold order cannot make
+/// two nodes disagree.
+class WriteCensus {
+ public:
+  struct WriterScore {
+    NodeId node = 0;
+    std::uint64_t score = 0;       ///< decayed bytes as of `last_write`
+    std::uint32_t streak = 0;      ///< consecutive epochs with a write
+    std::uint32_t last_write = 0;  ///< epoch of the most recent fold
+  };
+  struct Entry {
+    std::vector<WriterScore> writers;
+  };
+
+  static constexpr std::uint64_t decayed64(std::uint64_t score,
+                                           std::uint32_t elapsed) {
+    return elapsed >= 64 ? 0 : score >> elapsed;
+  }
+
+  /// Records `bytes` of diff written to `page` by `writer` during `epoch`.
+  void fold(PageId page, NodeId writer, std::uint32_t bytes,
+            std::uint32_t epoch);
+
+  /// Drops writers whose score has decayed to zero as of `epoch`, then
+  /// drops pages with no writers left.  Called once per policy tick so
+  /// the census stays proportional to the live working set.
+  void prune(std::uint32_t epoch);
+
+  const Entry* find(PageId page) const {
+    auto it = pages_.find(page);
+    return it == pages_.end() ? nullptr : &it->second;
+  }
+  const std::unordered_map<PageId, Entry>& pages() const { return pages_; }
+  void clear() { pages_.clear(); }
+
+ private:
+  std::unordered_map<PageId, Entry> pages_;
+};
+
+}  // namespace sdsm::coherence

@@ -55,6 +55,11 @@ struct DsmStats {
   Counter gc_runs;           ///< diff-store garbage collections completed
   Counter gc_pages_flushed;  ///< pages force-fetched by GC flush rounds
 
+  // Adaptive coherence (src/coherence/); all zero under the static policy.
+  Counter replications;      ///< inline whole-update pushes by page owners
+  Counter migrations;        ///< directory ownership transfers (all nodes)
+  Counter ghost_promotions;  ///< schedules promoted to ghost zones
+
   // Phase timers (wall ns summed over nodes): protocol cost breakdown.
   Counter t_barrier_ns;    ///< inside barrier(): close + round trip + apply
   Counter t_fetch_ns;      ///< inside fetch_pages(): plan + wait + apply
@@ -90,6 +95,9 @@ struct DsmStats {
     std::uint64_t barriers = 0;
     std::uint64_t gc_runs = 0;
     std::uint64_t gc_pages_flushed = 0;
+    std::uint64_t replications = 0;
+    std::uint64_t migrations = 0;
+    std::uint64_t ghost_promotions = 0;
     std::uint64_t t_barrier_ns = 0;
     std::uint64_t t_fetch_ns = 0;
     std::uint64_t t_close_ns = 0;
@@ -123,6 +131,9 @@ struct DsmStats {
       d.barriers = barriers - rhs.barriers;
       d.gc_runs = gc_runs - rhs.gc_runs;
       d.gc_pages_flushed = gc_pages_flushed - rhs.gc_pages_flushed;
+      d.replications = replications - rhs.replications;
+      d.migrations = migrations - rhs.migrations;
+      d.ghost_promotions = ghost_promotions - rhs.ghost_promotions;
       d.t_barrier_ns = t_barrier_ns - rhs.t_barrier_ns;
       d.t_fetch_ns = t_fetch_ns - rhs.t_fetch_ns;
       d.t_close_ns = t_close_ns - rhs.t_close_ns;
@@ -160,6 +171,9 @@ struct DsmStats {
     s.barriers = barriers.get();
     s.gc_runs = gc_runs.get();
     s.gc_pages_flushed = gc_pages_flushed.get();
+    s.replications = replications.get();
+    s.migrations = migrations.get();
+    s.ghost_promotions = ghost_promotions.get();
     s.t_barrier_ns = t_barrier_ns.get();
     s.t_fetch_ns = t_fetch_ns.get();
     s.t_close_ns = t_close_ns.get();
@@ -197,6 +211,9 @@ struct DsmStats {
     barriers.reset();
     gc_runs.reset();
     gc_pages_flushed.reset();
+    replications.reset();
+    migrations.reset();
+    ghost_promotions.reset();
   }
 
   std::string summary() const;

@@ -50,6 +50,10 @@ DsmNode::DsmNode(DsmRuntime& rt, NodeId id)
       table_(rt.config().num_nodes),
       last_seen_vc_(rt.config().num_nodes,
                     VectorClock(rt.config().num_nodes)) {
+  if (rt.config().coherence == coherence::CoherencePolicy::kAdaptive) {
+    policy_ = std::make_unique<coherence::PolicyEngine>(
+        id, rt.config().coherence_tuning);
+  }
   vm::FaultDispatcher::instance().register_region(
       region_.base(), region_.size(),
       [this](void* addr, vm::FaultAccess access) { handle_fault(addr, access); });
@@ -83,6 +87,10 @@ void DsmNode::handle_fault(void* addr, vm::FaultAccess access) {
   // actual write simply faults once more and lands in the write path).
   if (pm.state == PageState::kInvalid && prefetch_.covers(page)) {
     stats().read_faults.add(1);
+    if (policy_) {
+      coherence::HeatTracker::bump_read(pm.read_heat, pm.write_heat,
+                                        pm.heat_epoch, policy_->epoch());
+    }
     consume_prefetch();
     if (access != vm::FaultAccess::kWrite) return;
   }
@@ -97,6 +105,10 @@ void DsmNode::handle_fault(void* addr, vm::FaultAccess access) {
 
   if (pm.state == PageState::kInvalid) {
     stats().read_faults.add(1);
+    if (policy_) {
+      coherence::HeatTracker::bump_read(pm.read_heat, pm.write_heat,
+                                        pm.heat_epoch, policy_->epoch());
+    }
     fetch_one_page(page);
     if (!is_write) return;
   }
@@ -124,6 +136,10 @@ void DsmNode::handle_fault(void* addr, vm::FaultAccess access) {
   }
 
   stats().write_faults.add(1);
+  if (policy_) {
+    coherence::HeatTracker::bump_write(pm.read_heat, pm.write_heat,
+                                       pm.heat_epoch, policy_->epoch());
+  }
   pre_twin(page, /*whole_page_mode=*/false);
   set_prot(page, vm::Prot::kReadWrite);
 }
@@ -379,6 +395,11 @@ void DsmNode::complete_fetch(PendingFetch pf) {
       }
     }
     pm.pending.clear();
+    if (pm.state == PageState::kInvalid) --invalid_pages_;
+    if (policy_) {
+      coherence::HeatTracker::bump_read(pm.read_heat, pm.write_heat,
+                                        pm.heat_epoch, policy_->epoch());
+    }
     if (pm.dirty) {
       pm.state = PageState::kReadWrite;  // restore write access
       to_rw.push_back(page);
@@ -504,10 +525,27 @@ std::optional<IntervalMeta> DsmNode::close_interval() {
   for (Encoded& e : encoded) {
     SDSM_TRACE(e.page, "close seq=%u encoded=%zu whole=%d", seq,
                e.diff.encoded_size(), e.whole ? 1 : 0);
+    WriteNotice wn;
+    wn.page = e.page;
+    wn.whole_page = e.whole;
+    if (policy_) {
+      // Adaptive coherence: publish the diff size for the write census,
+      // and for classified pages push the encoded diff inside the notice
+      // itself so readers skip the fetch round trip entirely.
+      wn.diff_bytes = static_cast<std::uint32_t>(e.diff.encoded_size());
+      if (policy_->should_inline(e.page)) {
+        wn.inline_diff = e.diff.bytes();
+        if (policy_->page_class(e.page) ==
+            coherence::PageClass::kReplicated) {
+          stats().replications.add(1);
+        }
+      }
+      policy_->fold_write(e.page, id_, wn.diff_bytes);
+    }
     diff_store_bytes_ += e.diff.encoded_size();
     diff_store_[diff_key(e.page, id_, seq)].push_back(std::move(e.diff));
     stats().diffs_created.add(1);
-    meta.notices.push_back(WriteNotice{e.page, e.whole});
+    meta.notices.push_back(std::move(wn));
   }
   for (const PageId page : banked_only) {
     SDSM_TRACE(page, "close banked seq=%u have=%d", seq,
@@ -515,7 +553,9 @@ std::optional<IntervalMeta> DsmNode::close_interval() {
     if (diff_store_.count(diff_key(page, id_, seq)) != 0) {
       // The early-diff path (acquire-time invalidation of a dirty page)
       // already banked modifications for this interval.
-      meta.notices.push_back(WriteNotice{page, false});
+      WriteNotice banked;
+      banked.page = page;
+      meta.notices.push_back(std::move(banked));
     }
   }
   if (meta.notices.empty()) return std::nullopt;
@@ -545,15 +585,25 @@ void DsmNode::process_metas(std::vector<IntervalMeta> metas) {
             });
   const std::uint32_t my_open_seq = vc_.get(id_) + 1;
   std::vector<PageId> invalidate;
-  for (const IntervalMeta& m : metas) {
+  std::vector<PageId> touched;  // adaptive: candidates for eager apply
+  for (IntervalMeta& m : metas) {
     if (m.id.node == id_) continue;
     if (m.id.seq <= applied_vc_.get(m.id.node)) continue;
     SDSM_ASSERT(m.id.seq == applied_vc_.get(m.id.node) + 1);
     applied_vc_.set(m.id.node, m.id.seq);
-    for (const WriteNotice& wn : m.notices) {
+    for (WriteNotice& wn : m.notices) {
       PageMeta& pm = pages_[wn.page];
       if (!pm.watchers.empty()) notice_watched_page(wn.page);
-      pm.pending.push_back(PendingNotice{m.id, wn.whole_page});
+      if (policy_) {
+        // Census fold happens exactly once per (page, creator, seq) — the
+        // applied_vc_ guard above — and, because every node folds a
+        // barrier's intervals before the next policy tick, at the same
+        // epoch everywhere.
+        policy_->fold_write(wn.page, m.id.node, wn.diff_bytes);
+        touched.push_back(wn.page);
+      }
+      pm.pending.push_back(
+          PendingNotice{m.id, wn.whole_page, std::move(wn.inline_diff)});
       SDSM_TRACE(wn.page, "notice ival=(%u,%u) state=%d dirty=%d", m.id.node,
                  m.id.seq, static_cast<int>(pm.state), pm.dirty ? 1 : 0);
       if (pm.state == PageState::kInvalid) continue;
@@ -578,12 +628,86 @@ void DsmNode::process_metas(std::vector<IntervalMeta> metas) {
                     region_.page_size());
       }
       pm.state = PageState::kInvalid;
+      ++invalid_pages_;
       invalidate.push_back(wn.page);
       stats().pages_invalidated.add(1);
     }
   }
   set_prot_batch(std::move(invalidate), vm::Prot::kNone);
+  if (policy_ && !touched.empty()) eager_apply_inline(std::move(touched));
   stats().t_metas_ns.add(static_cast<std::uint64_t>(phase.elapsed_s() * 1e9));
+}
+
+void DsmNode::eager_apply_inline(std::vector<PageId> pages) {
+  std::sort(pages.begin(), pages.end());
+  pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
+
+  // Pass 1 (locked, interval-table reads): keep only pages whose entire
+  // pending stack arrived with inline diffs, and sort each stack into HB
+  // order.  Mixed stacks — older notices predate the page's classification
+  // — go through the normal fetch path untouched.
+  std::vector<PageId> ready;
+  {
+    std::lock_guard<std::mutex> g(meta_mu_);
+    for (const PageId page : pages) {
+      PageMeta& pm = pages_[page];
+      if (pm.state != PageState::kInvalid || pm.pending.empty()) continue;
+      const bool all_inline =
+          std::all_of(pm.pending.begin(), pm.pending.end(),
+                      [](const PendingNotice& pn) {
+                        return !pn.inline_diff.empty();
+                      });
+      if (!all_inline) continue;
+      // Adaptive runs are barrier-only, and the local interval closed
+      // before the arrival that delivered these notices, so the page
+      // cannot be locally dirty here.
+      SDSM_ASSERT(!pm.dirty);
+      std::sort(pm.pending.begin(), pm.pending.end(),
+                [&](const PendingNotice& a, const PendingNotice& b) {
+                  return order_key(table_[a.ival.node].get(a.ival.seq)) <
+                         order_key(table_[b.ival.node].get(b.ival.seq));
+                });
+      ready.push_back(page);
+    }
+  }
+  if (ready.empty()) return;
+
+  // Pass 2 (no lock): apply through the always-writable mirror, exactly
+  // like complete_fetch.  A whole-page diff anywhere in the stack simply
+  // overwrites what earlier entries wrote; entries HB-after it are
+  // disjoint from it under the data-race-free contract.
+  std::vector<PageId> to_read;
+  to_read.reserve(ready.size());
+  for (const PageId page : ready) {
+    PageMeta& pm = pages_[page];
+    std::span<std::byte> data(region_.mirror_ptr(page), region_.page_size());
+    for (const PendingNotice& pn : pm.pending) {
+      const Diff d = Diff::from_bytes(pn.inline_diff);
+      d.apply(data);
+      stats().diffs_applied.add(1);
+    }
+    pm.state = PageState::kReadOnly;
+    --invalid_pages_;
+    to_read.push_back(page);
+  }
+  set_prot_batch(std::move(to_read), vm::Prot::kRead);
+
+  // Pass 3 (locked): cache the applied diffs — this node is now a holder
+  // for these stacks (most-recent-modifier fetching), same as after a
+  // demand fetch.  The caching completes before this node's next barrier
+  // arrival, so no peer can learn an interval that makes this node a
+  // fetch target before the bytes are servable.
+  std::lock_guard<std::mutex> g(meta_mu_);
+  for (const PageId page : ready) {
+    PageMeta& pm = pages_[page];
+    for (PendingNotice& pn : pm.pending) {
+      Diff d = Diff::from_bytes(std::move(pn.inline_diff));
+      diff_store_bytes_ += d.encoded_size();
+      diff_store_[diff_key(page, pn.ival.node, pn.ival.seq)].push_back(
+          std::move(d));
+    }
+    pm.pending.clear();
+  }
 }
 
 void DsmNode::flush_all_pending() {
@@ -807,6 +931,10 @@ void DsmNode::reset_for_reuse() {
   applied_vc_ = VectorClock(rt_.config().num_nodes);
   dirty_pages_.clear();
   schedules_.clear();
+  // Warm engines must not carry heat, census, or directory state from one
+  // job into the next (PageMeta heat was reset with the metas above).
+  if (policy_) policy_->reset();
+  invalid_pages_ = 0;
   {
     std::lock_guard<std::mutex> g(meta_mu_);
     table_.assign(rt_.config().num_nodes, MetaLog{});

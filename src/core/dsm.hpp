@@ -31,6 +31,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/coherence/coherence.hpp"
+#include "src/coherence/policy.hpp"
 #include "src/common/stats.hpp"
 #include "src/common/types.hpp"
 #include "src/core/diff.hpp"
@@ -75,6 +77,12 @@ struct DsmConfig {
   /// whole-page shipping).  Disabled by the ablation bench to measure the
   /// "multiple overlapping diffs" effect the paper describes for reductions.
   bool write_all_enabled = true;
+  /// Adaptive coherence (src/coherence/): heat-driven replicate / migrate /
+  /// ghost decisions evaluated at barrier rendezvous.  kStatic leaves the
+  /// protocol — and its wire traffic — byte-identical to the baseline.
+  /// Adaptive runs are barrier-only: lock_acquire rejects the combination.
+  coherence::CoherencePolicy coherence = coherence::CoherencePolicy::kStatic;
+  coherence::CoherenceTuning coherence_tuning{};
 };
 
 // ---------------------------------------------------------------------------
@@ -156,6 +164,10 @@ enum class PageState : std::uint8_t {
 struct PendingNotice {
   IntervalId ival;
   bool whole_page = false;
+  /// Encoded diff pushed by the writer of a coherence-classified page
+  /// (adaptive only).  When every pending notice of a page carries one,
+  /// the page is brought current at barrier release with no fetch.
+  std::vector<std::uint8_t> inline_diff;
 };
 
 struct PageMeta {
@@ -172,6 +184,12 @@ struct PageMeta {
   std::vector<PendingNotice> pending;
   /// Schedules watching this page for indirection-array changes.
   std::vector<std::uint32_t> watchers;
+  /// Adaptive-coherence heat, folded into the page's own metadata so the
+  /// fault path touches no other structure (coherence::HeatTracker holds
+  /// the decay arithmetic).  Untouched under the static policy.
+  std::uint16_t read_heat = 0;
+  std::uint16_t write_heat = 0;
+  std::uint32_t heat_epoch = 0;
 };
 
 /// Dense per-creator interval log that supports discarding a prefix at GC:
@@ -203,6 +221,13 @@ struct ScheduleState {
   bool valid = false;
   bool indirection_changed = false;
   std::vector<PageId> pages;
+  /// Adaptive coherence: consecutive validate epochs the schedule stayed
+  /// ready (no recompute).  At CoherenceTuning::ghost_epochs the schedule
+  /// becomes a ghost zone: read-only validates skip its page scan
+  /// entirely while the node holds no invalid pages.  Any indirection
+  /// change demotes it through the normal recompute path.
+  std::uint32_t epochs_stable = 0;
+  bool ghost = false;
 };
 
 class DsmRuntime;
@@ -424,6 +449,15 @@ class DsmNode {
   };
 
   void barrier_round(bool allow_gc);
+  /// Adaptive coherence, once per barrier(): advance the policy epoch,
+  /// reclassify pages, count migrations, and issue the ownership-transfer
+  /// fetch for pages this node just took over.
+  void coherence_tick();
+  /// Adaptive coherence: applies inline diffs deposited by process_metas
+  /// for the given pages, validating them at barrier release with no
+  /// fetch.  Pages whose pending stack is not fully inline are left for
+  /// the normal fetch path.
+  void eager_apply_inline(std::vector<PageId> pages);
   /// GC flush: fetches every page with pending write notices, emptying the
   /// pending sets so the diff stores can be dropped.
   void flush_all_pending();
@@ -458,6 +492,13 @@ class DsmNode {
   std::unordered_map<std::uint32_t, ScheduleState> schedules_;
   /// The one outstanding cross-step prefetch (empty when none).
   PendingFetch prefetch_;
+  /// Adaptive coherence (null under the static policy).  Compute-thread
+  /// private: folds happen at interval close and meta application, the
+  /// tick at barrier return — all on the compute thread.
+  std::unique_ptr<coherence::PolicyEngine> policy_;
+  /// Exact count of pages in PageState::kInvalid; lets ghost-zone
+  /// validates prove "nothing pending anywhere" in O(1).
+  std::uint32_t invalid_pages_ = 0;
 
   // Shared between compute and service threads of this node.
   std::mutex meta_mu_;

@@ -9,7 +9,19 @@ void IntervalMeta::serialize(Writer& w) const {
   w.put<std::uint32_t>(static_cast<std::uint32_t>(notices.size()));
   for (const auto& n : notices) {
     w.put<std::uint32_t>(n.page);
-    w.put<std::uint8_t>(n.whole_page ? 1 : 0);
+    // Flag byte: bit 0 = whole page, bit 1 = inline diff follows, bit 2 =
+    // census size field follows.  The static policy never sets bits 1-2,
+    // so its encoding is byte-for-byte the historical {0, 1} byte.
+    std::uint8_t flags = n.whole_page ? 1 : 0;
+    if (!n.inline_diff.empty()) flags |= 2;
+    if (n.inline_diff.empty() && n.diff_bytes != 0) flags |= 4;
+    w.put<std::uint8_t>(flags);
+    if (flags & 2) {
+      w.put<std::uint32_t>(static_cast<std::uint32_t>(n.inline_diff.size()));
+      w.put_raw(n.inline_diff.data(), n.inline_diff.size());
+    } else if (flags & 4) {
+      w.put<std::uint32_t>(n.diff_bytes);
+    }
   }
 }
 
@@ -23,8 +35,17 @@ IntervalMeta IntervalMeta::deserialize(Reader& r) {
   for (std::uint32_t i = 0; i < n; ++i) {
     WriteNotice wn;
     wn.page = r.get<std::uint32_t>();
-    wn.whole_page = r.get<std::uint8_t>() != 0;
-    m.notices.push_back(wn);
+    const auto flags = r.get<std::uint8_t>();
+    wn.whole_page = (flags & 1) != 0;
+    if (flags & 2) {
+      const auto size = r.get<std::uint32_t>();
+      wn.inline_diff.resize(size);
+      r.get_raw(wn.inline_diff.data(), size);
+      wn.diff_bytes = size;
+    } else if (flags & 4) {
+      wn.diff_bytes = r.get<std::uint32_t>();
+    }
+    m.notices.push_back(std::move(wn));
   }
   return m;
 }

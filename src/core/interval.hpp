@@ -28,6 +28,14 @@ struct WriteNotice {
   /// True when the creator rewrote the page in its entirety (WRITE_ALL):
   /// the stored "diff" is the whole page and supersedes older diffs.
   bool whole_page = false;
+  /// Adaptive coherence only.  When the policy engine has classified the
+  /// page, the creator embeds the encoded diff right here so readers can
+  /// apply it at barrier release instead of faulting and fetching.  Empty
+  /// under the static policy, where the notice wire format is unchanged.
+  std::vector<std::uint8_t> inline_diff;
+  /// Encoded size of the interval's diff for this page; feeds the write
+  /// census that classifies pages.  0 under the static policy.
+  std::uint32_t diff_bytes = 0;
 };
 
 /// Metadata describing one closed interval: identity, creation timestamp,

@@ -266,6 +266,7 @@ void DsmNode::validate(const std::vector<AccessDescriptor>& descs) {
         PageMeta& pm = pages_[page];
         pm.pending.clear();
         pm.state = PageState::kReadOnly;
+        --invalid_pages_;
         continue;
       }
       fetch.push_back(page);
@@ -302,6 +303,7 @@ void DsmNode::validate(const std::vector<AccessDescriptor>& descs) {
   // Read_indices scan, so their fetch set is known right now.
   std::vector<std::size_t> stale;
   bool any_ready_fetch = false;
+  std::vector<std::uint32_t> bumped;  // one stability bump per schedule
   for (std::size_t i = 0; i < descs.size(); ++i) {
     if (descs[i].type != DescType::kIndirect) continue;
     const auto it = schedules_.find(descs[i].schedule);
@@ -310,6 +312,22 @@ void DsmNode::validate(const std::vector<AccessDescriptor>& descs) {
       stale.push_back(i);
     } else {
       any_ready_fetch = true;
+      if (policy_ != nullptr && std::find(bumped.begin(), bumped.end(),
+                                          descs[i].schedule) == bumped.end()) {
+        // Adaptive coherence: another validate epoch with the schedule's
+        // indirection pages untouched.  A long enough run promotes the
+        // schedule to a CHAOS-style ghost zone (see the steady-state scan
+        // below); any indirection change demotes it via the recompute
+        // branch.
+        bumped.push_back(descs[i].schedule);
+        ScheduleState& sch = it->second;
+        ++sch.epochs_stable;
+        if (!sch.ghost &&
+            sch.epochs_stable >= config().coherence_tuning.ghost_epochs) {
+          sch.ghost = true;
+          stats().ghost_promotions.add(1);
+        }
+      }
     }
   }
 
@@ -322,7 +340,15 @@ void DsmNode::validate(const std::vector<AccessDescriptor>& descs) {
     if (any_ready_fetch) {
       for (std::size_t i = 0; i < descs.size(); ++i) {
         if (descs[i].type != DescType::kIndirect) continue;
-        desc_pages[i] = schedules_[descs[i].schedule].pages;
+        ScheduleState& sch = schedules_[descs[i].schedule];
+        if (policy_ != nullptr && sch.ghost && invalid_pages_ == 0 &&
+            descs[i].access == Access::kRead) {
+          // Ghost zone: the node holds zero invalid pages and the
+          // descriptor only reads, so scanning the cached page set can
+          // neither fetch nor twin anything — skip it entirely.
+          continue;
+        }
+        desc_pages[i] = sch.pages;
         collect_desc(i, ind_fetch, &pending);
       }
       finalize(ind_fetch);
@@ -353,6 +379,8 @@ void DsmNode::validate(const std::vector<AccessDescriptor>& descs) {
         watch_indirection_pages(desc, desc.schedule);
         sch.valid = true;
         sch.indirection_changed = false;
+        sch.epochs_stable = 0;  // demote: stability restarts after a rebuild
+        sch.ghost = false;
       }
       desc_pages[i] = sch.pages;
       collect_desc(i, fetch, nullptr);

@@ -106,7 +106,12 @@ void Table::print_json(std::ostream& os) const {
     os << ", \"barriers_per_step\": " << std::setprecision(3)
        << r.barriers_per_step << ", \"rebuilds\": " << r.rebuilds
        << ", \"jobs_per_sec\": " << std::setprecision(3) << r.jobs_per_sec
-       << ", \"cache_hits\": " << r.cache_hits << ", \"note\": ";
+       << ", \"cache_hits\": " << r.cache_hits;
+    if (r.coherence_cols) {
+      os << ", \"replications\": " << r.replications << ", \"migrations\": "
+         << r.migrations << ", \"ghost_promotions\": " << r.ghost_promotions;
+    }
+    os << ", \"note\": ";
     json_string(os, r.note);
     os << "}";
   }

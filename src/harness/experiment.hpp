@@ -55,6 +55,14 @@ struct Row {
   /// Deterministic when the stream runs on one worker, so it is an exact
   /// gate column like messages.
   std::int64_t cache_hits = 0;
+  /// Adaptive-coherence decision counters (exact-gate columns).  Emitted
+  /// in JSON/CSV only when `coherence_cols` is set, so every pre-existing
+  /// static row stays byte-identical.  Appended after `cache_hits` so
+  /// existing positional initializers stay valid.
+  bool coherence_cols = false;
+  std::uint64_t replications = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t ghost_promotions = 0;
 };
 
 class Table {

@@ -72,6 +72,12 @@ Options Options::parse(int argc, char** argv) {
       } else {
         usage_exit("--mode", *v, "threads|processes");
       }
+    } else if (const auto v = take_value(argc, argv, i, "--coherence")) {
+      if (const auto c = coherence::parse_coherence_policy(*v)) {
+        o.coherence = *c;
+      } else {
+        usage_exit("--coherence", *v, "static|adaptive");
+      }
     } else {
       o.extras_.emplace_back(argv[i]);
     }

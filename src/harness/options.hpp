@@ -11,6 +11,10 @@
 //   --mode=threads|processes           deployment: node threads in this
 //                                      process, or spawned worker
 //                                      processes (sdsm::proc; Tmk only)
+//   --coherence=static|adaptive        page-coherence policy (default
+//                                      static; adaptive enables the heat-
+//                                      driven replicate/migrate/ghost
+//                                      engine on the Tmk backends)
 //
 // Unrecognized arguments are kept verbatim and queryable through flag() /
 // value(), so binary-specific switches (serve_app's --smoke, --port)
@@ -25,6 +29,7 @@
 #include <vector>
 
 #include "src/api/backend.hpp"
+#include "src/coherence/coherence.hpp"
 #include "src/net/transport.hpp"
 
 namespace sdsm::harness {
@@ -40,6 +45,7 @@ class Options {
   std::vector<api::Backend> backends;
   api::RoundSchedule schedule = api::RoundSchedule::kSerial;
   DeployMode mode = DeployMode::kThreads;
+  coherence::CoherencePolicy coherence = coherence::CoherencePolicy::kStatic;
 
   /// True when `--name` appeared among the extras (with or without value).
   bool flag(std::string_view name) const;

@@ -312,6 +312,9 @@ LaunchResult run_job(const serve::JobRequest& req, const LaunchOptions& opt) {
       agg.tmk.cross_prefetch_posts += k.tmk.cross_prefetch_posts;
       agg.tmk.cross_prefetch_consumes += k.tmk.cross_prefetch_consumes;
       agg.tmk.cross_prefetch_drains += k.tmk.cross_prefetch_drains;
+      agg.tmk.replications += k.tmk.replications;
+      agg.tmk.migrations += k.tmk.migrations;
+      agg.tmk.ghost_promotions += k.tmk.ghost_promotions;
     }
   }
   agg.megabytes = static_cast<double>(agg.bytes) / 1e6;

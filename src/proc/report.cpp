@@ -38,6 +38,9 @@ void encode(Writer& w, const WorkerReport& r) {
   w.put(k.tmk.cross_prefetch_posts);
   w.put(k.tmk.cross_prefetch_consumes);
   w.put(k.tmk.cross_prefetch_drains);
+  w.put(k.tmk.replications);
+  w.put(k.tmk.migrations);
+  w.put(k.tmk.ghost_promotions);
 }
 
 WorkerReport decode_report(Reader& r) {
@@ -71,6 +74,9 @@ WorkerReport decode_report(Reader& r) {
   k.tmk.cross_prefetch_posts = r.get<std::uint64_t>();
   k.tmk.cross_prefetch_consumes = r.get<std::uint64_t>();
   k.tmk.cross_prefetch_drains = r.get<std::uint64_t>();
+  k.tmk.replications = r.get<std::uint64_t>();
+  k.tmk.migrations = r.get<std::uint64_t>();
+  k.tmk.ghost_promotions = r.get<std::uint64_t>();
   return out;
 }
 

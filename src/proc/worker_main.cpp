@@ -146,6 +146,7 @@ int main(int argc, char** argv) {
   options.mode = DeployMode::kProcesses;
   options.round_schedule = req.schedule;
   options.cross_step_prefetch = req.cross_step_prefetch;
+  options.coherence = req.coherence;
 
   core::DsmConfig cfg = api::TmkBackend::dsm_config(nprocs, options);
   proc::RendezvousResult rdv = proc::rendezvous(

@@ -32,6 +32,7 @@ void encode(Writer& w, const JobRequest& req) {
   w.put<std::uint8_t>(static_cast<std::uint8_t>(req.backend));
   w.put<std::uint8_t>(static_cast<std::uint8_t>(req.schedule));
   w.put<std::uint8_t>(req.cross_step_prefetch ? 1 : 0);
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(req.coherence));
   w.put<std::uint8_t>(static_cast<std::uint8_t>(req.transport));
 }
 
@@ -42,6 +43,8 @@ JobRequest decode_request(Reader& r) {
   req.backend = static_cast<api::Backend>(r.get<std::uint8_t>());
   req.schedule = static_cast<api::RoundSchedule>(r.get<std::uint8_t>());
   req.cross_step_prefetch = r.get<std::uint8_t>() != 0;
+  req.coherence =
+      static_cast<coherence::CoherencePolicy>(r.get<std::uint8_t>());
   req.transport = static_cast<net::TransportKind>(r.get<std::uint8_t>());
   return req;
 }
@@ -62,6 +65,9 @@ void encode(Writer& w, const JobStats& s) {
   w.put<double>(s.megabytes);
   w.put<std::int64_t>(s.steps_run);
   w.put<std::int64_t>(s.rebuilds);
+  w.put<std::uint64_t>(s.replications);
+  w.put<std::uint64_t>(s.migrations);
+  w.put<std::uint64_t>(s.ghost_promotions);
   w.put<double>(s.queue_seconds);
   w.put<double>(s.run_seconds);
 }
@@ -83,6 +89,9 @@ JobStats decode_stats(Reader& r) {
   s.megabytes = r.get<double>();
   s.steps_run = r.get<std::int64_t>();
   s.rebuilds = r.get<std::int64_t>();
+  s.replications = r.get<std::uint64_t>();
+  s.migrations = r.get<std::uint64_t>();
+  s.ghost_promotions = r.get<std::uint64_t>();
   s.queue_seconds = r.get<double>();
   s.run_seconds = r.get<double>();
   return s;

@@ -41,8 +41,12 @@ struct JobRequest {
   api::Backend backend = api::Backend::kTmkOptimized;
   api::RoundSchedule schedule = api::RoundSchedule::kSerial;
   bool cross_step_prefetch = false;
+  /// Page-coherence policy of the job's engine.  Part of the engine key —
+  /// a warm adaptive arena carries census/directory/heat state that a
+  /// static job must never see, and vice versa.
+  coherence::CoherencePolicy coherence = coherence::CoherencePolicy::kStatic;
   /// Inter-node fabric the job's engine uses (engines are keyed by
-  /// (backend, transport), so in-proc and socket jobs coexist).
+  /// (backend, transport, coherence), so in-proc and socket jobs coexist).
   net::TransportKind transport = net::TransportKind::kInProc;
 };
 
@@ -71,6 +75,11 @@ struct JobStats {
   double megabytes = 0;
   std::int64_t steps_run = 0;
   std::int64_t rebuilds = 0;
+  /// Adaptive-coherence decisions during the job's timed window (snapshot
+  /// deltas; zero for static jobs).
+  std::uint64_t replications = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t ghost_promotions = 0;
 
   double queue_seconds = 0;  ///< admission -> worker pickup
   double run_seconds = 0;    ///< worker pickup -> completion

@@ -93,10 +93,12 @@ api::BackendOptions KernelServer::overlay(api::BackendOptions base,
   return base;
 }
 
-KernelServer::Engine& KernelServer::engine_for(api::Backend backend,
-                                               net::TransportKind transport) {
-  const std::pair<int, int> key{static_cast<int>(backend),
-                                static_cast<int>(transport)};
+KernelServer::Engine& KernelServer::engine_for(
+    api::Backend backend, net::TransportKind transport,
+    coherence::CoherencePolicy coherence) {
+  const std::tuple<int, int, int> key{static_cast<int>(backend),
+                                      static_cast<int>(transport),
+                                      static_cast<int>(coherence)};
   std::lock_guard<std::mutex> g(engines_mu_);
   const auto it = engines_.find(key);
   if (it != engines_.end()) return *it->second;
@@ -105,9 +107,11 @@ KernelServer::Engine& KernelServer::engine_for(api::Backend backend,
   if (backend == api::Backend::kChaos) {
     engine = std::make_unique<ChaosEngine>(cfg_.nprocs, cfg_.wire, transport);
   } else {
+    api::BackendOptions base;
+    base.coherence = coherence;
     engine = std::make_unique<TmkEngine>(
         cfg_.nprocs, backend == api::Backend::kTmkOptimized,
-        overlay(api::BackendOptions{}, transport));
+        overlay(std::move(base), transport));
   }
   Engine& ref = *engine;
   engines_[key] = std::move(engine);
@@ -260,8 +264,10 @@ void KernelServer::run_job(Job& job) {
                                        job.req.transport);
     opts.round_schedule = job.req.schedule;
     opts.cross_step_prefetch = job.req.cross_step_prefetch;
+    opts.coherence = job.req.coherence;
 
-    Engine& engine = engine_for(job.req.backend, job.req.transport);
+    Engine& engine =
+        engine_for(job.req.backend, job.req.transport, job.req.coherence);
 
     api::RunSession session;
     const CacheKey key{prepared.fingerprint, job.req.kernel, job.req.backend,
@@ -310,6 +316,9 @@ void KernelServer::run_job(Job& job) {
     s.megabytes = r.megabytes;
     s.steps_run = r.steps_run;
     s.rebuilds = r.rebuilds;
+    s.replications = r.tmk.replications;
+    s.migrations = r.tmk.migrations;
+    s.ghost_promotions = r.tmk.ghost_promotions;
     s.inspector_runs =
         static_cast<std::int64_t>(session.fresh_builds.load() / cfg_.nprocs);
     s.structure_messages = session.structure_messages.load();

@@ -1,9 +1,11 @@
 // KernelServer: the persistent kernel-serving runtime (the PR's tentpole).
 //
 // A server owns its execution substrates for its whole lifetime — one warm
-// engine per (backend, transport) pair, created lazily: a TreadMarks engine
-// keeps a DsmRuntime whose arena is reset (not rebuilt) between jobs, a
-// CHAOS engine keeps a warm ChaosRuntime.  Jobs arrive as JobRequests
+// engine per (backend, transport, coherence) triple, created lazily: a
+// TreadMarks engine keeps a DsmRuntime whose arena is reset (not rebuilt)
+// between jobs — the reset also clears adaptive-coherence heat and
+// directory state, so a warm engine starts every job cold — and a CHAOS
+// engine keeps a warm ChaosRuntime.  Jobs arrive as JobRequests
 // through a bounded admission queue (reject-with-reason backpressure), are
 // executed by a small worker pool, and consult the ScheduleCache so a
 // repeat of a structure-cacheable job replays its inspector artifacts
@@ -11,7 +13,7 @@
 //
 // Concurrency shape: the admission queue and job table are guarded by one
 // mutex; each engine has its own mutex, so two jobs run concurrently only
-// when they target different (backend, transport) engines — within one
+// when they target different (backend, transport, coherence) engines — within one
 // engine the node threads already use every core.  An optional 127.0.0.1
 // control socket (ephemeral port) serves the framed protocol of
 // src/serve/framing.hpp with one thread per connection.
@@ -24,6 +26,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
@@ -84,7 +87,8 @@ class KernelServer {
 
   void worker_loop();
   void run_job(Job& job);
-  Engine& engine_for(api::Backend backend, net::TransportKind transport);
+  Engine& engine_for(api::Backend backend, net::TransportKind transport,
+                     coherence::CoherencePolicy coherence);
   api::BackendOptions overlay(api::BackendOptions base,
                               net::TransportKind transport) const;
 
@@ -113,7 +117,7 @@ class KernelServer {
   std::vector<std::thread> workers_;
 
   std::mutex engines_mu_;
-  std::map<std::pair<int, int>, std::unique_ptr<Engine>> engines_;
+  std::map<std::tuple<int, int, int>, std::unique_ptr<Engine>> engines_;
 
   int port_ = -1;
   int listen_fd_ = -1;

@@ -80,7 +80,10 @@ TEST(IntervalMeta, SerializeRoundTrip) {
   m.vc = VectorClock(4);
   m.vc.set(2, 9);
   m.vc.set(0, 3);
-  m.notices = {WriteNotice{5, false}, WriteNotice{17, true}};
+  m.notices.resize(2);
+  m.notices[0].page = 5;
+  m.notices[1].page = 17;
+  m.notices[1].whole_page = true;
 
   Writer w;
   m.serialize(w);
@@ -102,7 +105,10 @@ TEST(IntervalMeta, BatchSerializeRoundTrip) {
     metas[i].id = IntervalId{i, i + 1};
     metas[i].vc = VectorClock(3);
     metas[i].vc.set(i, i + 1);
-    metas[i].notices.push_back(WriteNotice{i * 10, i % 2 == 0});
+    WriteNotice wn;
+    wn.page = i * 10;
+    wn.whole_page = i % 2 == 0;
+    metas[i].notices.push_back(std::move(wn));
   }
   Writer w;
   serialize_metas(w, metas);
