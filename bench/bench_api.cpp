@@ -23,15 +23,19 @@
 // overwrite each other.
 //
 // `--group=<filter>[,<filter>...]` runs only the groups whose name
-// contains one of the (comma-separated) filters — e.g. `--group=proc`
-// or `--group=fault,serve` — so a new group can be exercised in seconds
+// contains one of the (comma-separated) filters — e.g. `--group=proc`,
+// `--group=fault,serve`, `--group=coherence` (the adaptive-coherence A/B
+// groups), `--group=diff-` (the diff-engine A/B groups), or
+// `--group=bucketed` — so a new group can be exercised in seconds
 // without the full sweep.  A filtered run never writes the bench JSON:
 // the committed baseline holds every group, and overwriting it with a
-// subset would fail the exact gate on the missing rows.
+// subset would fail the exact gate on the missing rows.  `--help` lists
+// every flag.
 #include <algorithm>
 #include <cstdio>
 #include <initializer_list>
 #include <iostream>
+#include <string>
 #include <string_view>
 
 #include "bench/bench_params.hpp"
@@ -100,6 +104,8 @@ void add_row(harness::Table& table, const char* group, api::Backend b,
                    r.megabytes, r.overhead_seconds, note, seq_seconds,
                    r.refs, r.max_row, schedule, r.barriers_per_step,
                    r.rebuilds};
+  row.diff_create_seconds = r.diff_create_seconds;
+  row.diff_apply_seconds = r.diff_apply_seconds;
   if (opts.coherence == coherence::CoherencePolicy::kAdaptive) {
     // Adaptive rows carry the decision counters as extra exact-gate
     // columns; static rows omit them so the pre-existing JSON stays
@@ -140,6 +146,35 @@ void add_tournament_rows(
       continue;
     }
     add_row(table, group, b, seq_seconds, seq_checksum, opts, run_one(b, opts));
+  }
+}
+
+/// The diff-engine A/B rows: the identical workload run with the scalar
+/// and word twin-scan engines, one group per engine ("<prefix> diff-scalar"
+/// / "<prefix> diff-word").  Tmk backends only — CHAOS keeps no twins, so
+/// its rows would not move.  Run segmentation is a pure function of the
+/// data, so the encoded bytes — and therefore the messages and megabytes
+/// columns — must match across the two groups EXACTLY (the gate); only
+/// the diff_create_seconds column is allowed to differ.
+void add_diff_engine_rows(
+    harness::Table& table, const std::vector<api::Backend>& backends,
+    const char* group_prefix, double seq_seconds, double seq_checksum,
+    api::BackendOptions opts,
+    const std::function<api::KernelResult(api::Backend,
+                                          const api::BackendOptions&)>& run_one) {
+  for (const core::DiffEngine e :
+       {core::DiffEngine::kScalar, core::DiffEngine::kWord}) {
+    opts.diff_engine = e;
+    const std::string group =
+        std::string(group_prefix) + " diff-" + core::diff_engine_name(e);
+    for (const api::Backend b :
+         {api::Backend::kTmkBase, api::Backend::kTmkOptimized}) {
+      if (std::find(backends.begin(), backends.end(), b) == backends.end()) {
+        continue;
+      }
+      add_row(table, group.c_str(), b, seq_seconds, seq_checksum, opts,
+              run_one(b, opts));
+    }
   }
 }
 
@@ -405,6 +440,8 @@ void add_proc_rows(harness::Table& table,
       row.messages = lr.result.messages;
       row.megabytes = lr.result.megabytes;
       row.overhead_seconds = lr.result.overhead_seconds;
+      row.diff_create_seconds = lr.result.diff_create_seconds;
+      row.diff_apply_seconds = lr.result.diff_apply_seconds;
       row.note = note;
       row.refs = lr.result.refs;
       row.max_row = lr.result.max_row;
@@ -419,19 +456,76 @@ void add_proc_rows(harness::Table& table,
 
 int main(int argc, char** argv) {
   const harness::Options opt = harness::Options::parse(argc, argv);
+  if (opt.flag("help")) {
+    std::printf(
+        "bench_api: the unified-API benchmark sweep.  A full run rewrites\n"
+        "the committed baseline (BENCH_api.json; BENCH_api_socket.json on\n"
+        "the socket fabric) — see docs/benchmarks.md for every column and\n"
+        "the regeneration procedure.\n"
+        "\n"
+        "  --transport=inproc|socket\n"
+        "      message fabric (default inproc; the socket run writes\n"
+        "      BENCH_api_socket.json so the trajectories never collide)\n"
+        "  --backend=chaos|tmk-base|tmk-optimized\n"
+        "      restrict the backend sweep; comma-separate or repeat the\n"
+        "      flag for a subset (default all three)\n"
+        "  --schedule=serial|tournament\n"
+        "      Tmk reduction-round engine for binaries that honor it; the\n"
+        "      bench runs its own serial-vs-tournament A/B groups instead\n"
+        "  --mode=threads|processes\n"
+        "      deployment mode for binaries that honor it; the bench runs\n"
+        "      its own threads-vs-processes parity groups instead\n"
+        "  --coherence=static|adaptive\n"
+        "      page-coherence policy for binaries that honor it; the bench\n"
+        "      runs its own static-vs-adaptive A/B (the \"coherence ...\n"
+        "      adaptive\" groups) instead\n"
+        "  --diff-engine=scalar|word\n"
+        "      twin-vs-page scan engine for every non-A/B group (default\n"
+        "      word); encodings are byte-identical either way, so only the\n"
+        "      diff_create_seconds column moves.  The \"... diff-scalar\" /\n"
+        "      \"... diff-word\" groups pin both engines regardless\n"
+        "  --exec=rows|bucketed\n"
+        "      work-item iteration engine for every non-A/B group (default\n"
+        "      rows); the \"... bucketed\" groups pin the bucketed engine\n"
+        "      regardless\n"
+        "  --group=<filter>[,<filter>...]\n"
+        "      run only the groups whose name contains one of the filters,\n"
+        "      e.g. --group=proc, --group=fault,serve, --group=coherence\n"
+        "      (the adaptive-coherence A/B groups), --group=diff- (the\n"
+        "      diff-engine A/B groups), or --group=bucketed.  A filtered\n"
+        "      run never rewrites the bench JSON: the committed baseline\n"
+        "      holds every group, and a subset would fail the exact gate\n"
+        "      on the missing rows\n"
+        "  --help\n"
+        "      this text\n");
+    return 0;
+  }
   const net::TransportKind transport = opt.transport;
+  // Base options for every group: the fabric plus the engine selections
+  // from the shared command line (the defaults — word diffs, row-order
+  // execution — are what the committed baseline was generated with).
+  const auto base = [&](api::BackendOptions o) {
+    o.transport = transport;
+    o.diff_engine = opt.diff_engine;
+    o.exec_engine = opt.exec_engine;
+    return o;
+  };
   std::printf(
       "sdsm::api backend sweep: 6 workloads (+ the nbf padded-vs-CSR "
       "comparison, the moldyn/pagerank/bfs/cc tournament-schedule A/B, the "
-      "moldyn/pagerank adaptive-coherence A/B, and "
-      "the serving-layer one-shot/miss/hit + throughput groups) "
+      "moldyn/pagerank adaptive-coherence A/B, the moldyn/pagerank "
+      "diff-engine A/B, the moldyn/pagerank/spmv bucketed-execution rows, "
+      "and the serving-layer one-shot/miss/hit + throughput groups) "
       "x 3 backends, %u nodes, %s transport.\n\n",
       bench::kNodes, net::transport_name(transport));
   harness::Table table("Unified API - all workloads x all backends");
 
   if (any_group_enabled(opt, {"moldyn 4096x24", "moldyn 4096x24 tournament",
                               "coherence moldyn 4096x24 adaptive",
-                              "coherence moldyn 4096x24 adaptive tournament"})) {
+                              "coherence moldyn 4096x24 adaptive tournament",
+                              "moldyn 4096x24 diff-scalar",
+                              "moldyn 4096x24 diff-word",
+                              "moldyn 4096x24 bucketed"})) {
     moldyn::Params p;
     p.num_molecules = 4096;
     p.num_steps = 24;
@@ -439,8 +533,7 @@ int main(int argc, char** argv) {
     p.nprocs = bench::kNodes;
     const auto sys = moldyn::make_system(p);
     const auto seq = moldyn::run_seq(p, sys);
-    api::BackendOptions opts = moldyn::default_options();
-    opts.transport = transport;
+    const api::BackendOptions opts = base(moldyn::default_options());
     add_rows(table, opt.backends, "moldyn 4096x24", seq.seconds, seq.checksum, opts,
              [&](api::Backend b) { return moldyn::run(b, p, sys, opts); });
     add_tournament_rows(table, opt.backends, "moldyn 4096x24 tournament", seq.seconds,
@@ -462,6 +555,25 @@ int main(int argc, char** argv) {
                         [&](api::Backend b, const api::BackendOptions& o) {
                           return moldyn::run(b, p, sys, o);
                         });
+    // The diff-engine A/B: scalar vs word twin scans, traffic exact-gated
+    // identical across the two groups (encodings are byte-identical by
+    // construction); only diff_create_seconds moves.
+    add_diff_engine_rows(table, opt.backends, "moldyn 4096x24", seq.seconds,
+                         seq.checksum, opts,
+                         [&](api::Backend b, const api::BackendOptions& o) {
+                           return moldyn::run(b, p, sys, o);
+                         });
+    // The bucketed-execution rows: CSR rows sorted into power-of-two
+    // degree buckets at rebuild, uniform buckets through fixed-arity inner
+    // loops.  Buckets are a pure function of the backend-identical
+    // row_offsets, so checksums stay bit-exact across backends; pair rows
+    // are uniform degree-2, so the checksum also matches the row-order
+    // groups bit-exactly.  Traffic is unchanged — exact-gated.
+    api::BackendOptions bopts = opts;
+    bopts.exec_engine = api::ExecEngine::kBucketed;
+    add_rows(table, opt.backends, "moldyn 4096x24 bucketed", seq.seconds,
+             seq.checksum, bopts,
+             [&](api::Backend b) { return moldyn::run(b, p, sys, bopts); });
   }
   if (group_enabled(opt, "nbf 16384x32")) {
     nbf::Params p;
@@ -470,8 +582,7 @@ int main(int argc, char** argv) {
     p.timed_steps = 10;
     p.nprocs = bench::kNodes;
     const auto seq = nbf::run_seq(p);
-    api::BackendOptions opts = nbf::default_options();
-    opts.transport = transport;
+    const api::BackendOptions opts = base(nbf::default_options());
     add_rows(table, opt.backends, "nbf 16384x32", seq.seconds, seq.checksum, opts,
              [&](api::Backend b) { return nbf::run(b, p, opts); });
   }
@@ -487,8 +598,7 @@ int main(int argc, char** argv) {
     p.warmup_steps = 0;
     p.nprocs = bench::kNodes;
     const auto seq = nbf::run_seq(p);
-    api::BackendOptions opts = nbf::default_options();
-    opts.transport = transport;
+    const api::BackendOptions opts = base(nbf::default_options());
     add_rows(table, opt.backends, "nbf-var 16384x8..32", seq.seconds, seq.checksum, opts,
              [&](api::Backend b) {
                return api::run_kernel(b, nbf::make_kernel(p), opts);
@@ -498,29 +608,37 @@ int main(int argc, char** argv) {
                return api::run_kernel(b, nbf::make_padded_kernel(p), opts);
              });
   }
-  if (group_enabled(opt, "spmv 16384x8")) {
+  if (any_group_enabled(opt, {"spmv 16384x8", "spmv 16384x8 bucketed"})) {
     spmv::Params p;
     p.num_rows = 16384;
     p.edges_per_vertex = 8;
     p.num_steps = 16;
     p.nprocs = bench::kNodes;
     const auto seq = spmv::run_seq(p);
-    api::BackendOptions opts = spmv::default_options();
-    opts.transport = transport;
+    const api::BackendOptions opts = base(spmv::default_options());
     add_rows(table, opt.backends, "spmv 16384x8", seq.seconds, seq.checksum, opts,
              [&](api::Backend b) { return spmv::run(b, p, opts); });
+    // Uniform degree-2 edge rows: one bucket, original order — bit-
+    // identical to the row-order group, traffic included (exact-gated).
+    api::BackendOptions bopts = opts;
+    bopts.exec_engine = api::ExecEngine::kBucketed;
+    add_rows(table, opt.backends, "spmv 16384x8 bucketed", seq.seconds,
+             seq.checksum, bopts,
+             [&](api::Backend b) { return spmv::run(b, p, bopts); });
   }
   if (any_group_enabled(opt, {"pagerank 16384x8", "pagerank 16384x8 tournament",
                               "coherence pagerank 16384x8 adaptive",
-                              "coherence pagerank 16384x8 adaptive tournament"})) {
+                              "coherence pagerank 16384x8 adaptive tournament",
+                              "pagerank 16384x8 diff-scalar",
+                              "pagerank 16384x8 diff-word",
+                              "pagerank 16384x8 bucketed"})) {
     pagerank::Params p;
     p.num_vertices = 16384;
     p.edges_per_vertex = 8;
     p.num_steps = 16;
     p.nprocs = bench::kNodes;
     const auto seq = pagerank::run_seq(p);
-    api::BackendOptions opts = pagerank::default_options();
-    opts.transport = transport;
+    const api::BackendOptions opts = base(pagerank::default_options());
     add_rows(table, opt.backends, "pagerank 16384x8", seq.seconds, seq.checksum, opts,
              [&](api::Backend b) { return pagerank::run(b, p, opts); });
     add_tournament_rows(table, opt.backends, "pagerank 16384x8 tournament", seq.seconds,
@@ -539,6 +657,19 @@ int main(int argc, char** argv) {
                         [&](api::Backend b, const api::BackendOptions& o) {
                           return pagerank::run(b, p, o);
                         });
+    add_diff_engine_rows(table, opt.backends, "pagerank 16384x8", seq.seconds,
+                         seq.checksum, opts,
+                         [&](api::Backend b, const api::BackendOptions& o) {
+                           return pagerank::run(b, p, o);
+                         });
+    // Power-law degrees: the bucketed engine reorders the accumulation, so
+    // the checksum differs from row order in the last bits but is still
+    // deterministic — bit-exact across backends, checksum_close to seq.
+    api::BackendOptions bopts = opts;
+    bopts.exec_engine = api::ExecEngine::kBucketed;
+    add_rows(table, opt.backends, "pagerank 16384x8 bucketed", seq.seconds,
+             seq.checksum, bopts,
+             [&](api::Backend b) { return pagerank::run(b, p, bopts); });
   }
 
   if (any_group_enabled(opt, {"bfs 16384x4", "bfs 16384x4 tournament",
@@ -557,8 +688,7 @@ int main(int argc, char** argv) {
     p.nprocs = bench::kNodes;
     if (any_group_enabled(opt, {"bfs 16384x4", "bfs 16384x4 tournament"})) {
       const auto seq = bfs::run_seq(p);
-      api::BackendOptions opts = bfs::default_options();
-      opts.transport = transport;
+      const api::BackendOptions opts = base(bfs::default_options());
       add_rows(table, opt.backends, "bfs 16384x4", seq.seconds, seq.checksum, opts,
                [&](api::Backend b) { return bfs::run(b, p, opts); });
       add_tournament_rows(table, opt.backends, "bfs 16384x4 tournament", seq.seconds,
@@ -569,8 +699,7 @@ int main(int argc, char** argv) {
     }
     if (any_group_enabled(opt, {"cc 16384x4", "cc 16384x4 tournament"})) {
       const auto seq = cc::run_seq(p);
-      api::BackendOptions opts = cc::default_options();
-      opts.transport = transport;
+      const api::BackendOptions opts = base(cc::default_options());
       add_rows(table, opt.backends, "cc 16384x4", seq.seconds, seq.checksum, opts,
                [&](api::Backend b) { return cc::run(b, p, opts); });
       add_tournament_rows(table, opt.backends, "cc 16384x4 tournament", seq.seconds,

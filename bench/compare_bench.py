@@ -54,6 +54,12 @@ METRICS = [
     # static rows gate exactly as before.
     ("replications", "repl", True, False),
     ("migrations", "migr", True, False),
+    # Diff hot-path wall time (per node): twin-vs-page scans and
+    # Diff::apply loops.  Timing-derived like `seconds`, so direction-aware
+    # in plain mode and ignored by --exact — the diff-engine A/B moves
+    # these while its traffic stays byte-identical.
+    ("diff_create_seconds", "diff-mk", False, False),
+    ("diff_apply_seconds", "diff-ap", False, False),
 ]
 
 

@@ -1,0 +1,110 @@
+// Degree-bucketed execution (ExecEngine::kBucketed): the Intelligent-
+// Unrolling idea applied to CSR work items.  At rebuild, rows are grouped by
+// exact power-of-two degree (1, 2, 4, 8, 16, 32); each uniform bucket then
+// runs through a fixed-arity inner loop — the row span carries its extent in
+// the type, so the compiler can fully unroll and vectorize the body — while
+// every other row takes the generic variable-arity tail loop.
+//
+// Bucket assignment is a pure function of `row_offsets`, which the kernel
+// contract guarantees identical on every backend, so bucketed runs reorder
+// the floating-point accumulation identically everywhere: the checksum
+// differs from the rows engine (FP addition is not associative) but stays
+// bit-exact across backends, transports, and schedules.  A workload whose
+// rows all share one power-of-two degree (moldyn pairs, spmv edges) lands in
+// a single bucket in original order, making bucketed execution bit-identical
+// to the rows engine there.
+//
+// Traffic is untouched: buckets change the order of f accumulation within a
+// step, not which pages or elements are referenced, so messages and bytes
+// are exact-gated across the A/B in the bench.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/api/kernel.hpp"
+#include "src/common/assert.hpp"
+
+namespace sdsm::api {
+
+/// Row indices grouped by degree.  Within each bucket (and the tail) rows
+/// keep ascending original order, so the full iteration order is
+/// deterministic given row_offsets alone.
+struct RowBuckets {
+  /// Uniform bucket b holds exactly the rows of degree 2^b.
+  static constexpr std::size_t kNumUniform = 6;  // degrees 1,2,4,8,16,32
+
+  static constexpr std::size_t bucket_degree(std::size_t b) {
+    return std::size_t{1} << b;
+  }
+
+  std::array<std::vector<std::uint32_t>, kNumUniform> uniform;
+  std::vector<std::uint32_t> tail;  ///< every other degree (0 included)
+
+  static RowBuckets build(std::span<const std::int64_t> row_offsets) {
+    RowBuckets rb;
+    const std::size_t n =
+        row_offsets.size() <= 1 ? 0 : row_offsets.size() - 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto deg =
+          static_cast<std::size_t>(row_offsets[i + 1] - row_offsets[i]);
+      bool placed = false;
+      for (std::size_t b = 0; b < kNumUniform; ++b) {
+        if (deg == bucket_degree(b)) {
+          rb.uniform[b].push_back(static_cast<std::uint32_t>(i));
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) rb.tail.push_back(static_cast<std::uint32_t>(i));
+    }
+    return rb;
+  }
+};
+
+namespace detail {
+
+template <std::size_t D, typename T, typename Body>
+void run_uniform_bucket(const KernelCtx<T>& ctx,
+                        std::span<const std::uint32_t> rows, Body& body) {
+  for (const std::uint32_t i : rows) {
+    // Fixed-extent span: D is a compile-time constant inside the body.
+    body(static_cast<std::size_t>(i),
+         std::span<const std::int32_t, D>(
+             ctx.refs.data() + ctx.row_offsets[i], D));
+  }
+}
+
+}  // namespace detail
+
+/// Iterates every work item exactly once, invoking
+/// `body(std::size_t i, auto row)` with row = the item's localized
+/// references.  Under the rows engine (ctx.buckets == nullptr) this is the
+/// plain 0..num_items() loop with dynamic-extent rows; under the bucketed
+/// engine the uniform buckets come first (ascending degree, fixed-extent
+/// rows) and the irregular tail last.  `body` must be degree-agnostic and
+/// order-independent up to the reduction's associativity — exactly the
+/// contract KernelSpec::compute already has across backends.
+template <typename T, typename Body>
+void for_each_row(const KernelCtx<T>& ctx, Body&& body) {
+  if (ctx.buckets == nullptr) {
+    const std::size_t n = ctx.num_items();
+    for (std::size_t i = 0; i < n; ++i) body(i, ctx.refs_of(i));
+    return;
+  }
+  const RowBuckets& rb = *ctx.buckets;
+  static_assert(RowBuckets::kNumUniform == 6);
+  detail::run_uniform_bucket<1>(ctx, rb.uniform[0], body);
+  detail::run_uniform_bucket<2>(ctx, rb.uniform[1], body);
+  detail::run_uniform_bucket<4>(ctx, rb.uniform[2], body);
+  detail::run_uniform_bucket<8>(ctx, rb.uniform[3], body);
+  detail::run_uniform_bucket<16>(ctx, rb.uniform[4], body);
+  detail::run_uniform_bucket<32>(ctx, rb.uniform[5], body);
+  for (const std::uint32_t i : rb.tail) {
+    body(static_cast<std::size_t>(i), ctx.refs_of(i));
+  }
+}
+
+}  // namespace sdsm::api

@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "src/api/bucketed.hpp"
 #include "src/api/reuse.hpp"
 #include "src/chaos/chaos_runtime.hpp"
 #include "src/chaos/executor.hpp"
@@ -85,6 +86,7 @@ KernelResult ChaosBackend::run_impl(chaos::ChaosRuntime& rt,
     std::shared_ptr<const chaos::Schedule> sched;
     std::vector<std::int32_t> localized;
     std::vector<std::int64_t> row_offsets;
+    RowBuckets buckets;  // degree buckets (ExecEngine::kBucketed only)
     std::vector<double> payload;
     std::vector<T> all_state;
 
@@ -180,6 +182,11 @@ KernelResult ChaosBackend::run_impl(chaos::ChaosRuntime& rt,
       } else {
         fresh_rebuild(ordinal);
       }
+      if (options_.exec_engine == ExecEngine::kBucketed) {
+        // Built from row_offsets alone — byte-identical input on every
+        // backend — so the bucketed iteration order matches Tmk's exactly.
+        buckets = RowBuckets::build(row_offsets);
+      }
       x_all.resize(local_n + static_cast<std::size_t>(sched->num_ghosts));
       f_all.assign(local_n + static_cast<std::size_t>(sched->num_ghosts),
                    spec.f_identity);
@@ -212,6 +219,9 @@ KernelResult ChaosBackend::run_impl(chaos::ChaosRuntime& rt,
       ctx.payload = payload;
       ctx.x = x_all;
       ctx.f = f_all;
+      if (options_.exec_engine == ExecEngine::kBucketed) {
+        ctx.buckets = &buckets;
+      }
       spec.compute(node, ctx);
       chaos::scatter<T>(cn, *sched, std::span<T>(f_all.data(), local_n),
                         std::span<const T>(f_all.data() + local_n, ghosts),

@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "src/api/bucketed.hpp"
 #include "src/api/reuse.hpp"
 #include "src/common/timer.hpp"
 #include "src/compiler/lowering.hpp"
@@ -170,6 +171,7 @@ core::DsmConfig TmkBackend::dsm_config(std::uint32_t num_nodes,
   cfg.gc_threshold_bytes = options.gc_threshold_bytes;
   cfg.write_all_enabled = options.write_all_enabled;
   cfg.coherence = options.coherence;
+  cfg.diff_engine = options.diff_engine;
   return cfg;
 }
 
@@ -270,6 +272,7 @@ KernelResult TmkBackend::run_impl(core::DsmRuntime& rt,
     std::vector<T> accum;  ///< private full-size reduction array (the
                            ///< memory cost the paper notes for Tmk)
     std::vector<std::int64_t> row_offsets;
+    RowBuckets buckets;  ///< degree buckets (ExecEngine::kBucketed only)
     std::vector<double> payload;
     std::vector<bool> touches;  ///< chunks this node's items reference
     TournamentPlan plan;        ///< this node's bracket (tournament mode)
@@ -387,6 +390,9 @@ KernelResult TmkBackend::run_impl(core::DsmRuntime& rt,
           st.touches[owner_of(spec.owner_range, g)] = true;
         }
         st.row_offsets = std::move(items.row_offsets);
+        if (options_.exec_engine == ExecEngine::kBucketed) {
+          st.buckets = RowBuckets::build(st.row_offsets);
+        }
         st.payload = std::move(items.payload);
         ++st.rebuilds;
         if (tournament) {
@@ -457,6 +463,9 @@ KernelResult TmkBackend::run_impl(core::DsmRuntime& rt,
       ctx.payload = std::span<const double>(st.payload);
       ctx.x = std::span<const T>(xp, n);
       ctx.f = std::span<T>(st.accum);
+      if (options_.exec_engine == ExecEngine::kBucketed) {
+        ctx.buckets = &st.buckets;
+      }
       spec.compute(node, ctx);
 
       if (!tournament) {
@@ -713,6 +722,10 @@ KernelResult TmkBackend::run_impl(core::DsmRuntime& rt,
   res.overhead_seconds =
       (warm_scan_s + static_cast<double>(timed.scan_ns) / 1e9) /
       rt.num_local_nodes();
+  res.diff_create_seconds =
+      static_cast<double>(timed.diff_create_ns) / 1e9 / rt.num_local_nodes();
+  res.diff_apply_seconds =
+      static_cast<double>(timed.diff_apply_ns) / 1e9 / rt.num_local_nodes();
   res.rebuilds = state[rep].rebuilds;
   for (const NodeId q : rt.local_ids()) {
     const PerNode& st = state[q];

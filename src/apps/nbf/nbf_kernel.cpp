@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/api/bucketed.hpp"
+
 namespace sdsm::apps::nbf {
 
 namespace {
@@ -31,8 +33,8 @@ api::KernelSpec<double> make_base(const Params& p) {
   // molecule itself is harmless (pair_force(x, x) == 0), which is exactly
   // how the padded variant reuses this body unchanged.
   spec.compute = [](api::IrregularNode&, const api::KernelCtx<double>& ctx) {
-    for (std::size_t i = 0; i < ctx.num_items(); ++i) {
-      const auto row = ctx.refs_of(i);
+    api::for_each_row(ctx, [&ctx](std::size_t, auto row) {
+      if (row.empty()) return;
       const auto li = static_cast<std::size_t>(row[0]);
       const double xi = ctx.x[li];
       for (std::size_t j = 1; j < row.size(); ++j) {
@@ -41,7 +43,7 @@ api::KernelSpec<double> make_base(const Params& p) {
         ctx.f[li] += d;
         ctx.f[lq] -= d;
       }
-    }
+    });
   };
 
   spec.update = [dt = p.dt](std::span<double> x, std::span<const double> f) {

@@ -66,6 +66,8 @@ struct DsmStats {
   Counter t_close_ns;      ///< inside close_interval()
   Counter t_metas_ns;      ///< inside process_metas()
   Counter t_wait_ns;       ///< inside fetch_pages(): blocked on replies
+  Counter diff_create_ns;  ///< twin-vs-page scans (Diff::create/whole)
+  Counter diff_apply_ns;   ///< Diff::apply loops (fetch replies + inline)
 
   /// Point-in-time copy of every counter.  Subtracting two snapshots scopes
   /// the stats to the interval between them, so a long-lived runtime (the
@@ -103,6 +105,8 @@ struct DsmStats {
     std::uint64_t t_close_ns = 0;
     std::uint64_t t_metas_ns = 0;
     std::uint64_t t_wait_ns = 0;
+    std::uint64_t diff_create_ns = 0;
+    std::uint64_t diff_apply_ns = 0;
 
     Snapshot operator-(const Snapshot& rhs) const {
       Snapshot d;
@@ -139,6 +143,8 @@ struct DsmStats {
       d.t_close_ns = t_close_ns - rhs.t_close_ns;
       d.t_metas_ns = t_metas_ns - rhs.t_metas_ns;
       d.t_wait_ns = t_wait_ns - rhs.t_wait_ns;
+      d.diff_create_ns = diff_create_ns - rhs.diff_create_ns;
+      d.diff_apply_ns = diff_apply_ns - rhs.diff_apply_ns;
       return d;
     }
 
@@ -179,6 +185,8 @@ struct DsmStats {
     s.t_close_ns = t_close_ns.get();
     s.t_metas_ns = t_metas_ns.get();
     s.t_wait_ns = t_wait_ns.get();
+    s.diff_create_ns = diff_create_ns.get();
+    s.diff_apply_ns = diff_apply_ns.get();
     return s;
   }
 
@@ -207,6 +215,8 @@ struct DsmStats {
     t_close_ns.reset();
     t_metas_ns.reset();
     t_wait_ns.reset();
+    diff_create_ns.reset();
+    diff_apply_ns.reset();
     lock_acquires.reset();
     barriers.reset();
     gc_runs.reset();

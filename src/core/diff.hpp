@@ -8,23 +8,46 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "src/common/assert.hpp"
 
 namespace sdsm::core {
 
+/// Selects the twin-vs-page scan implementation used by Diff::create.  Both
+/// engines emit EXACT maximal runs of differing bytes, so the encoded bytes
+/// are identical — the wire format is engine-independent and A/B rows can be
+/// gated exactly on byte counts.
+enum class DiffEngine : std::uint8_t {
+  kScalar = 0,  ///< byte-at-a-time reference loop
+  kWord = 1,    ///< uint64 compare, byte fixup only inside a differing word
+};
+
+inline constexpr DiffEngine kDefaultDiffEngine = DiffEngine::kWord;
+
+/// Stable display name: "scalar" | "word".
+const char* diff_engine_name(DiffEngine e);
+
+/// Parses "scalar" | "word" case-insensitively; nullopt otherwise.
+std::optional<DiffEngine> parse_diff_engine(std::string_view name);
+
 class Diff {
  public:
   Diff() = default;
 
   /// Encodes the bytes of `current` that differ from `twin`.
-  /// Runs shorter than `merge_gap` bytes apart are coalesced: a run header
-  /// costs 4 bytes, so re-sending up to 4 unchanged bytes is cheaper than
-  /// starting a new run.
+  /// Runs are EXACT maximal stretches of differing bytes.  A diff must never
+  /// carry unmodified bytes: concurrent writers of one page produce diffs
+  /// that merge in arbitrary relative order, and a bridged gap would ship
+  /// this writer's (stale) copy of bytes some other writer owns.  Because
+  /// run segmentation is a pure function of the data, every engine produces
+  /// byte-identical encodings.
   static Diff create(std::span<const std::byte> current,
-                     std::span<const std::byte> twin);
+                     std::span<const std::byte> twin,
+                     DiffEngine engine = kDefaultDiffEngine);
 
   /// Encodes the entire page as a single run (WRITE_ALL pages: "the entire
   /// page, and not the diff, must be sent").
@@ -33,7 +56,7 @@ class Diff {
   /// Reconstructs a diff received from the wire.
   static Diff from_bytes(std::vector<std::uint8_t> encoded);
 
-  /// Overwrites the encoded byte ranges in `page`.
+  /// Overwrites the encoded byte ranges in `page` (memcpy-width stores).
   void apply(std::span<std::byte> page) const;
 
   /// True when the diff consists of one run covering all `page_size` bytes.

@@ -379,6 +379,7 @@ void DsmNode::complete_fetch(PendingFetch pf) {
   // Apply in HB order per page; patch dirty pages' twins as well so later
   // local diffs do not re-ship remote bytes.  Diffs land through the
   // always-writable mirror view: no protection flip is needed to apply.
+  const Timer apply_timer;
   std::vector<PageId> to_read, to_rw;
   for (auto& [page, contribs] : got) {
     PageMeta& pm = pages_[page];
@@ -408,6 +409,8 @@ void DsmNode::complete_fetch(PendingFetch pf) {
       to_read.push_back(page);
     }
   }
+  stats().diff_apply_ns.add(
+      static_cast<std::uint64_t>(apply_timer.elapsed_s() * 1e9));
   set_prot_batch(std::move(to_read), vm::Prot::kRead);
   set_prot_batch(std::move(to_rw), vm::Prot::kReadWrite);
 
@@ -481,6 +484,7 @@ std::optional<IntervalMeta> DsmNode::close_interval() {
   std::vector<PageId> banked_only;  // early-diff pages (mods already stored)
   std::vector<PageId> downgrade;
   downgrade.reserve(dirty_pages_.size());
+  const Timer create_timer;
   for (const PageId page : dirty_pages_) {
     PageMeta& pm = pages_[page];
     SDSM_ASSERT(pm.dirty);
@@ -502,7 +506,8 @@ std::optional<IntervalMeta> DsmNode::close_interval() {
       encoded.push_back(Encoded{page, Diff::whole(data), true});
     } else {
       Diff d = Diff::create(
-          data, std::span<const std::byte>(pm.twin.get(), region_.page_size()));
+          data, std::span<const std::byte>(pm.twin.get(), region_.page_size()),
+          config().diff_engine);
       if (!d.empty()) {
         encoded.push_back(Encoded{page, std::move(d), false});
       } else {
@@ -517,6 +522,8 @@ std::optional<IntervalMeta> DsmNode::close_interval() {
       downgrade.push_back(page);
     }
   }
+  stats().diff_create_ns.add(
+      static_cast<std::uint64_t>(create_timer.elapsed_s() * 1e9));
   set_prot_batch(std::move(downgrade), vm::Prot::kRead);
   dirty_pages_.clear();
 
@@ -612,10 +619,15 @@ void DsmNode::process_metas(std::vector<IntervalMeta> metas) {
         // sharing under locks): bank the local modifications now so the
         // remote diffs can merge underneath them later.
         SDSM_ASSERT(!pm.write_all);  // WRITE_ALL pages are barrier-ordered
+        const Timer create_timer;
         std::span<const std::byte> data(region_.page_ptr(wn.page),
                                         region_.page_size());
-        Diff d = Diff::create(data, std::span<const std::byte>(
-                                        pm.twin.get(), region_.page_size()));
+        Diff d = Diff::create(data,
+                              std::span<const std::byte>(pm.twin.get(),
+                                                         region_.page_size()),
+                              config().diff_engine);
+        stats().diff_create_ns.add(
+            static_cast<std::uint64_t>(create_timer.elapsed_s() * 1e9));
         SDSM_TRACE(wn.page, "early-diff open_seq=%u bytes=%zu", my_open_seq,
                    d.encoded_size());
         if (!d.empty()) {
@@ -676,6 +688,7 @@ void DsmNode::eager_apply_inline(std::vector<PageId> pages) {
   // like complete_fetch.  A whole-page diff anywhere in the stack simply
   // overwrites what earlier entries wrote; entries HB-after it are
   // disjoint from it under the data-race-free contract.
+  const Timer apply_timer;
   std::vector<PageId> to_read;
   to_read.reserve(ready.size());
   for (const PageId page : ready) {
@@ -690,6 +703,8 @@ void DsmNode::eager_apply_inline(std::vector<PageId> pages) {
     --invalid_pages_;
     to_read.push_back(page);
   }
+  stats().diff_apply_ns.add(
+      static_cast<std::uint64_t>(apply_timer.elapsed_s() * 1e9));
   set_prot_batch(std::move(to_read), vm::Prot::kRead);
 
   // Pass 3 (locked): cache the applied diffs — this node is now a holder

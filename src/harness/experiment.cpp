@@ -70,14 +70,17 @@ void Table::print(std::ostream& os) const {
 
 void Table::print_csv(std::ostream& os) const {
   os << "# csv: group,variant,seconds,speedup,seq_seconds,messages,"
-        "megabytes,overhead_seconds,refs,max_row,schedule,barriers_per_step,"
+        "megabytes,overhead_seconds,diff_create_seconds,diff_apply_seconds,"
+        "refs,max_row,schedule,barriers_per_step,"
         "rebuilds,jobs_per_sec,cache_hits\n";
   for (const Row& r : rows_) {
     os << "# csv: " << r.group << ',' << r.variant << ',' << std::fixed
        << std::setprecision(6) << r.seconds << ',' << std::setprecision(3)
        << r.speedup << ',' << std::setprecision(6) << r.seq_seconds << ','
        << r.messages << ',' << std::setprecision(3) << r.megabytes << ','
-       << std::setprecision(6) << r.overhead_seconds << ',' << r.refs << ','
+       << std::setprecision(6) << r.overhead_seconds << ','
+       << r.diff_create_seconds << ',' << r.diff_apply_seconds << ','
+       << r.refs << ','
        << r.max_row << ',' << r.schedule << ',' << std::setprecision(3)
        << r.barriers_per_step << ',' << r.rebuilds << ','
        << std::setprecision(3) << r.jobs_per_sec << ',' << r.cache_hits
@@ -100,7 +103,10 @@ void Table::print_json(std::ostream& os) const {
        << ", \"seq_seconds\": " << std::setprecision(6) << r.seq_seconds
        << ", \"messages\": " << r.messages << ", \"megabytes\": "
        << std::setprecision(3) << r.megabytes << ", \"overhead_seconds\": "
-       << std::setprecision(6) << r.overhead_seconds << ", \"refs\": "
+       << std::setprecision(6) << r.overhead_seconds
+       << ", \"diff_create_seconds\": " << r.diff_create_seconds
+       << ", \"diff_apply_seconds\": " << r.diff_apply_seconds
+       << ", \"refs\": "
        << r.refs << ", \"max_row\": " << r.max_row << ", \"schedule\": ";
     json_string(os, r.schedule);
     os << ", \"barriers_per_step\": " << std::setprecision(3)

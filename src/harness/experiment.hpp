@@ -63,6 +63,13 @@ struct Row {
   std::uint64_t replications = 0;
   std::uint64_t migrations = 0;
   std::uint64_t ghost_promotions = 0;
+  /// Per-node wall time in the diff hot paths (Tmk rows; zero on CHAOS and
+  /// non-kernel rows): twin-vs-page scans and Diff::apply loops.  The
+  /// columns the --diff-engine A/B moves — its traffic is byte-identical
+  /// by construction.  Appended after the coherence counters so existing
+  /// positional initializers stay valid.
+  double diff_create_seconds = 0;
+  double diff_apply_seconds = 0;
 };
 
 class Table {

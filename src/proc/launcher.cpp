@@ -283,6 +283,7 @@ LaunchResult run_job(const serve::JobRequest& req, const LaunchOptions& opt) {
   agg = reps[0].result;
   agg.checksum = 0;
   double overhead_sum = 0;
+  double diff_create_sum = 0, diff_apply_sum = 0;
   for (const WorkerReport& rep : reps) {
     const api::KernelResult& k = rep.result;
     // Globally uniform fields must agree across workers; disagreement
@@ -296,6 +297,8 @@ LaunchResult run_job(const serve::JobRequest& req, const LaunchOptions& opt) {
     }
     agg.checksum += k.checksum;
     overhead_sum += k.overhead_seconds;
+    diff_create_sum += k.diff_create_seconds;
+    diff_apply_sum += k.diff_apply_seconds;
     if (rep.node != reps[0].node) {
       agg.seconds = std::max(agg.seconds, k.seconds);
       agg.messages += k.messages;
@@ -319,6 +322,8 @@ LaunchResult run_job(const serve::JobRequest& req, const LaunchOptions& opt) {
   }
   agg.megabytes = static_cast<double>(agg.bytes) / 1e6;
   agg.overhead_seconds = overhead_sum / opt.nprocs;
+  agg.diff_create_seconds = diff_create_sum / opt.nprocs;
+  agg.diff_apply_seconds = diff_apply_sum / opt.nprocs;
   out.ok = true;
 
   if (made_tmp && !opt.keep_logs) {

@@ -6,7 +6,7 @@ namespace sdsm::proc {
 
 namespace {
 constexpr std::uint32_t kReportMagic = 0x5DD50010;
-constexpr std::uint32_t kReportVersion = 1;
+constexpr std::uint32_t kReportVersion = 2;
 }  // namespace
 
 void encode(Writer& w, const WorkerReport& r) {
@@ -23,6 +23,8 @@ void encode(Writer& w, const WorkerReport& r) {
   w.put(k.megabytes);
   w.put(k.bytes);
   w.put(k.overhead_seconds);
+  w.put(k.diff_create_seconds);
+  w.put(k.diff_apply_seconds);
   w.put(k.rebuilds);
   w.put(k.steps_run);
   w.put(k.refs);
@@ -59,6 +61,8 @@ WorkerReport decode_report(Reader& r) {
   k.megabytes = r.get<double>();
   k.bytes = r.get<std::uint64_t>();
   k.overhead_seconds = r.get<double>();
+  k.diff_create_seconds = r.get<double>();
+  k.diff_apply_seconds = r.get<double>();
   k.rebuilds = r.get<std::int64_t>();
   k.steps_run = r.get<std::int64_t>();
   k.refs = r.get<std::uint64_t>();

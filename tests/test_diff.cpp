@@ -2,6 +2,7 @@
 // capture, merge behaviour of concurrent diffs, and size properties.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
@@ -245,6 +246,171 @@ TEST_P(DiffProperty, CarriesOnlyModifiedBytes) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DiffProperty, ::testing::Range(0, 6));
+
+// --- Engine equivalence ------------------------------------------------------
+//
+// The word engine must be a pure speedup: run segmentation is a function of
+// the data alone, so Diff::create must produce byte-identical encodings
+// under both engines on every input — the property that lets --diff-engine
+// change without any wire-format version bump.
+
+/// Asserts byte-identical encodings across engines plus a round-trip apply
+/// of the word encoding.
+void expect_engines_agree(const std::vector<std::byte>& cur,
+                          const std::vector<std::byte>& twin) {
+  const Diff scalar = Diff::create(cur, twin, DiffEngine::kScalar);
+  const Diff word = Diff::create(cur, twin, DiffEngine::kWord);
+  ASSERT_EQ(scalar.bytes(), word.bytes());
+  auto target = twin;
+  word.apply(target);
+  EXPECT_EQ(target, cur);
+}
+
+TEST(DiffEngine, NamesAndParsingRoundTrip) {
+  EXPECT_STREQ(diff_engine_name(DiffEngine::kScalar), "scalar");
+  EXPECT_STREQ(diff_engine_name(DiffEngine::kWord), "word");
+  EXPECT_EQ(parse_diff_engine("scalar"), DiffEngine::kScalar);
+  EXPECT_EQ(parse_diff_engine("byte"), DiffEngine::kScalar);
+  EXPECT_EQ(parse_diff_engine("Word"), DiffEngine::kWord);
+  EXPECT_EQ(parse_diff_engine("simd"), std::nullopt);
+}
+
+TEST(DiffEngine, CleanPageEncodesEmptyBothWays) {
+  const auto twin = page_of(7);
+  expect_engines_agree(twin, twin);
+  EXPECT_TRUE(Diff::create(twin, twin, DiffEngine::kWord).empty());
+}
+
+TEST(DiffEngine, SingleByteFlipsAtWordBoundaries) {
+  // Offsets straddling every interesting uint64 lane position: word
+  // starts, word ends, the page edges, and bytes adjacent to each.
+  const std::size_t offsets[] = {0,    1,    6,    7,    8,    9,
+                                 15,   16,   17,   31,   32,   63,
+                                 64,   4087, 4088, 4094, 4095};
+  for (const std::size_t off : offsets) {
+    auto twin = page_of(0x40);
+    auto cur = twin;
+    cur[off] ^= std::byte{0xff};
+    SCOPED_TRACE(off);
+    expect_engines_agree(cur, twin);
+    EXPECT_EQ(Diff::create(cur, twin, DiffEngine::kWord).num_runs(), 1u);
+  }
+}
+
+TEST(DiffEngine, RunsStraddlingWordBoundaries) {
+  // A run crossing a word boundary, a word-aligned whole-word run, and a
+  // pair of runs whose one-byte gap sits inside a single word — the case
+  // where the word scan must not fuse what the byte scan splits.
+  struct Run {
+    std::size_t begin, end;
+  };
+  const std::vector<std::vector<Run>> cases = {
+      {{5, 11}},            // crosses the 8-byte boundary
+      {{8, 16}},            // exactly one aligned word
+      {{0, 8}, {9, 17}},    // gap byte 8: first byte of the second word
+      {{3, 4}, {5, 6}},     // two runs, gap inside one word
+      {{60, 68}, {70, 90}}, // mixed: straddle, gap, long run
+  };
+  for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+    auto twin = page_of(0x11);
+    auto cur = twin;
+    for (const Run& r : cases[ci]) {
+      for (std::size_t i = r.begin; i < r.end; ++i) cur[i] = std::byte{0xee};
+    }
+    SCOPED_TRACE(ci);
+    expect_engines_agree(cur, twin);
+    EXPECT_EQ(Diff::create(cur, twin, DiffEngine::kWord).num_runs(),
+              cases[ci].size());
+  }
+}
+
+TEST(DiffEngine, PageAlignedRunsAgree) {
+  // Whole page-aligned stretches dirty — the fast path the word engine
+  // exists for (both the all-equal skip and the all-different extension).
+  for (const std::size_t quarter : {0u, 1u, 2u, 3u}) {
+    auto twin = page_of(0);
+    auto cur = twin;
+    for (std::size_t i = quarter * (kPage / 4); i < (quarter + 1) * (kPage / 4);
+         ++i) {
+      cur[i] = std::byte{0x99};
+    }
+    SCOPED_TRACE(quarter);
+    expect_engines_agree(cur, twin);
+  }
+}
+
+TEST(DiffEngine, FullyDirtyPageAgreesAndIsWhole) {
+  const auto twin = page_of(0);
+  const auto cur = page_of(1);
+  expect_engines_agree(cur, twin);
+  EXPECT_TRUE(Diff::create(cur, twin, DiffEngine::kWord).is_whole(kPage));
+}
+
+TEST(DiffEngine, AlternatingBytesAgree) {
+  // Worst case for the run encoder: every other byte modified, so every
+  // word holds four one-byte runs and the word scan degenerates to the
+  // byte loop without ever bridging a gap.
+  auto twin = page_of(0);
+  auto cur = twin;
+  for (std::size_t i = 0; i < kPage; i += 2) cur[i] = std::byte{0x77};
+  expect_engines_agree(cur, twin);
+  EXPECT_EQ(Diff::create(cur, twin, DiffEngine::kWord).num_runs(), kPage / 2);
+}
+
+TEST(DiffEngine, SubWordBuffersAgree) {
+  // Buffers shorter than one uint64 (and every length around it) exercise
+  // the byte-loop tails of both scan helpers.
+  sdsm::Rng rng(1234);
+  for (std::size_t n = 0; n <= 2 * sizeof(std::uint64_t) + 1; ++n) {
+    for (int trial = 0; trial < 8; ++trial) {
+      std::vector<std::byte> twin(n), cur(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        twin[i] = std::byte{static_cast<unsigned char>(rng.next_below(4))};
+        cur[i] = std::byte{static_cast<unsigned char>(rng.next_below(4))};
+      }
+      SCOPED_TRACE(n);
+      expect_engines_agree(cur, twin);
+    }
+  }
+}
+
+TEST(DiffEngine, MaxRegionFullyDirtyUsesLenZeroEncoding) {
+  // 65536 dirty bytes: the one case where run_len wraps to the encoded 0.
+  const std::vector<std::byte> twin(65536, std::byte{0});
+  const std::vector<std::byte> cur(65536, std::byte{1});
+  expect_engines_agree(cur, twin);
+  EXPECT_TRUE(Diff::create(cur, twin, DiffEngine::kWord).is_whole(65536));
+}
+
+class DiffEngine2 : public ::testing::TestWithParam<int> {};
+
+TEST_P(DiffEngine2, RandomPairsEncodeIdentically) {
+  sdsm::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7907 + 3);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto twin = page_of(0);
+    for (auto& b : twin) {
+      b = std::byte{static_cast<unsigned char>(rng.next_below(256))};
+    }
+    auto cur = twin;
+    // Mix point writes and short memset-style stretches, like real kernels.
+    const auto npoint = rng.next_below(300);
+    for (std::uint64_t m = 0; m < npoint; ++m) {
+      cur[rng.next_below(kPage)] =
+          std::byte{static_cast<unsigned char>(rng.next_below(256))};
+    }
+    const auto nstretch = rng.next_below(8);
+    for (std::uint64_t s = 0; s < nstretch; ++s) {
+      const std::size_t begin = rng.next_below(kPage);
+      const std::size_t len = 1 + rng.next_below(128);
+      for (std::size_t i = begin; i < std::min(kPage, begin + len); ++i) {
+        cur[i] = std::byte{static_cast<unsigned char>(rng.next_below(256))};
+      }
+    }
+    expect_engines_agree(cur, twin);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiffEngine2, ::testing::Range(0, 6));
 
 }  // namespace
 }  // namespace sdsm::core

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Doc hygiene checks for README.md, ROADMAP.md, and docs/.
+
+Two checks, both cheap enough to run on every push:
+
+1.  Relative markdown links resolve: the target file exists, and when
+    the link carries a #fragment, a heading in the target generates
+    that anchor (GitHub slug rules: lowercase, punctuation stripped,
+    spaces to hyphens, -N suffixes for duplicates).  External links
+    (http/https/mailto) are not fetched — CI must not depend on the
+    internet being up.
+
+2.  No flag drift: every `--flag` named in the docs exists somewhere a
+    user could actually pass it — the harness::Options parser
+    (src/harness/options.cpp), a bench extra consumed via
+    opt.flag()/opt.value() in bench/*.cpp, or an argparse option in
+    bench/*.py.  Docs describing a flag the parsers no longer accept
+    is exactly the rot this catches.
+
+Stdlib only; exits non-zero with one line per problem.
+"""
+
+import glob
+import os
+import re
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+DOC_FILES = ["README.md", "ROADMAP.md"] + sorted(
+    os.path.relpath(p, ROOT) for p in glob.glob(os.path.join(ROOT, "docs", "*.md"))
+)
+
+# Flags legitimately documented but owned by external tools (none today;
+# add e.g. ctest's --output-on-failure here if the docs ever name it).
+EXTERNAL_FLAGS = set()
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$")
+FENCE_RE = re.compile(r"^(```|~~~)")
+DOC_FLAG_RE = re.compile(r"`(--[a-z][a-z0-9-]*)")
+CPP_FLAG_RE = re.compile(r'"(--[a-z][a-z0-9-]*)"')
+EXTRA_RE = re.compile(r'opt\.(?:flag|value)\("([a-z][a-z0-9-]*)"\)')
+PY_FLAG_RE = re.compile(r'add_argument\(\s*"(--[a-z][a-z0-9-]*)"')
+
+
+def github_slug(heading):
+    text = re.sub(r"[`*_]", "", heading.strip())
+    text = text.lower()
+    text = re.sub(r"[^a-z0-9 \-]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path):
+    """All anchors the file's headings generate, with -N dedup suffixes."""
+    anchors = set()
+    counts = {}
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if not m:
+                continue
+            slug = github_slug(m.group(2))
+            n = counts.get(slug, 0)
+            counts[slug] = n + 1
+            anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def check_links(relpath, errors):
+    path = os.path.join(ROOT, relpath)
+    base = os.path.dirname(path)
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for target in LINK_RE.findall(line):
+                if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # URL scheme
+                    continue
+                file_part, _, anchor = target.partition("#")
+                dest = path if not file_part else os.path.normpath(
+                    os.path.join(base, file_part))
+                if not os.path.isfile(dest):
+                    errors.append(
+                        f"{relpath}:{lineno}: broken link: {target}")
+                    continue
+                if anchor and dest.endswith(".md") and \
+                        anchor not in anchors_of(dest):
+                    errors.append(
+                        f"{relpath}:{lineno}: missing anchor: {target}")
+
+
+def known_flags():
+    flags = set(EXTERNAL_FLAGS)
+    with open(os.path.join(ROOT, "src/harness/options.cpp"),
+              encoding="utf-8") as f:
+        flags.update(CPP_FLAG_RE.findall(f.read()))
+    for pattern in ("bench/*.cpp", "bench/*.py"):
+        for p in glob.glob(os.path.join(ROOT, pattern)):
+            with open(p, encoding="utf-8") as f:
+                src = f.read()
+            flags.update("--" + x for x in EXTRA_RE.findall(src))
+            flags.update(PY_FLAG_RE.findall(src))
+    return flags
+
+
+def check_flags(relpath, known, errors):
+    with open(os.path.join(ROOT, relpath), encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            for flag in DOC_FLAG_RE.findall(line):
+                if flag not in known:
+                    errors.append(
+                        f"{relpath}:{lineno}: documented flag {flag} not "
+                        f"accepted by any parser")
+
+
+def main():
+    errors = []
+    for relpath in DOC_FILES:
+        if not os.path.isfile(os.path.join(ROOT, relpath)):
+            errors.append(f"{relpath}: expected doc file is missing")
+    known = known_flags()
+    for relpath in DOC_FILES:
+        if os.path.isfile(os.path.join(ROOT, relpath)):
+            check_links(relpath, errors)
+            check_flags(relpath, known, errors)
+    for e in errors:
+        print(e, file=sys.stderr)
+    if errors:
+        print(f"check_docs: {len(errors)} problem(s)", file=sys.stderr)
+        return 1
+    print(f"check_docs: {len(DOC_FILES)} files clean "
+          f"({len(known)} known flags)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
