@@ -466,9 +466,11 @@ int main(int argc, char** argv) {
         "  --transport=inproc|socket\n"
         "      message fabric (default inproc; the socket run writes\n"
         "      BENCH_api_socket.json so the trajectories never collide)\n"
-        "  --backend=chaos|tmk-base|tmk-optimized\n"
+        "  --backend=chaos|tmk-base|tmk-optimized|hybrid\n"
         "      restrict the backend sweep; comma-separate or repeat the\n"
-        "      flag for a subset (default all three)\n"
+        "      flag for a subset (default the paper's three; hybrid joins\n"
+        "      the sweep only when named — its dedicated \"hybrid ...\"\n"
+        "      groups run regardless)\n"
         "  --schedule=serial|tournament\n"
         "      Tmk reduction-round engine for binaries that honor it; the\n"
         "      bench runs its own serial-vs-tournament A/B groups instead\n"
@@ -492,7 +494,8 @@ int main(int argc, char** argv) {
         "      run only the groups whose name contains one of the filters,\n"
         "      e.g. --group=proc, --group=fault,serve, --group=coherence\n"
         "      (the adaptive-coherence A/B groups), --group=diff- (the\n"
-        "      diff-engine A/B groups), or --group=bucketed.  A filtered\n"
+        "      diff-engine A/B groups), --group=bucketed, or --group=hybrid\n"
+        "      (the mixed-assignment hybrid-backend groups).  A filtered\n"
         "      run never rewrites the bench JSON: the committed baseline\n"
         "      holds every group, and a subset would fail the exact gate\n"
         "      on the missing rows\n"
@@ -515,6 +518,7 @@ int main(int argc, char** argv) {
       "comparison, the moldyn/pagerank/bfs/cc tournament-schedule A/B, the "
       "moldyn/pagerank adaptive-coherence A/B, the moldyn/pagerank "
       "diff-engine A/B, the moldyn/pagerank/spmv bucketed-execution rows, "
+      "the moldyn/pagerank hybrid-backend rows, "
       "and the serving-layer one-shot/miss/hit + throughput groups) "
       "x 3 backends, %u nodes, %s transport.\n\n",
       bench::kNodes, net::transport_name(transport));
@@ -525,7 +529,8 @@ int main(int argc, char** argv) {
                               "coherence moldyn 4096x24 adaptive tournament",
                               "moldyn 4096x24 diff-scalar",
                               "moldyn 4096x24 diff-word",
-                              "moldyn 4096x24 bucketed"})) {
+                              "moldyn 4096x24 bucketed",
+                              "hybrid moldyn 4096x24"})) {
     moldyn::Params p;
     p.num_molecules = 4096;
     p.num_steps = 24;
@@ -574,6 +579,16 @@ int main(int argc, char** argv) {
     add_rows(table, opt.backends, "moldyn 4096x24 bucketed", seq.seconds,
              seq.checksum, bopts,
              [&](api::Backend b) { return moldyn::run(b, p, sys, bopts); });
+    // The mixed-assignment backend: indirection reads via inspector-built
+    // gather schedules, the state partition under the page protocol.  Not
+    // part of the three-way sweep (kAllBackends), so the row is added
+    // unconditionally here.  The checksum must match every single-strategy
+    // row of this workload bit-exactly; the message column — hybrid vs
+    // the best single backend above — is the point of the row
+    // (exact-gated).
+    add_rows(table, {api::Backend::kHybrid}, "hybrid moldyn 4096x24",
+             seq.seconds, seq.checksum, opts,
+             [&](api::Backend b) { return moldyn::run(b, p, sys, opts); });
   }
   if (group_enabled(opt, "nbf 16384x32")) {
     nbf::Params p;
@@ -631,7 +646,8 @@ int main(int argc, char** argv) {
                               "coherence pagerank 16384x8 adaptive tournament",
                               "pagerank 16384x8 diff-scalar",
                               "pagerank 16384x8 diff-word",
-                              "pagerank 16384x8 bucketed"})) {
+                              "pagerank 16384x8 bucketed",
+                              "hybrid pagerank 16384x8"})) {
     pagerank::Params p;
     p.num_vertices = 16384;
     p.edges_per_vertex = 8;
@@ -670,6 +686,12 @@ int main(int argc, char** argv) {
     add_rows(table, opt.backends, "pagerank 16384x8 bucketed", seq.seconds,
              seq.checksum, bopts,
              [&](api::Backend b) { return pagerank::run(b, p, bopts); });
+    // Mixed assignment on the power-law graph (see the moldyn hybrid
+    // group): bit-exact checksum against the sweep rows, exact-gated
+    // traffic.
+    add_rows(table, {api::Backend::kHybrid}, "hybrid pagerank 16384x8",
+             seq.seconds, seq.checksum, opts,
+             [&](api::Backend b) { return pagerank::run(b, p, opts); });
   }
 
   if (any_group_enabled(opt, {"bfs 16384x4", "bfs 16384x4 tournament",

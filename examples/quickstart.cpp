@@ -17,7 +17,7 @@
 // threads-only and is skipped in that mode.
 //
 // Build & run:   ./build/quickstart [--transport=inproc|socket]
-//                                   [--backend=chaos|tmk-base|tmk-optimized]
+//                                   [--backend=chaos|tmk-base|tmk-optimized|hybrid]
 //                                   [--mode=threads|processes]
 //                                   [--coherence=static|adaptive]
 #include <cstdio>
@@ -77,7 +77,7 @@ int main(int argc, char** argv) {
                 "cross-process page\nfaults; counts match the threaded "
                 "socket run exactly.\n", params.nprocs);
   } else {
-    std::printf("\nSame kernel, three runtimes; checksums agree, message\n"
+    std::printf("\nSame kernel, one spec per runtime; checksums agree, message\n"
                 "counts show demand paging vs aggregation vs inspector/"
                 "executor.\n");
   }

@@ -14,6 +14,8 @@ const char* backend_name(Backend b) {
       return "Tmk base";
     case Backend::kTmkOptimized:
       return "Tmk optimized";
+    case Backend::kHybrid:
+      return "hybrid";
   }
   return "?";
 }
@@ -28,6 +30,7 @@ std::optional<Backend> parse_backend(std::string_view name) {
   if (s == "tmk-optimized" || s == "tmk-opt" || s == "optimized") {
     return Backend::kTmkOptimized;
   }
+  if (s == "hybrid") return Backend::kHybrid;
   return std::nullopt;
 }
 

@@ -24,17 +24,25 @@ enum class Backend : std::uint8_t {
   kChaos,         ///< CHAOS-style message passing: inspector/executor
   kTmkBase,       ///< TreadMarks DSM, demand paging only
   kTmkOptimized,  ///< TreadMarks DSM + compiler-driven Validate aggregation
+  /// Mixed per-region assignment (src/api/plan/): the state partition
+  /// stays under the Tmk page protocol while the indirection-driven reads
+  /// and reductions are resolved by inspector-built schedules riding the
+  /// DSM's application-data plane.
+  kHybrid,
 };
 
+/// The paper's three-way sweep.  kHybrid is deliberately NOT here: the
+/// committed baselines (BENCH_api.json, test_api checksum tables) enumerate
+/// exactly the paper's backends, and hybrid rows/groups are additive.
 inline constexpr Backend kAllBackends[] = {Backend::kChaos, Backend::kTmkBase,
                                            Backend::kTmkOptimized};
 
 /// Stable display name: "CHAOS" | "Tmk base" | "Tmk optimized" (the labels
-/// the paper's tables use).
+/// the paper's tables use) | "hybrid".
 const char* backend_name(Backend b);
 
-/// Parses "chaos" | "tmk-base" | "tmk-optimized" (plus the display names,
-/// case-insensitively); nullopt when unrecognized.
+/// Parses "chaos" | "tmk-base" | "tmk-optimized" | "hybrid" (plus the
+/// display names, case-insensitively); nullopt when unrecognized.
 std::optional<Backend> parse_backend(std::string_view name);
 
 /// How the Tmk backends order the pipelined update of the shared reduction

@@ -35,10 +35,6 @@ class ChaosBackend final : public IrregularRuntime {
                       const KernelSpec<double3>& spec, RunSession* session);
 
  private:
-  template <typename T>
-  KernelResult run_impl(chaos::ChaosRuntime& rt, const KernelSpec<T>& spec,
-                        RunSession* session);
-
   std::uint32_t num_nodes_;
   BackendOptions options_;
 };

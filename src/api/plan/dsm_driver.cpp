@@ -1,0 +1,83 @@
+#include "src/api/plan/dsm_driver.hpp"
+
+#include "src/compiler/parser.hpp"
+#include "src/compiler/transform.hpp"
+
+namespace sdsm::api::plan::detail {
+
+namespace {
+
+// The generic irregular kernel in the repository's mini-Fortran.  Every
+// KernelSpec has this shape: the node's CSR rows are concatenated into its
+// slice of the shared flat index array LIST, so one offset-driven scan
+// J = MY_REF_START .. MY_REF_END walks every reference of every row —
+// rows of any length, no K stride, no padding.  Running it through the
+// real front-end — parse, section analysis, reduction privatization,
+// Validate insertion — reproduces the paper's tool path for every
+// workload; only the bindings (array addresses, per-node ref bounds)
+// differ per kernel and per node.  Row boundaries are irrelevant to the
+// communication set (they partition the same references), so they stay in
+// the node-private row_offsets the C++ body receives.
+constexpr const char* kIrregularKernelSource =
+    "SUBROUTINE IRREGULARKERNEL\n"
+    "  SHARED REAL X(N), F(N)\n"
+    "  SHARED INTEGER LIST(L)\n"
+    "  INTEGER J, Q\n"
+    "  REAL D\n"
+    "DO J = MY_REF_START, MY_REF_END\n"
+    "  Q = LIST(J)\n"
+    "  D = X(Q)\n"
+    "  F(Q) = F(Q) + D\n"
+    "ENDDO\n"
+    "END\n";
+
+}  // namespace
+
+const compiler::Stmt& compiled_validate_stmt() {
+  static const compiler::TransformResult* result = [] {
+    auto* r = new compiler::TransformResult(
+        compiler::transform(compiler::parse(kIrregularKernelSource)));
+    SDSM_REQUIRE(r->validates_inserted == 1);
+    return r;
+  }();
+  return *result->transformed.units[0].body[0];
+}
+
+TournamentPlan build_tournament_plan(
+    NodeId me, std::uint32_t nprocs,
+    const std::vector<part::Range>& owner_range,
+    const std::vector<std::uint8_t>& touch) {
+  TournamentPlan plan;
+  std::vector<std::vector<NodeId>> contributors(nprocs);
+  for (NodeId c = 0; c < nprocs; ++c) {
+    if (owner_range[c].size() == 0) continue;
+    auto& cs = contributors[c];
+    cs.push_back(c);  // the owner seeds the chunk whether or not it touches
+    for (std::uint32_t d = 1; d < nprocs; ++d) {
+      const NodeId w = (c + nprocs - d) % nprocs;
+      if (touch[w * nprocs + c] != 0) cs.push_back(w);
+    }
+    int r = 0;
+    while ((std::size_t{1} << r) < cs.size()) ++r;
+    plan.rounds = std::max(plan.rounds, r);
+  }
+  plan.publish.resize(static_cast<std::size_t>(plan.rounds));
+  plan.combine.resize(static_cast<std::size_t>(plan.rounds));
+  for (NodeId c = 0; c < nprocs; ++c) {
+    const auto& cs = contributors[c];
+    for (int k = 0; (std::size_t{1} << k) < cs.size(); ++k) {
+      const std::size_t step = std::size_t{1} << k;
+      for (std::size_t j = 0; j + step < cs.size(); j += 2 * step) {
+        if (cs[j + step] == me) {
+          plan.publish[k].push_back(RoundOp{owner_range[c], c, cs[j]});
+        }
+        if (cs[j] == me) {
+          plan.combine[k].push_back(RoundOp{owner_range[c], c, cs[j + step]});
+        }
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace sdsm::api::plan::detail

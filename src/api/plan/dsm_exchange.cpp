@@ -1,0 +1,48 @@
+#include "src/api/plan/dsm_exchange.hpp"
+
+#include "src/common/assert.hpp"
+
+namespace sdsm::api::plan {
+
+std::vector<std::vector<std::uint8_t>> DsmExchange::exchange(
+    std::vector<std::vector<std::uint8_t>> to_peers,
+    const std::vector<bool>& recv_from, bool send_empty) {
+  const NodeId me = id();
+  const std::uint32_t nprocs = num_nodes();
+  SDSM_REQUIRE(to_peers.size() == nprocs);
+  SDSM_REQUIRE(recv_from.size() == nprocs);
+  // Split phase: all sends go out before any payload is drained, exactly
+  // as in ChaosNode::exchange, so peer service work overlaps.
+  for (NodeId p = 0; p < nprocs; ++p) {
+    if (p == me) continue;
+    if (to_peers[p].empty() && !send_empty) continue;
+    node_.send_app_data(p, std::move(to_peers[p]));
+  }
+
+  std::vector<std::vector<std::uint8_t>> from_peers(nprocs);
+  std::vector<bool> expected(nprocs, false);
+  std::uint32_t need = 0;
+  for (NodeId p = 0; p < nprocs; ++p) {
+    if (p == me || !recv_from[p]) continue;
+    if (!stash_[p].empty()) {
+      from_peers[p] = std::move(stash_[p].front());
+      stash_[p].pop_front();
+    } else {
+      expected[p] = true;
+      ++need;
+    }
+  }
+  while (need > 0) {
+    auto [src, payload] = node_.recv_app_data();
+    if (expected[src]) {
+      from_peers[src] = std::move(payload);
+      expected[src] = false;
+      --need;
+    } else {
+      stash_[src].push_back(std::move(payload));
+    }
+  }
+  return from_peers;
+}
+
+}  // namespace sdsm::api::plan

@@ -1,0 +1,71 @@
+#include "src/api/plan/plan.hpp"
+
+#include "src/common/assert.hpp"
+
+namespace sdsm::api::plan {
+
+const char* access_strategy_name(AccessStrategy s) {
+  switch (s) {
+    case AccessStrategy::kPageDsm:
+      return "page-dsm";
+    case AccessStrategy::kInspectorGather:
+      return "inspector-gather";
+  }
+  return "?";
+}
+
+ExecutionPlan plan_for(Backend b) {
+  switch (b) {
+    case Backend::kChaos:
+      return {AccessStrategy::kInspectorGather,
+              AccessStrategy::kInspectorGather, false};
+    case Backend::kTmkBase:
+      return {AccessStrategy::kPageDsm, AccessStrategy::kPageDsm, false};
+    case Backend::kTmkOptimized:
+      return {AccessStrategy::kPageDsm, AccessStrategy::kPageDsm, true};
+    case Backend::kHybrid:
+      return {AccessStrategy::kPageDsm, AccessStrategy::kInspectorGather,
+              true};
+  }
+  SDSM_REQUIRE_MSG(false, "plan_for: unknown backend");
+  return {};
+}
+
+AccessStrategy classify_indirection(const coherence::WriteCensus& census) {
+  for (const auto& [page, entry] : census.pages()) {
+    (void)page;
+    if (entry.writers.size() != 1) return AccessStrategy::kPageDsm;
+  }
+  return AccessStrategy::kInspectorGather;
+}
+
+coherence::WriteCensus census_for_layout(
+    const std::vector<part::Range>& owner_range, std::size_t elem_size,
+    std::size_t page_bytes) {
+  SDSM_REQUIRE(page_bytes > 0 && elem_size > 0);
+  // Slice stride: every node's slice is rounded up to the widest
+  // partition, so page ids stay disjoint per owner (mirrors the hybrid's
+  // page-aligned per-node slice allocation).
+  std::int64_t max_elems = 0;
+  for (const part::Range& r : owner_range) {
+    if (r.size() > max_elems) max_elems = r.size();
+  }
+  const std::uint64_t slice_pages =
+      (static_cast<std::uint64_t>(max_elems) * elem_size + page_bytes - 1) /
+      page_bytes;
+  coherence::WriteCensus census;
+  for (std::size_t q = 0; q < owner_range.size(); ++q) {
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(owner_range[q].size()) * elem_size;
+    const std::uint64_t pages = (bytes + page_bytes - 1) / page_bytes;
+    for (std::uint64_t k = 0; k < pages; ++k) {
+      const PageId page = static_cast<PageId>(q * slice_pages + k);
+      const std::uint32_t page_fill = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(page_bytes, bytes - k * page_bytes));
+      census.fold(page, static_cast<NodeId>(q), page_fill, /*epoch=*/1);
+    }
+  }
+  return census;
+}
+
+}  // namespace sdsm::api::plan

@@ -1,0 +1,96 @@
+// Per-region execution planning (sdsm::api::plan).
+//
+// The paper's comparison — CHAOS inspector/executor vs TreadMarks SDSM —
+// is a whole-program choice in the classic backends.  This layer names the
+// choice per *shared region* instead: the owner-partitioned state array
+// and the indirection-driven remote accesses each get an AccessStrategy,
+// and an ExecutionPlan is one assignment of strategies to regions.  The
+// three classic backends are fixed assignments; Backend::kHybrid is the
+// first mixed one (state under the page protocol, indirection reads
+// resolved by inspector-built communication schedules), the
+// selective-aggregation idea from the PGAS compiler line of work.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/api/backend.hpp"
+#include "src/coherence/heat.hpp"
+#include "src/common/types.hpp"
+#include "src/partition/partition.hpp"
+
+namespace sdsm::api::plan {
+
+/// The shared regions of an irregular kernel (Figure 1 of the paper).
+enum class Region : std::uint8_t {
+  /// The owner-partitioned state array x: written only by each element's
+  /// owner (the update phase), read globally at structure rebuilds.
+  kState,
+  /// The indirection-driven accesses: x[LIST(j)] reads and the f
+  /// reductions whose element set is known only after inspecting LIST.
+  kIndirection,
+};
+
+/// How a region's remote accesses are resolved.
+enum class AccessStrategy : std::uint8_t {
+  /// The Tmk path: page faults + Validate aggregation + twin/diff
+  /// coherence over core::DsmNode.
+  kPageDsm,
+  /// The CHAOS path: translation table + inspector-built communication
+  /// schedule, executor gather/scatter over ghost regions.
+  kInspectorGather,
+};
+
+/// Stable display name: "page-dsm" | "inspector-gather".
+const char* access_strategy_name(AccessStrategy s);
+
+/// One run's assignment of strategies to regions.
+struct ExecutionPlan {
+  AccessStrategy state = AccessStrategy::kPageDsm;
+  AccessStrategy indirection = AccessStrategy::kPageDsm;
+  /// Compiler-driven Validate aggregation on the kPageDsm paths (the
+  /// base-vs-optimized Tmk lever; irrelevant to kInspectorGather regions).
+  bool validate_aggregation = false;
+
+  AccessStrategy of(Region r) const {
+    return r == Region::kState ? state : indirection;
+  }
+  /// True when any region runs under the page protocol (the run needs a
+  /// DSM substrate).
+  bool uses_dsm() const {
+    return state == AccessStrategy::kPageDsm ||
+           indirection == AccessStrategy::kPageDsm;
+  }
+  /// True when the regions run under different strategies (the hybrid).
+  bool mixed() const { return state != indirection; }
+};
+
+/// The fixed strategy assignment of each backend.  kHybrid's indirection
+/// slot defaults to kInspectorGather; the driver overrides it with the
+/// KernelSpec-declared strategy or the census-derived one
+/// (classify_indirection) before executing.
+ExecutionPlan plan_for(Backend b);
+
+/// Census-driven classification of the indirection region (kHybrid with no
+/// declared strategy): when every censused page has exactly one writer —
+/// the stable single-owner pattern the update phase produces over
+/// page-aligned per-node state slices — remote reads of the state are pure
+/// consumer traffic that inspector schedules aggregate into one message
+/// per producer, so the indirection region goes to kInspectorGather.  Any
+/// multi-writer page means concurrent writes land in the region the
+/// indirection reads flow through, which needs the multiple-writer diff
+/// protocol: the region stays under kPageDsm.
+AccessStrategy classify_indirection(const coherence::WriteCensus& census);
+
+/// Synthetic pre-run write census for a partitioned state array laid out
+/// as page-aligned per-node slices: each owner writes its whole slice once
+/// per step (exactly what the update phase does), folded with the same
+/// WriteCensus arithmetic the sdsm::coherence engine folds barrier write
+/// notices with.  Page ids are slice-relative (slice q starts at page
+/// q * pages_per_slice(max range)), matching the hybrid's allocation.
+coherence::WriteCensus census_for_layout(
+    const std::vector<part::Range>& owner_range, std::size_t elem_size,
+    std::size_t page_bytes);
+
+}  // namespace sdsm::api::plan

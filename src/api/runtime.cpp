@@ -19,6 +19,10 @@ std::unique_ptr<IrregularRuntime> make_runtime(Backend backend,
     case Backend::kTmkOptimized:
       return std::make_unique<TmkBackend>(num_nodes, /*optimized=*/true,
                                           options);
+    case Backend::kHybrid:
+      // DSM substrate with the mixed per-region plan (src/api/plan/).
+      return std::make_unique<TmkBackend>(num_nodes, Backend::kHybrid,
+                                          options);
   }
   SDSM_UNREACHABLE("unknown backend");
 }

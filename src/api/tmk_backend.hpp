@@ -22,11 +22,16 @@ struct RunSession;
 class TmkBackend final : public IrregularRuntime {
  public:
   TmkBackend(std::uint32_t num_nodes, bool optimized, BackendOptions options)
-      : num_nodes_(num_nodes), optimized_(optimized), options_(options) {}
+      : TmkBackend(num_nodes,
+                   optimized ? Backend::kTmkOptimized : Backend::kTmkBase,
+                   options) {}
 
-  Backend backend() const override {
-    return optimized_ ? Backend::kTmkOptimized : Backend::kTmkBase;
-  }
+  /// Any DSM-substrate backend kind: kTmkBase, kTmkOptimized, or kHybrid
+  /// (the mixed per-region plan — see src/api/plan/dsm_driver.hpp).
+  TmkBackend(std::uint32_t num_nodes, Backend kind, BackendOptions options)
+      : num_nodes_(num_nodes), kind_(kind), options_(options) {}
+
+  Backend backend() const override { return kind_; }
   std::uint32_t num_nodes() const override { return num_nodes_; }
 
   KernelResult run(const KernelSpec<double>& spec) override;
@@ -49,12 +54,8 @@ class TmkBackend final : public IrregularRuntime {
                                     const BackendOptions& options);
 
  private:
-  template <typename T>
-  KernelResult run_impl(core::DsmRuntime& rt, const KernelSpec<T>& spec,
-                        RunSession* session);
-
   std::uint32_t num_nodes_;
-  bool optimized_;
+  Backend kind_;
   BackendOptions options_;
 };
 

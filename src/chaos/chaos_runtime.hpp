@@ -19,19 +19,21 @@
 #include "src/common/assert.hpp"
 #include "src/common/buffer.hpp"
 #include "src/common/types.hpp"
+#include "src/chaos/exchange.hpp"
 #include "src/net/transport.hpp"
 
 namespace sdsm::chaos {
 
 class ChaosRuntime;
 
-/// Handle given to each node's compute function.
-class ChaosNode {
+/// Handle given to each node's compute function.  Implements ExchangeNode,
+/// the fabric-agnostic surface the inspector/executor are written against.
+class ChaosNode : public ExchangeNode {
  public:
   ChaosNode(ChaosRuntime& rt, NodeId id);
 
-  NodeId id() const { return id_; }
-  std::uint32_t num_nodes() const;
+  NodeId id() const override { return id_; }
+  std::uint32_t num_nodes() const override;
 
   /// All-to-all personalized exchange: sends to_peers[p] to node p (own slot
   /// ignored) and returns the payload received from every peer (own slot
@@ -39,14 +41,14 @@ class ChaosNode {
   /// request-discovery phase of the inspector cannot know in advance who
   /// needs nothing.
   std::vector<std::vector<std::uint8_t>> all_to_all(
-      std::vector<std::vector<std::uint8_t>> to_peers);
+      std::vector<std::vector<std::uint8_t>> to_peers) override;
 
   /// Sparse exchange used by the executor: sends only the non-empty
   /// payloads; `recv_from[p]` says whether a message from p is expected
   /// (both sides know this from the communication schedule).
   std::vector<std::vector<std::uint8_t>> sparse_exchange(
       std::vector<std::vector<std::uint8_t>> to_peers,
-      const std::vector<bool>& recv_from);
+      const std::vector<bool>& recv_from) override;
 
   /// Barrier over all chaos nodes (central counter at node 0).  When
   /// at_master is non-null, node 0 runs it after every arrival and before

@@ -1,0 +1,44 @@
+// ExchangeNode: the minimal node-communication surface the inspector and
+// executor need — who am I, how many peers, an all-to-all for the
+// inspector's discovery phases, and a schedule-driven sparse exchange for
+// the executor's gather/scatter.
+//
+// ChaosNode (src/chaos/chaos_runtime.hpp) is the message-passing
+// implementation; plan::DsmExchange (src/api/plan/dsm_exchange.hpp) carries
+// the same exchanges over a DSM fabric so a hybrid run can interleave
+// inspector gathers with the page protocol on one transport.  Everything
+// above this interface — build_schedule, localize_references, gather,
+// scatter — is fabric-agnostic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.hpp"
+
+namespace sdsm::chaos {
+
+class ExchangeNode {
+ public:
+  virtual ~ExchangeNode() = default;
+
+  virtual NodeId id() const = 0;
+  virtual std::uint32_t num_nodes() const = 0;
+
+  /// All-to-all personalized exchange: sends to_peers[p] to node p (own
+  /// slot ignored) and returns the payload received from every peer (own
+  /// slot empty).  Every pair exchanges a message even when empty — the
+  /// request-discovery phase of the inspector cannot know in advance who
+  /// needs nothing.
+  virtual std::vector<std::vector<std::uint8_t>> all_to_all(
+      std::vector<std::vector<std::uint8_t>> to_peers) = 0;
+
+  /// Sparse exchange used by the executor: sends only the non-empty
+  /// payloads; `recv_from[p]` says whether a message from p is expected
+  /// (both sides know this from the communication schedule).
+  virtual std::vector<std::vector<std::uint8_t>> sparse_exchange(
+      std::vector<std::vector<std::uint8_t>> to_peers,
+      const std::vector<bool>& recv_from) = 0;
+};
+
+}  // namespace sdsm::chaos

@@ -10,8 +10,9 @@
 
 #include <span>
 
-#include "src/chaos/chaos_runtime.hpp"
+#include "src/chaos/exchange.hpp"
 #include "src/chaos/schedule.hpp"
+#include "src/common/buffer.hpp"
 
 namespace sdsm::chaos {
 
@@ -22,7 +23,7 @@ concept GatherElement = std::is_trivially_copyable_v<T>;
 /// Fills `ghosts` (ghost region of this node) with the current values of
 /// remote elements, per schedule.  `local` is the node's owned partition.
 template <GatherElement T>
-void gather(ChaosNode& node, const Schedule& sched, std::span<const T> local,
+void gather(ExchangeNode& node, const Schedule& sched, std::span<const T> local,
             std::span<T> ghosts) {
   const std::uint32_t nprocs = node.num_nodes();
   std::vector<std::vector<std::uint8_t>> out(nprocs);
@@ -48,7 +49,7 @@ void gather(ChaosNode& node, const Schedule& sched, std::span<const T> local,
 /// into its local element with `combine` (e.g. addition for force
 /// accumulation).  The mirror image of gather().
 template <GatherElement T, typename Combine>
-void scatter(ChaosNode& node, const Schedule& sched, std::span<T> local,
+void scatter(ExchangeNode& node, const Schedule& sched, std::span<T> local,
              std::span<const T> ghosts, Combine combine) {
   const std::uint32_t nprocs = node.num_nodes();
   std::vector<std::vector<std::uint8_t>> out(nprocs);

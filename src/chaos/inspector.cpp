@@ -2,11 +2,13 @@
 
 #include <algorithm>
 
+#include "src/common/assert.hpp"
+#include "src/common/buffer.hpp"
 #include "src/common/timer.hpp"
 
 namespace sdsm::chaos {
 
-Schedule build_schedule(ChaosNode& node, std::span<const std::int64_t> refs,
+Schedule build_schedule(ExchangeNode& node, std::span<const std::int64_t> refs,
                         const TranslationTable& table, InspectorStats* stats) {
   const Timer timer;
   const NodeId me = node.id();

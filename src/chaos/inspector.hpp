@@ -18,7 +18,7 @@
 #include <cstdint>
 #include <span>
 
-#include "src/chaos/chaos_runtime.hpp"
+#include "src/chaos/exchange.hpp"
 #include "src/chaos/schedule.hpp"
 #include "src/chaos/translation_table.hpp"
 
@@ -33,7 +33,7 @@ struct InspectorStats {
 
 /// Builds the communication schedule for `node` given the global indices it
 /// references (the values of its indirection-array section).
-Schedule build_schedule(ChaosNode& node, std::span<const std::int64_t> refs,
+Schedule build_schedule(ExchangeNode& node, std::span<const std::int64_t> refs,
                         const TranslationTable& table,
                         InspectorStats* stats = nullptr);
 

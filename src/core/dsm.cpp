@@ -807,10 +807,34 @@ void DsmNode::service_loop() {
       case kBarrierArrive:
         serve_barrier_arrive(msg);
         break;
+      case kAppData: {
+        std::lock_guard<std::mutex> g(inbox_mu_);
+        inbox_.emplace_back(msg.src, std::move(msg.payload));
+        inbox_cv_.notify_one();
+        break;
+      }
       default:
         SDSM_UNREACHABLE("unexpected message type on service port");
     }
   }
+}
+
+void DsmNode::send_app_data(NodeId dst, std::vector<std::uint8_t> payload) {
+  SDSM_ASSERT(dst != id_);
+  net::Message msg;
+  msg.type = kAppData;
+  msg.src = id_;
+  msg.dst = dst;
+  msg.payload = std::move(payload);
+  rt_.net_->send(net::Port::kService, std::move(msg));
+}
+
+std::pair<NodeId, std::vector<std::uint8_t>> DsmNode::recv_app_data() {
+  std::unique_lock<std::mutex> g(inbox_mu_);
+  inbox_cv_.wait(g, [this] { return !inbox_.empty(); });
+  auto front = std::move(inbox_.front());
+  inbox_.pop_front();
+  return front;
 }
 
 void DsmNode::serve_get_diffs(const net::Message& msg) {
@@ -960,6 +984,10 @@ void DsmNode::reset_for_reuse() {
     lock_homes_.clear();
     barrier_mgr_ = BarrierMgr{};
     fence_waiters_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> g(inbox_mu_);
+    inbox_.clear();
   }
 }
 

@@ -21,7 +21,9 @@
 #pragma once
 
 #include <algorithm>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -29,6 +31,7 @@
 #include <optional>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/coherence/coherence.hpp"
@@ -101,6 +104,11 @@ enum MsgType : std::uint32_t {
   kLockRelease,
   kBarrierArrive,
   kBarrierRelease,
+  /// Application-plane payload between compute threads (hybrid execution:
+  /// inspector exchanges and executor gather/scatter carried over the DSM
+  /// fabric).  Routed by the service thread into the node's app inbox;
+  /// moves no protocol state.  Counted like any data message.
+  kAppData,
 };
 
 // ---------------------------------------------------------------------------
@@ -317,6 +325,19 @@ class DsmNode {
   /// cross_prefetch_drains.
   void drain_prefetch();
 
+  // --- Application-data plane (hybrid execution) ---------------------------
+
+  /// Sends an application payload to `dst`'s compute thread, outside the
+  /// coherence protocol.  The hybrid backend's inspector/executor exchanges
+  /// ride this plane so their traffic shares the run's fabric (and its
+  /// accounting) with the page protocol.  Self-sends are not allowed.
+  void send_app_data(NodeId dst, std::vector<std::uint8_t> payload);
+
+  /// Blocks until an application payload arrives and returns (src, bytes)
+  /// in arrival order.  Pairing and per-peer ordering discipline is the
+  /// caller's (plan::DsmExchange mirrors ChaosNode's stash).
+  std::pair<NodeId, std::vector<std::uint8_t>> recv_app_data();
+
   // --- Introspection -------------------------------------------------------
 
   PageState page_state(PageId page) const { return pages_[page].state; }
@@ -517,6 +538,12 @@ class DsmNode {
   BarrierMgr barrier_mgr_;
   /// quiesce_fence arrivals (node, request_id); manager side, node 0 only.
   std::vector<std::pair<NodeId, std::uint64_t>> fence_waiters_;
+
+  /// Application-data inbox: kAppData payloads deposited by the service
+  /// thread in arrival order, consumed by the compute thread.
+  std::mutex inbox_mu_;
+  std::condition_variable inbox_cv_;
+  std::deque<std::pair<NodeId, std::vector<std::uint8_t>>> inbox_;
 
   std::thread service_thread_;
 };

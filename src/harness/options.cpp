@@ -57,7 +57,7 @@ Options Options::parse(int argc, char** argv) {
         if (const auto b = api::parse_backend(one)) {
           picked.push_back(*b);
         } else {
-          usage_exit("--backend", one, "chaos|tmk-base|tmk-optimized");
+          usage_exit("--backend", one, "chaos|tmk-base|tmk-optimized|hybrid");
         }
       }
     } else if (const auto v = take_value(argc, argv, i, "--schedule")) {
@@ -95,12 +95,18 @@ Options Options::parse(int argc, char** argv) {
     }
   }
   // Sweep order (and dedup) always follows kAllBackends, so tables keep a
-  // stable row order no matter how the flags were spelled.
+  // stable row order no matter how the flags were spelled.  Hybrid is not
+  // part of the default sweep (kAllBackends is the paper's three-way), so
+  // it joins the list only when asked for, ordered last.
   for (const api::Backend b : api::kAllBackends) {
     if (picked.empty() || std::find(picked.begin(), picked.end(), b) !=
                               picked.end()) {
       o.backends.push_back(b);
     }
+  }
+  if (std::find(picked.begin(), picked.end(), api::Backend::kHybrid) !=
+      picked.end()) {
+    o.backends.push_back(api::Backend::kHybrid);
   }
   return o;
 }

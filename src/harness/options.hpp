@@ -3,7 +3,7 @@
 // --schedule parsing that had drifted apart.
 //
 //   --transport=inproc|socket          fabric (default inproc)
-//   --backend=chaos|tmk-base|tmk-optimized
+//   --backend=chaos|tmk-base|tmk-optimized|hybrid
 //                                      restrict the backend sweep; repeat
 //                                      the flag (or comma-separate) for a
 //                                      subset; default is all three

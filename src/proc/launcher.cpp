@@ -15,6 +15,7 @@
 #include <cstring>
 #include <thread>
 
+#include "src/api/plan/fold.hpp"
 #include "src/common/buffer.hpp"
 #include "src/proc/rendezvous.hpp"
 #include "src/proc/report.hpp"
@@ -281,7 +282,14 @@ LaunchResult run_job(const serve::JobRequest& req, const LaunchOptions& opt) {
   }
   api::KernelResult& agg = out.result;
   agg = reps[0].result;
+  // Per-node accounts fold through the same helper the in-process drivers
+  // use (plan::fold_accounts), in worker/node order, so the aggregate is
+  // bit-identical to a threaded run — one copy of that contract, not three.
   agg.checksum = 0;
+  agg.refs = 0;
+  agg.max_row = 0;
+  std::vector<api::plan::NodeAccount> accounts;
+  accounts.reserve(reps.size());
   double overhead_sum = 0;
   double diff_create_sum = 0, diff_apply_sum = 0;
   for (const WorkerReport& rep : reps) {
@@ -295,7 +303,7 @@ LaunchResult run_job(const serve::JobRequest& req, const LaunchOptions& opt) {
                   "result fields (steps/rebuilds/barriers)";
       return out;
     }
-    agg.checksum += k.checksum;
+    accounts.push_back({k.checksum, k.refs, k.max_row});
     overhead_sum += k.overhead_seconds;
     diff_create_sum += k.diff_create_seconds;
     diff_apply_sum += k.diff_apply_seconds;
@@ -303,23 +311,10 @@ LaunchResult run_job(const serve::JobRequest& req, const LaunchOptions& opt) {
       agg.seconds = std::max(agg.seconds, k.seconds);
       agg.messages += k.messages;
       agg.bytes += k.bytes;
-      agg.refs += k.refs;
-      agg.max_row = std::max(agg.max_row, k.max_row);
-      agg.tmk.validate_calls += k.tmk.validate_calls;
-      agg.tmk.validate_recomputes += k.tmk.validate_recomputes;
-      agg.tmk.read_faults += k.tmk.read_faults;
-      agg.tmk.pages_prefetched += k.tmk.pages_prefetched;
-      agg.tmk.twins_created += k.tmk.twins_created;
-      agg.tmk.whole_pages += k.tmk.whole_pages;
-      agg.tmk.diff_bytes += k.tmk.diff_bytes;
-      agg.tmk.cross_prefetch_posts += k.tmk.cross_prefetch_posts;
-      agg.tmk.cross_prefetch_consumes += k.tmk.cross_prefetch_consumes;
-      agg.tmk.cross_prefetch_drains += k.tmk.cross_prefetch_drains;
-      agg.tmk.replications += k.tmk.replications;
-      agg.tmk.migrations += k.tmk.migrations;
-      agg.tmk.ghost_promotions += k.tmk.ghost_promotions;
+      api::plan::add_counters(agg.tmk, k.tmk);
     }
   }
+  api::plan::fold_accounts(agg, accounts);
   agg.megabytes = static_cast<double>(agg.bytes) / 1e6;
   agg.overhead_seconds = overhead_sum / opt.nprocs;
   agg.diff_create_seconds = diff_create_sum / opt.nprocs;

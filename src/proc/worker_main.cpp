@@ -147,6 +147,8 @@ int main(int argc, char** argv) {
   options.round_schedule = req.schedule;
   options.cross_step_prefetch = req.cross_step_prefetch;
   options.coherence = req.coherence;
+  options.diff_engine = req.diff_engine;
+  options.exec_engine = req.exec;
 
   core::DsmConfig cfg = api::TmkBackend::dsm_config(nprocs, options);
   proc::RendezvousResult rdv = proc::rendezvous(
@@ -175,9 +177,7 @@ int main(int argc, char** argv) {
   core::DsmRuntime rt(cfg, std::make_unique<proc::MeshTransport>(
                                nprocs, node, std::move(rdv.peer_fds)));
 
-  api::TmkBackend backend(nprocs,
-                          req.backend == api::Backend::kTmkOptimized,
-                          options);
+  api::TmkBackend backend(nprocs, req.backend, options);
   proc::WorkerReport rep;
   rep.node = node;
   rep.result = prepared.is_double3

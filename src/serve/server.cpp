@@ -31,8 +31,8 @@ struct KernelServer::Job {
 
 // --- Engines ---------------------------------------------------------------
 
-// An engine is the warm substrate for one (backend, transport) pair.  Its
-// mutex serializes jobs on it: within a job the backend's node threads
+// An engine is the warm substrate for one (backend, transport, coherence,
+// diff_engine, exec) key.  Its mutex serializes jobs on it: within a job the backend's node threads
 // already occupy the machine, so per-engine serialization loses nothing,
 // and jobs on *different* engines overlap freely across the worker pool.
 struct KernelServer::Engine {
@@ -44,22 +44,23 @@ struct KernelServer::Engine {
 };
 
 struct KernelServer::TmkEngine final : Engine {
-  TmkEngine(std::uint32_t nprocs, bool optimized,
+  TmkEngine(std::uint32_t nprocs, api::Backend kind,
             const api::BackendOptions& opts)
       : nprocs(nprocs),
-        optimized(optimized),
+        kind(kind),
         rt(api::TmkBackend::dsm_config(nprocs, opts)) {}
 
   std::uint32_t nprocs;
-  bool optimized;
+  api::Backend kind;    ///< kTmkBase / kTmkOptimized / kHybrid
   core::DsmRuntime rt;  ///< lives as long as the engine: the warm arena
 
   api::KernelResult run(const PreparedJob& job, const api::BackendOptions& opts,
                         api::RunSession* session) override {
-    // Same pages, fresh contents: punch-hole + reprotect + metadata wipe,
-    // so the job's paging behaviour is identical to a cold runtime.
+    // Same pages, fresh contents: punch-hole + reprotect + metadata wipe
+    // (plus app-data inbox drain for the hybrid exchange plane), so the
+    // job's paging behaviour is identical to a cold runtime.
     rt.reset_arena();
-    api::TmkBackend backend(nprocs, optimized, opts);
+    api::TmkBackend backend(nprocs, kind, opts);
     return job.is_double3 ? backend.run_on(rt, job.spec3, session)
                           : backend.run_on(rt, job.spec, session);
   }
@@ -93,25 +94,31 @@ api::BackendOptions KernelServer::overlay(api::BackendOptions base,
   return base;
 }
 
-KernelServer::Engine& KernelServer::engine_for(
-    api::Backend backend, net::TransportKind transport,
-    coherence::CoherencePolicy coherence) {
-  const std::tuple<int, int, int> key{static_cast<int>(backend),
-                                      static_cast<int>(transport),
-                                      static_cast<int>(coherence)};
+KernelServer::Engine& KernelServer::engine_for(const JobRequest& req) {
+  // Every field a warm substrate is built from must be part of the key:
+  // a TmkEngine's DsmRuntime bakes diff_engine into its config at
+  // construction, so a scalar arena must never serve a word-engine job.
+  // exec does not shape the substrate but is keyed too, so one engine's
+  // warm cadence stays attributable to a single execution configuration.
+  const std::tuple<int, int, int, int, int> key{
+      static_cast<int>(req.backend), static_cast<int>(req.transport),
+      static_cast<int>(req.coherence), static_cast<int>(req.diff_engine),
+      static_cast<int>(req.exec)};
   std::lock_guard<std::mutex> g(engines_mu_);
   const auto it = engines_.find(key);
   if (it != engines_.end()) return *it->second;
 
   std::unique_ptr<Engine> engine;
-  if (backend == api::Backend::kChaos) {
-    engine = std::make_unique<ChaosEngine>(cfg_.nprocs, cfg_.wire, transport);
+  if (req.backend == api::Backend::kChaos) {
+    engine =
+        std::make_unique<ChaosEngine>(cfg_.nprocs, cfg_.wire, req.transport);
   } else {
     api::BackendOptions base;
-    base.coherence = coherence;
-    engine = std::make_unique<TmkEngine>(
-        cfg_.nprocs, backend == api::Backend::kTmkOptimized,
-        overlay(std::move(base), transport));
+    base.coherence = req.coherence;
+    base.diff_engine = req.diff_engine;
+    engine = std::make_unique<TmkEngine>(cfg_.nprocs, req.backend,
+                                         overlay(std::move(base),
+                                                 req.transport));
   }
   Engine& ref = *engine;
   engines_[key] = std::move(engine);
@@ -265,9 +272,10 @@ void KernelServer::run_job(Job& job) {
     opts.round_schedule = job.req.schedule;
     opts.cross_step_prefetch = job.req.cross_step_prefetch;
     opts.coherence = job.req.coherence;
+    opts.diff_engine = job.req.diff_engine;
+    opts.exec_engine = job.req.exec;
 
-    Engine& engine =
-        engine_for(job.req.backend, job.req.transport, job.req.coherence);
+    Engine& engine = engine_for(job.req);
 
     api::RunSession session;
     const CacheKey key{prepared.fingerprint, job.req.kernel, job.req.backend,

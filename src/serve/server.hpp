@@ -1,7 +1,8 @@
 // KernelServer: the persistent kernel-serving runtime (the PR's tentpole).
 //
 // A server owns its execution substrates for its whole lifetime — one warm
-// engine per (backend, transport, coherence) triple, created lazily: a
+// engine per (backend, transport, coherence, diff_engine, exec) tuple,
+// created lazily: a
 // TreadMarks engine keeps a DsmRuntime whose arena is reset (not rebuilt)
 // between jobs — the reset also clears adaptive-coherence heat and
 // directory state, so a warm engine starts every job cold — and a CHAOS
@@ -13,7 +14,7 @@
 //
 // Concurrency shape: the admission queue and job table are guarded by one
 // mutex; each engine has its own mutex, so two jobs run concurrently only
-// when they target different (backend, transport, coherence) engines — within one
+// when they target different engine keys — within one
 // engine the node threads already use every core.  An optional 127.0.0.1
 // control socket (ephemeral port) serves the framed protocol of
 // src/serve/framing.hpp with one thread per connection.
@@ -87,8 +88,7 @@ class KernelServer {
 
   void worker_loop();
   void run_job(Job& job);
-  Engine& engine_for(api::Backend backend, net::TransportKind transport,
-                     coherence::CoherencePolicy coherence);
+  Engine& engine_for(const JobRequest& req);
   api::BackendOptions overlay(api::BackendOptions base,
                               net::TransportKind transport) const;
 
@@ -117,7 +117,8 @@ class KernelServer {
   std::vector<std::thread> workers_;
 
   std::mutex engines_mu_;
-  std::map<std::tuple<int, int, int>, std::unique_ptr<Engine>> engines_;
+  std::map<std::tuple<int, int, int, int, int>, std::unique_ptr<Engine>>
+      engines_;
 
   int port_ = -1;
   int listen_fd_ = -1;

@@ -5,6 +5,7 @@
 
 #include <numeric>
 
+#include "src/chaos/chaos_runtime.hpp"
 #include "src/chaos/executor.hpp"
 #include "src/chaos/inspector.hpp"
 #include "src/chaos/translation_table.hpp"

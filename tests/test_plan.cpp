@@ -1,0 +1,324 @@
+// Tests for the per-region execution-planning layer (sdsm::api::plan):
+// the fixed strategy assignment of every backend, the census-driven
+// indirection classification the hybrid uses, the DsmExchange adapter
+// that runs CHAOS collectives over the DSM fabric, the refactored
+// backends' traffic parity against the committed baseline counts, and
+// the hybrid backend's bit-exact checksum matrix across both transports
+// and both reduction-round schedules on moldyn and pagerank.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/api/api.hpp"
+#include "src/api/plan/dsm_exchange.hpp"
+#include "src/api/plan/plan.hpp"
+#include "src/apps/moldyn/moldyn_kernel.hpp"
+#include "src/apps/pagerank/pagerank.hpp"
+#include "src/apps/spmv/spmv.hpp"
+#include "src/core/dsm.hpp"
+#include "src/partition/partition.hpp"
+
+namespace sdsm::api::plan {
+namespace {
+
+constexpr std::uint32_t kNodes = 4;
+
+// --- Strategy assignments ---------------------------------------------------
+
+TEST(PlanFor, ClassicBackendsAreFixedAssignments) {
+  const ExecutionPlan chaos = plan_for(Backend::kChaos);
+  EXPECT_EQ(chaos.state, AccessStrategy::kInspectorGather);
+  EXPECT_EQ(chaos.indirection, AccessStrategy::kInspectorGather);
+  EXPECT_FALSE(chaos.validate_aggregation);
+  EXPECT_FALSE(chaos.uses_dsm());
+  EXPECT_FALSE(chaos.mixed());
+
+  const ExecutionPlan base = plan_for(Backend::kTmkBase);
+  EXPECT_EQ(base.state, AccessStrategy::kPageDsm);
+  EXPECT_EQ(base.indirection, AccessStrategy::kPageDsm);
+  EXPECT_FALSE(base.validate_aggregation);
+  EXPECT_TRUE(base.uses_dsm());
+  EXPECT_FALSE(base.mixed());
+
+  const ExecutionPlan opt = plan_for(Backend::kTmkOptimized);
+  EXPECT_EQ(opt.state, AccessStrategy::kPageDsm);
+  EXPECT_EQ(opt.indirection, AccessStrategy::kPageDsm);
+  EXPECT_TRUE(opt.validate_aggregation);
+}
+
+TEST(PlanFor, HybridIsTheMixedAssignment) {
+  const ExecutionPlan h = plan_for(Backend::kHybrid);
+  EXPECT_EQ(h.of(Region::kState), AccessStrategy::kPageDsm);
+  EXPECT_EQ(h.of(Region::kIndirection), AccessStrategy::kInspectorGather);
+  EXPECT_TRUE(h.validate_aggregation);
+  EXPECT_TRUE(h.uses_dsm());
+  EXPECT_TRUE(h.mixed());
+}
+
+TEST(PlanFor, StrategyNames) {
+  EXPECT_STREQ(access_strategy_name(AccessStrategy::kPageDsm), "page-dsm");
+  EXPECT_STREQ(access_strategy_name(AccessStrategy::kInspectorGather),
+               "inspector-gather");
+}
+
+// --- Census-driven classification -------------------------------------------
+
+TEST(Census, PageAlignedSlicesAreSingleWriter) {
+  // An even 4-way partition of 4096 doubles: each owner's slice spans its
+  // own pages, so every censused page has exactly one writer and the
+  // indirection region goes to the inspector.
+  const std::vector<part::Range> owners = part::block_partition(4096, kNodes);
+  const coherence::WriteCensus census =
+      census_for_layout(owners, sizeof(double), 4096);
+  ASSERT_FALSE(census.pages().empty());
+  for (const auto& [page, entry] : census.pages()) {
+    (void)page;
+    EXPECT_EQ(entry.writers.size(), 1u);
+  }
+  EXPECT_EQ(classify_indirection(census), AccessStrategy::kInspectorGather);
+}
+
+TEST(Census, MultiWriterPageFallsBackToPageDsm) {
+  // Two writers fold diffs into one page: concurrent writes land in the
+  // region the indirection reads flow through, which needs the
+  // multiple-writer diff protocol.
+  coherence::WriteCensus census;
+  census.fold(/*page=*/0, /*writer=*/0, /*bytes=*/4096, /*epoch=*/1);
+  census.fold(/*page=*/0, /*writer=*/1, /*bytes=*/64, /*epoch=*/1);
+  census.fold(/*page=*/1, /*writer=*/1, /*bytes=*/4096, /*epoch=*/1);
+  EXPECT_EQ(classify_indirection(census), AccessStrategy::kPageDsm);
+}
+
+TEST(Census, EmptySlicesCensusNoPages) {
+  // A partition wider than the element count leaves trailing owners
+  // empty; their slices must contribute no pages (and no zero-byte
+  // writer entries) to the census.
+  std::vector<part::Range> owners = part::block_partition(2, kNodes);
+  const coherence::WriteCensus census =
+      census_for_layout(owners, sizeof(double), 4096);
+  EXPECT_EQ(census.pages().size(), 2u);  // owners 0 and 1 only
+  EXPECT_EQ(classify_indirection(census), AccessStrategy::kInspectorGather);
+}
+
+// --- DsmExchange: CHAOS collectives over the DSM fabric ----------------------
+
+TEST(DsmExchangeTest, AllToAllRoutesPayloadsLikeAChaosNode) {
+  core::DsmConfig cfg;
+  cfg.num_nodes = kNodes;
+  cfg.region_bytes = 4u << 20;
+  core::DsmRuntime rt(cfg);
+  std::vector<std::vector<std::vector<std::uint8_t>>> got(kNodes);
+  rt.run([&](core::DsmNode& self) {
+    DsmExchange ex(self);
+    EXPECT_EQ(ex.id(), self.id());
+    EXPECT_EQ(ex.num_nodes(), kNodes);
+    // Payload p->q = {p, q, p+q}; self slot must come back untouched.
+    std::vector<std::vector<std::uint8_t>> out(kNodes);
+    for (NodeId q = 0; q < kNodes; ++q) {
+      if (q == self.id()) continue;
+      out[q] = {static_cast<std::uint8_t>(self.id()),
+                static_cast<std::uint8_t>(q),
+                static_cast<std::uint8_t>(self.id() + q)};
+    }
+    got[self.id()] = ex.all_to_all(std::move(out));
+    self.barrier();
+  });
+  for (NodeId q = 0; q < kNodes; ++q) {
+    ASSERT_EQ(got[q].size(), kNodes);
+    for (NodeId p = 0; p < kNodes; ++p) {
+      if (p == q) continue;
+      const std::vector<std::uint8_t> want{
+          static_cast<std::uint8_t>(p), static_cast<std::uint8_t>(q),
+          static_cast<std::uint8_t>(p + q)};
+      EXPECT_EQ(got[q][p], want) << "payload " << int(p) << "->" << int(q);
+    }
+  }
+}
+
+TEST(DsmExchangeTest, SparseExchangeSkipsEmptyPairs) {
+  core::DsmConfig cfg;
+  cfg.num_nodes = kNodes;
+  cfg.region_bytes = 4u << 20;
+  core::DsmRuntime rt(cfg);
+  std::vector<std::vector<std::vector<std::uint8_t>>> got(kNodes);
+  rt.run([&](core::DsmNode& self) {
+    DsmExchange ex(self);
+    // Ring: p sends only to (p+1) % N; everyone receives only from the
+    // left neighbour.
+    std::vector<std::vector<std::uint8_t>> out(kNodes);
+    const NodeId right = (self.id() + 1) % kNodes;
+    out[right] = {static_cast<std::uint8_t>(0xA0 + self.id())};
+    std::vector<bool> recv_from(kNodes, false);
+    recv_from[(self.id() + kNodes - 1) % kNodes] = true;
+    got[self.id()] = ex.sparse_exchange(std::move(out), recv_from);
+    self.barrier();
+  });
+  for (NodeId q = 0; q < kNodes; ++q) {
+    const NodeId left = (q + kNodes - 1) % kNodes;
+    ASSERT_EQ(got[q].size(), kNodes);
+    for (NodeId p = 0; p < kNodes; ++p) {
+      if (p == left) {
+        const std::vector<std::uint8_t> want{
+            static_cast<std::uint8_t>(0xA0 + left)};
+        EXPECT_EQ(got[q][p], want);
+      } else {
+        EXPECT_TRUE(got[q][p].empty());
+      }
+    }
+  }
+}
+
+// --- Traffic parity: the refactor's exact gate -------------------------------
+
+// The shared StepDriver must reproduce the monolith backends' traffic
+// EXACTLY — the counts below are the committed-baseline values for these
+// workload shapes (they are deterministic functions of the access pattern
+// and the protocol, not of timing), so any drift in the rebuild cadence,
+// barrier placement, or Validate aggregation shows up as a hard failure
+// here before it shows up in the benches.
+struct ExpectedTraffic {
+  Backend backend;
+  std::uint64_t messages;
+};
+
+TEST(TrafficParity, SpmvMatchesCommittedCounts) {
+  apps::spmv::Params p;
+  p.num_rows = 2048;
+  p.num_steps = 6;
+  p.edges_per_vertex = 4;
+  p.nprocs = kNodes;
+  api::BackendOptions opts = apps::spmv::default_options();
+  const double chaos_checksum =
+      apps::spmv::run(Backend::kChaos, p, opts).checksum;
+  const ExpectedTraffic expected[] = {
+      {Backend::kChaos, 108u},
+      {Backend::kTmkBase, 360u},
+      {Backend::kTmkOptimized, 360u},
+      {Backend::kHybrid, 108u},
+  };
+  for (const ExpectedTraffic& e : expected) {
+    const api::KernelResult r = apps::spmv::run(e.backend, p, opts);
+    EXPECT_EQ(r.messages, e.messages) << backend_name(e.backend);
+    EXPECT_EQ(r.checksum, chaos_checksum) << backend_name(e.backend);
+  }
+}
+
+TEST(TrafficParity, MoldynMatchesCommittedCounts) {
+  apps::moldyn::Params p;
+  p.num_molecules = 512;
+  p.num_steps = 8;
+  p.update_interval = 4;
+  p.nprocs = kNodes;
+  const apps::moldyn::System sys = apps::moldyn::make_system(p);
+  api::BackendOptions opts = apps::moldyn::default_options();
+  const double chaos_checksum =
+      apps::moldyn::run(Backend::kChaos, p, sys, opts).checksum;
+  const ExpectedTraffic expected[] = {
+      {Backend::kChaos, 208u},
+      {Backend::kTmkBase, 670u},
+      {Backend::kTmkOptimized, 562u},
+      {Backend::kHybrid, 232u},
+  };
+  for (const ExpectedTraffic& e : expected) {
+    const api::KernelResult r = apps::moldyn::run(e.backend, p, sys, opts);
+    EXPECT_EQ(r.messages, e.messages) << backend_name(e.backend);
+    EXPECT_EQ(r.checksum, chaos_checksum) << backend_name(e.backend);
+  }
+}
+
+// --- The hybrid checksum matrix ---------------------------------------------
+
+// Bit-exact equality with the all-message CHAOS baseline across both
+// transports and both reduction-round schedules: the mixed assignment
+// must never change a single bit of the numerics, whatever the fabric or
+// the reduction bracket.
+class HybridMatrix
+    : public ::testing::TestWithParam<
+          std::tuple<net::TransportKind, RoundSchedule>> {};
+
+TEST_P(HybridMatrix, MoldynBitExactAgainstChaos) {
+  const auto [transport, schedule] = GetParam();
+  apps::moldyn::Params p;
+  p.num_molecules = 512;
+  p.num_steps = 8;
+  p.update_interval = 4;
+  p.nprocs = kNodes;
+  const apps::moldyn::System sys = apps::moldyn::make_system(p);
+  api::BackendOptions opts = apps::moldyn::default_options();
+  opts.transport = transport;
+  opts.round_schedule = schedule;
+  const api::KernelResult chaos =
+      apps::moldyn::run(Backend::kChaos, p, sys, opts);
+  const api::KernelResult hybrid =
+      apps::moldyn::run(Backend::kHybrid, p, sys, opts);
+  EXPECT_EQ(hybrid.checksum, chaos.checksum);  // bitwise, not approximate
+  EXPECT_EQ(hybrid.steps_run, chaos.steps_run);
+  EXPECT_EQ(hybrid.refs, chaos.refs);
+}
+
+TEST_P(HybridMatrix, PagerankBitExactAgainstChaos) {
+  const auto [transport, schedule] = GetParam();
+  apps::pagerank::Params p;
+  p.num_vertices = 2048;
+  p.num_steps = 6;
+  p.edges_per_vertex = 4;
+  p.nprocs = kNodes;
+  api::BackendOptions opts = apps::pagerank::default_options();
+  opts.transport = transport;
+  opts.round_schedule = schedule;
+  const api::KernelResult chaos = apps::pagerank::run(Backend::kChaos, p, opts);
+  const api::KernelResult hybrid =
+      apps::pagerank::run(Backend::kHybrid, p, opts);
+  EXPECT_EQ(hybrid.checksum, chaos.checksum);
+  EXPECT_EQ(hybrid.steps_run, chaos.steps_run);
+}
+
+std::string hybrid_matrix_name(
+    const ::testing::TestParamInfo<
+        std::tuple<net::TransportKind, RoundSchedule>>& info) {
+  const net::TransportKind t = std::get<0>(info.param);
+  const RoundSchedule s = std::get<1>(info.param);
+  return std::string(t == net::TransportKind::kSocket ? "socket" : "inproc") +
+         "_" + round_schedule_name(s);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothTransportsBothSchedules, HybridMatrix,
+    ::testing::Combine(::testing::Values(net::TransportKind::kInProc,
+                                         net::TransportKind::kSocket),
+                       ::testing::Values(RoundSchedule::kSerial,
+                                         RoundSchedule::kTournament)),
+    hybrid_matrix_name);
+
+// --- KernelSpec-declared strategy -------------------------------------------
+
+// A spec may pin the indirection strategy instead of letting the census
+// decide: kPageDsm forces the hybrid down the pure page-protocol path,
+// which must still be bit-exact (it IS the optimized Tmk execution).
+TEST(DeclaredStrategy, PageDsmPinFallsBackToPureProtocol) {
+  apps::spmv::Params p;
+  p.num_rows = 2048;
+  p.num_steps = 6;
+  p.edges_per_vertex = 4;
+  p.nprocs = kNodes;
+  api::BackendOptions opts = apps::spmv::default_options();
+
+  api::KernelSpec<double> pinned = apps::spmv::make_kernel(p);
+  pinned.indirection_strategy = AccessStrategy::kPageDsm;
+  const api::KernelResult as_dsm =
+      api::run_kernel(Backend::kHybrid, pinned, opts);
+  const api::KernelResult opt =
+      api::run_kernel(Backend::kTmkOptimized, apps::spmv::make_kernel(p), opts);
+  EXPECT_EQ(as_dsm.checksum, opt.checksum);
+  EXPECT_EQ(as_dsm.messages, opt.messages);
+
+  api::KernelSpec<double> gather = apps::spmv::make_kernel(p);
+  gather.indirection_strategy = AccessStrategy::kInspectorGather;
+  const api::KernelResult as_hybrid =
+      api::run_kernel(Backend::kHybrid, gather, opts);
+  EXPECT_EQ(as_hybrid.checksum, opt.checksum);
+}
+
+}  // namespace
+}  // namespace sdsm::api::plan

@@ -210,6 +210,72 @@ TEST(ServeIsolation, ArenaResetBetweenDifferentJobs) {
   EXPECT_EQ(one.messages, second.messages);
 }
 
+// --- Engine keying: diff/exec engines ---------------------------------------
+
+// Jobs that differ only in diff_engine or exec must not share a warm
+// engine: the diff engine is baked into a Tmk engine's arena when it is
+// constructed, and run_dsm now fails loudly when a runtime's engine
+// disagrees with the job's — so if the serve key ever stopped including
+// diff_engine, the second job below would fail instead of silently
+// scanning with the wrong engine.  Both knobs are exact A/Bs, so every
+// variant must also produce bit-identical results and traffic.
+TEST(ServeEngineKey, DiffAndExecVariantsGetTheirOwnEngines) {
+  KernelServer server(small_server());
+  Client client = Client::in_proc(server);
+
+  const JobRequest scalar =
+      spmv_request(api::Backend::kTmkOptimized, net::TransportKind::kInProc);
+  JobRequest word = scalar;
+  word.diff_engine = core::DiffEngine::kWord;
+  JobRequest bucketed = scalar;
+  bucketed.exec = api::ExecEngine::kBucketed;
+
+  const JobStats a = client.run(scalar);
+  const JobStats b = client.run(word);  // would alias a's engine if unkeyed
+  const JobStats c = client.run(bucketed);
+  ASSERT_TRUE(a.ok) << a.error;
+  ASSERT_TRUE(b.ok) << b.error;
+  ASSERT_TRUE(c.ok) << c.error;
+
+  EXPECT_EQ(b.checksum, a.checksum);
+  EXPECT_EQ(c.checksum, a.checksum);
+  EXPECT_EQ(b.messages, a.messages);
+  EXPECT_EQ(c.messages, a.messages);
+}
+
+// --- Hybrid through serve ---------------------------------------------------
+
+// The mixed-assignment backend behind a warm engine: repeat jobs replay
+// the inspector artifacts (hybrid schedules share the ScheduleCache,
+// keyed by backend) and the checksum stays bit-exact with the all-message
+// CHAOS baseline — the hard moldyn case, with rebuilds inside the timed
+// loop.
+TEST(ServeHybrid, WarmCacheHitBitExactAgainstChaos) {
+  KernelServer server(small_server());
+  Client client = Client::in_proc(server);
+
+  const JobStats chaos = client.run(
+      moldyn_request(api::Backend::kChaos, net::TransportKind::kInProc));
+  ASSERT_TRUE(chaos.ok) << chaos.error;
+
+  const JobRequest req =
+      moldyn_request(api::Backend::kHybrid, net::TransportKind::kInProc);
+  const JobStats miss = client.run(req);
+  const JobStats hit = client.run(req);
+  ASSERT_TRUE(miss.ok) << miss.error;
+  ASSERT_TRUE(hit.ok) << hit.error;
+
+  EXPECT_TRUE(miss.cache_eligible);
+  EXPECT_FALSE(miss.cache_hit);
+  EXPECT_GT(miss.inspector_runs, 0);
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_EQ(hit.inspector_runs, 0);
+
+  EXPECT_EQ(miss.checksum, chaos.checksum);  // cross-backend bit-exact
+  EXPECT_EQ(hit.checksum, miss.checksum);
+  EXPECT_EQ(hit.steps_run, miss.steps_run);
+}
+
 // --- Fingerprints ----------------------------------------------------------
 
 TEST(ServeFingerprint, DistinguishesGraphsKernelsAndNodeCounts) {
@@ -396,6 +462,8 @@ TEST(ServeCodec, RequestRoundTrip) {
                                   net::TransportKind::kSocket);
   req.schedule = api::RoundSchedule::kTournament;
   req.cross_step_prefetch = true;
+  req.diff_engine = core::DiffEngine::kWord;
+  req.exec = api::ExecEngine::kBucketed;
   Writer w;
   encode(w, req);
   Reader r(w.bytes());
@@ -408,6 +476,8 @@ TEST(ServeCodec, RequestRoundTrip) {
   EXPECT_EQ(back.schedule, req.schedule);
   EXPECT_EQ(back.cross_step_prefetch, req.cross_step_prefetch);
   EXPECT_EQ(back.transport, req.transport);
+  EXPECT_EQ(back.diff_engine, req.diff_engine);
+  EXPECT_EQ(back.exec, req.exec);
 }
 
 TEST(ServeCodec, StatsRoundTrip) {
